@@ -1,0 +1,93 @@
+"""Ablation A4: the derived phase schedule vs the uniform-thirds one.
+
+The default schedule concentrates guard bands between p1/p2 and p2/p3 and
+leaves only the paper-sanctioned zero gap at p3-fall/p1-rise; uniform
+thirds has zero gap at every phase boundary.  Consequence measured here:
+the uniform schedule exposes more hops to clock skew and needs more hold
+buffers, while both meet the same throughput.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.circuits import build
+from repro.convert import ClockSpec, convert_to_three_phase
+from repro.library import FDSOI28
+from repro.retime import retime_forward
+from repro.synth import synthesize
+from repro.timing import analyze
+from repro.timing.hold_fix import fix_holds
+
+SCHEDULES = {
+    "default": ClockSpec.default_three_phase,
+    "uniform": ClockSpec.uniform_three_phase,
+}
+
+
+@pytest.mark.parametrize("design", ["s5378"])
+def test_phase_schedule_ablation(benchmark, design, out_dir):
+    mapped = synthesize(build(design), FDSOI28,
+                        clock_gating_style="gated").module
+    period = 1000.0
+
+    def run():
+        results = {}
+        for label, builder in SCHEDULES.items():
+            clocks = builder(period)
+            conv = convert_to_three_phase(mapped, FDSOI28, clocks=clocks)
+            retime_forward(conv.module, clocks, FDSOI28, area_pass=False)
+            timing = analyze(conv.module, clocks)
+            hold = fix_holds(conv.module, clocks, FDSOI28,
+                             clock_uncertainty=80.0)
+            results[label] = (timing, hold)
+        return results
+
+    results = run_once(benchmark, run)
+
+    lines = [f"phase-schedule ablation on {design} @ {period:.0f} ps:"]
+    for label, (timing, hold) in results.items():
+        lines.append(
+            f"  {label:8} setup slack {timing.worst_setup_slack:7.1f} ps  "
+            f"borrowed {timing.total_borrowed:7.1f} ps  "
+            f"hold buffers {hold.buffers_added:4d} "
+            f"(area +{hold.area_added:.0f})"
+        )
+    emit(out_dir, f"ablation_phases_{design}.txt", "\n".join(lines))
+
+    default_timing, default_hold = results["default"]
+    uniform_timing, uniform_hold = results["uniform"]
+    # Both schedules satisfy C3 at 1 GHz...
+    assert all(v.kind != "setup" for v in default_timing.violations)
+    assert all(v.kind != "setup" for v in uniform_timing.violations)
+    # ...but uniform thirds exposes every hop to skew: more hold padding.
+    assert uniform_hold.buffers_added >= default_hold.buffers_added
+
+
+@pytest.mark.parametrize("design", ["s1196", "s5378"])
+def test_smo_optimal_schedule(benchmark, design, out_dir):
+    """The SMO LP certifies the derived default schedule: a per-design
+    optimized schedule can only match or beat its minimum period."""
+    from repro.timing import minimum_period, optimize_schedule
+
+    mapped = synthesize(build(design), FDSOI28,
+                        clock_gating_style="gated").module
+    conv = convert_to_three_phase(mapped, FDSOI28, period=1000.0)
+
+    def run():
+        default_min = minimum_period(
+            conv.module, ClockSpec.default_three_phase, 50, 4000)
+        opt = optimize_schedule(conv.module, conv.clocks, hi=4000.0)
+        return default_min, opt
+
+    default_min, opt = run_once(benchmark, run)
+    text = (
+        f"SMO schedule optimization on {design}:\n"
+        f"  default schedule min period:   {default_min:8.1f} ps\n"
+        f"  per-design optimal schedule:   {opt.period:8.1f} ps\n"
+        f"  optimal edges: {opt}"
+    )
+    emit(out_dir, f"ablation_smo_{design}.txt", text)
+    assert opt.feasible
+    assert opt.period <= default_min * 1.02
+    timing = analyze(conv.module, opt.clocks)
+    assert all(v.kind != "setup" for v in timing.violations)

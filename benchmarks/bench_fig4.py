@@ -1,0 +1,34 @@
+"""Regenerate Fig. 4: RISC-V / ARM-M0 power on Dhrystone and Coremark."""
+
+import pytest
+
+from conftest import cycles_override, emit, run_once
+from repro.reporting import format_fig4, run_fig4
+from repro.reporting.fig4 import WORKLOADS
+
+
+def test_fig4(benchmark, out_dir):
+    result = run_once(
+        benchmark, lambda: run_fig4(sim_cycles=cycles_override())
+    )
+    emit(out_dir, "fig4.txt", format_fig4(result))
+
+    for cpu in ("riscv", "armm0"):
+        vs_ff = result.average_saving(cpu, "ff")
+        vs_ms = result.average_saving(cpu, "ms")
+        # Paper: RISC-V 15.6% / 21.2%, ARM-M0 8.3% / 20.1%.  Shape check:
+        # positive savings against both baselines on both workloads.
+        assert vs_ff > 0, f"{cpu}: no saving vs FF"
+        assert vs_ms > 0, f"{cpu}: no saving vs M-S"
+        for workload in WORKLOADS:
+            cmp = result.comparisons[(cpu, workload)]
+            total_3p = cmp.three_phase.power.total
+            assert total_3p < cmp.ms.power.total, (cpu, workload)
+
+    # Coremark works the cores harder than Dhrystone in every style
+    # (higher enable duty and data activity).
+    for cpu in ("riscv", "armm0"):
+        for style in ("ff", "3p"):
+            dhry = result.cell(cpu, "dhrystone", style).total
+            core = result.cell(cpu, "coremark", style).total
+            assert core > dhry * 0.9, (cpu, style)

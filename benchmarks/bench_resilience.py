@@ -1,0 +1,53 @@
+"""Future-work quantification: error-detection overhead (Sec. VI).
+
+"The decrease in latches also reduces the overhead of the necessary
+error detection logic."  Measured with Bubble-Razor-style protection
+(every latch gets a shadow + comparator) on master-slave vs 3-phase
+implementations of the same designs.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.circuits import build, spec
+from repro.convert import convert_to_master_slave, convert_to_three_phase
+from repro.library import FDSOI28
+from repro.netlist import check
+from repro.resilience import add_error_detection
+from repro.synth import synthesize
+
+
+@pytest.mark.parametrize("design", ["s5378", "des3"])
+def test_error_detection_overhead(benchmark, design, out_dir):
+    bench_spec = spec(design)
+    mapped = synthesize(build(design), FDSOI28,
+                        clock_gating_style="gated").module
+
+    def run():
+        ms = convert_to_master_slave(mapped, FDSOI28, bench_spec.period)
+        p3 = convert_to_three_phase(mapped, FDSOI28,
+                                    period=bench_spec.period)
+        ms_base, p3_base = ms.module.total_area(), p3.module.total_area()
+        ms_report = add_error_detection(ms.module, FDSOI28, policy="all")
+        p3_report = add_error_detection(p3.module, FDSOI28, policy="all")
+        check(ms.module)
+        check(p3.module)
+        return (ms_report, p3_report, ms_base, p3_base)
+
+    ms_report, p3_report, ms_base, p3_base = run_once(benchmark, run)
+
+    saving = 100 * (1 - p3_report.protected / ms_report.protected)
+    text = (
+        f"error-detection overhead on {design} (protect-all policy):\n"
+        f"  M-S : {ms_report.protected:5d} detectors, "
+        f"+{ms_report.area_added:8.0f} area "
+        f"(+{100 * ms_report.area_added / ms_base:.1f}%)\n"
+        f"  3-P : {p3_report.protected:5d} detectors, "
+        f"+{p3_report.area_added:8.0f} area "
+        f"(+{100 * p3_report.area_added / p3_base:.1f}%)\n"
+        f"  3-phase needs {saving:.1f}% less detection logic"
+    )
+    emit(out_dir, f"resilience_{design}.txt", text)
+
+    assert p3_report.protected < ms_report.protected
+    assert saving > 10

@@ -1,0 +1,52 @@
+"""Regenerate Table I: register counts and total area, FF vs M-S vs 3-P.
+
+Register counts and area are structural, so these runs use a short
+functional simulation (the flow still needs activity for DDCG); the
+check-against-paper assertions pin the headline result: the 3-phase
+conversion reproduces the published latch counts through our ILP.
+"""
+
+import pytest
+
+from conftest import cycles_override, emit, run_once, selected_designs
+from repro.reporting import format_table1, run_suite
+from repro.reporting.paper_data import TABLE1
+
+_CYCLES = cycles_override() or 24
+
+
+@pytest.mark.parametrize("suite", ["iscas", "cep", "cpu"])
+def test_table1_suite(benchmark, suite, out_dir):
+    designs = selected_designs(suite)
+    if not designs:
+        pytest.skip(f"no designs selected for suite {suite}")
+
+    results = run_once(
+        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES)
+    )
+    emit(out_dir, f"table1_{suite}.txt", format_table1(results))
+
+    for name, cmp in results.items():
+        paper = TABLE1[name]
+        # FF register counts are exact by construction; the 3-phase latch
+        # count must land on the published value (the ILP's doing).
+        assert cmp.reg_counts["ff"] == paper.regs_ff
+        tolerance = max(2, paper.regs_3p // 100)
+        assert abs(cmp.reg_counts["3p"] - paper.regs_3p) <= tolerance, name
+        # Register savings within a few points of the paper.
+        assert cmp.reg_saving_vs_2ff == pytest.approx(
+            paper.reg_save_2ff, abs=3.0
+        ), name
+
+
+def test_table1_shape_overall(benchmark, out_dir):
+    """Cross-suite shape assertions on a small subset."""
+    designs = ["s1488", "s1196", "des3"]
+    results = run_once(
+        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES)
+    )
+    # s1488 (control-dominated): no saving vs 2xFF -- the paper's callout.
+    assert results["s1488"].reg_saving_vs_2ff == pytest.approx(0.0, abs=0.5)
+    # Pipelined crypto saves the most registers.
+    assert (results["des3"].reg_saving_vs_2ff
+            > results["s1196"].reg_saving_vs_2ff)

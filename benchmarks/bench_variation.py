@@ -1,0 +1,77 @@
+"""Future-work quantification: PVT-variation tolerance (Sec. I / Sec. VI).
+
+The paper motivates latch-based design with robustness: time borrowing
+absorbs local slow-downs an FF design must margin for.  Two measurements:
+
+* **minimum period per corner** (`variation_study`): the global slow
+  corner costs every style its full derate;
+* **mismatch tolerance at the operating period** (`sigma_tolerance`): at
+  a fixed period with ordinary design margin, how much per-path random
+  variation each style survives -- the operational form of "removing
+  unnecessary margins associated with PVT variations".  Latch styles
+  (master-slave, and 3-phase once its stages are slack-balanced) soak
+  local excursions into their transparency windows; the FF design fails
+  as soon as one stage's draw eats its stage slack.
+"""
+
+import pytest
+
+from conftest import emit, run_once
+from repro.circuits import linear_pipeline
+from repro.convert import (
+    ClockSpec,
+    convert_to_master_slave,
+    convert_to_three_phase,
+)
+from repro.library import FDSOI28
+from repro.retime import retime_forward
+from repro.synth import synthesize
+from repro.timing import minimum_period
+from repro.timing.corners import sigma_tolerance, variation_study
+
+
+@pytest.mark.parametrize("depth", [8])
+def test_variation_tolerance(benchmark, depth, out_dir):
+    mapped = synthesize(
+        linear_pipeline(6, width=4, logic_depth=depth, seed=21), FDSOI28
+    ).module
+
+    def run():
+        pmin = minimum_period(mapped, ClockSpec.single, 50, 8000)
+        period = pmin * 1.15  # the margin every taped-out design carries
+
+        ff_tol = sigma_tolerance(mapped, ClockSpec.single(period))
+        ff_study = variation_study(mapped, ClockSpec.single)
+
+        ms = convert_to_master_slave(mapped, FDSOI28, period)
+        ms_tol = sigma_tolerance(ms.module, ms.clocks)
+
+        converted = convert_to_three_phase(mapped, FDSOI28, period=period)
+        retime_forward(converted.module, converted.clocks, FDSOI28,
+                       area_pass=False, balance=True)
+        p3_tol = sigma_tolerance(converted.module, converted.clocks)
+        p3_study = variation_study(
+            converted.module, ClockSpec.default_three_phase)
+        return period, ff_tol, ms_tol, p3_tol, ff_study, p3_study
+
+    period, ff_tol, ms_tol, p3_tol, ff_study, p3_study = run_once(
+        benchmark, run)
+
+    text = (
+        f"PVT variation study (pipeline depth {depth}, operating period "
+        f"{period:.0f} ps):\n"
+        f"  corner min-periods FF : {ff_study}\n"
+        f"  corner min-periods 3-P: {p3_study}\n"
+        f"  local-mismatch sigma tolerance at the operating period:\n"
+        f"    FF  {ff_tol:.3f}\n"
+        f"    M-S {ms_tol:.3f}\n"
+        f"    3-P {p3_tol:.3f} (slack-balanced retiming)"
+    )
+    emit(out_dir, f"variation_d{depth}.txt", text)
+
+    # The robustness claim: latch styles tolerate more local variation
+    # than the FF design at the same operating point.
+    assert ms_tol > ff_tol
+    assert p3_tol > ff_tol
+    # Global slow corners hit everyone.
+    assert ff_study.min_period("slow") > ff_study.min_period("typical")

@@ -1,0 +1,57 @@
+"""Shared helpers for the benchmark harness.
+
+Environment knobs:
+
+* ``REPRO_BENCH_DESIGNS`` -- comma-separated design subset (default: the
+  full 18-design evaluation of the paper);
+* ``REPRO_BENCH_CYCLES`` -- override measurement cycles (smaller = faster,
+  noisier power);
+* ``REPRO_BENCH_OUT`` -- directory for regenerated table/figure text
+  (default ``benchmarks/out``).
+
+Each benchmark regenerates one paper artifact; pytest-benchmark records
+the wall time of the regeneration itself (rounds=1: these are long-running
+flows, not microbenchmarks).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import names
+
+
+def selected_designs(suite: str | None = None) -> list[str]:
+    env = os.environ.get("REPRO_BENCH_DESIGNS")
+    if env:
+        picked = [d.strip() for d in env.split(",") if d.strip()]
+        return [d for d in picked if suite is None or d in names(suite)]
+    return names(suite)
+
+
+def cycles_override() -> int | None:
+    env = os.environ.get("REPRO_BENCH_CYCLES")
+    return int(env) if env else None
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    path = Path(os.environ.get(
+        "REPRO_BENCH_OUT", Path(__file__).parent / "out"))
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def emit(out_dir: Path, name: str, text: str) -> None:
+    """Print a regenerated artifact and save it."""
+    print()
+    print(text)
+    (out_dir / name).write_text(text + "\n", encoding="utf-8")
+
+
+def run_once(benchmark, func):
+    """pytest-benchmark wrapper for long single-shot regenerations."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

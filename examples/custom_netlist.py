@@ -1,0 +1,75 @@
+"""Using the library on your own circuit.
+
+Builds a small accumulator datapath directly with the netlist API, runs it
+through the conversion flow, and exports the 3-phase result as structural
+Verilog and the source as ISCAS89 ``.bench`` -- the interchange points a
+downstream user would script against.
+"""
+
+from repro.convert import ClockSpec, convert_to_three_phase
+from repro.library import FDSOI28, GENERIC
+from repro.netlist import Module, bench, check, collect_stats, verilog
+from repro.sim import check_equivalent
+from repro.synth import synthesize
+
+WIDTH = 4
+
+# -- 1. build an accumulator: acc <= en ? acc ^ (in & acc>>1ish) : acc ------
+m = Module("accum")
+m.add_input("clk", is_clock=True)
+m.add_input("en")
+for b in range(WIDTH):
+    m.add_input(f"in{b}")
+
+for b in range(WIDTH):
+    m.add_net(f"acc{b}")
+for b in range(WIDTH):
+    mixed = m.add_net(f"mix{b}")
+    m.add_instance(
+        f"g_and{b}", GENERIC["AND2"],
+        {"A": f"in{b}", "B": f"acc{(b + 1) % WIDTH}", "Y": mixed.name},
+    )
+    nxt = m.add_net(f"nxt{b}")
+    m.add_instance(
+        f"g_xor{b}", GENERIC["XOR2"],
+        {"A": mixed.name, "B": f"acc{b}", "Y": nxt.name},
+    )
+    gated = m.add_net(f"d{b}")
+    m.add_instance(
+        f"g_mux{b}", GENERIC["MUX2"],
+        {"A": f"acc{b}", "B": nxt.name, "S": "en", "Y": gated.name},
+    )
+    m.add_instance(
+        f"ff{b}", GENERIC["DFF"],
+        {"D": gated.name, "CK": "clk", "Q": f"acc{b}"},
+        attrs={"init": 0},
+    )
+    m.add_output(f"out{b}", net_name=f"acc{b}")
+check(m)
+print(f"built {m.name}: {collect_stats(m)}")
+
+# -- 2. synthesize (gated-clock style) and convert ---------------------------
+period = 1000.0
+mapped = synthesize(m, FDSOI28, clock_gating_style="gated",
+                    min_gating_group=1).module
+result = convert_to_three_phase(mapped, FDSOI28, period=period)
+check(result.module)
+stats = collect_stats(result.module)
+print(f"3-phase: {stats.latches} latches {stats.latch_phase_counts}, "
+      f"{stats.icgs} clock gates")
+
+# -- 3. verify and export -----------------------------------------------------
+report = check_equivalent(m, ClockSpec.single(period),
+                          result.module, result.clocks, n_cycles=60)
+print(f"equivalence: {report}")
+assert report.equivalent
+
+verilog.dump(result.module, "accum_3p.v")
+bench.dump(m, "accum.bench")
+print("wrote accum_3p.v (3-phase gate-level Verilog) and accum.bench "
+      "(FF-based source)")
+
+# round-trip sanity: the Verilog we wrote parses back
+again = verilog.load("accum_3p.v", FDSOI28)
+check(again)
+print(f"re-parsed accum_3p.v: {len(again.instances)} instances ok")

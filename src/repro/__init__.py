@@ -1,0 +1,37 @@
+"""repro: reproduction of "Saving Power by Converting Flip-Flop to 3-Phase
+Latch-Based Designs" (Cheng, Li, Gu, Beerel -- DATE 2020).
+
+The package implements the paper's conversion flow and every substrate it
+relies on, in pure Python:
+
+* :mod:`repro.netlist` -- flat gate-level netlist model and I/O;
+* :mod:`repro.library` -- cell model and the synthetic 28-nm FDSOI library;
+* :mod:`repro.synth` -- technology mapping and clock-gating inference;
+* :mod:`repro.ilp` -- 0-1 ILP engine (branch-and-bound + HiGHS backend);
+* :mod:`repro.convert` -- the 3-phase conversion (the paper's contribution)
+  and the master-slave baseline;
+* :mod:`repro.timing` -- SMO multi-phase model and latch-aware STA;
+* :mod:`repro.retime` -- the modified retiming of Sec. IV-C;
+* :mod:`repro.cg` -- p2 clock gating: common-enable (M1/M2 ICGs) and
+  multi-bit data-driven clock gating;
+* :mod:`repro.sim` -- event-driven gate-level simulation and activity;
+* :mod:`repro.power` -- activity-based power model with Clock/Seq/Comb
+  groups;
+* :mod:`repro.pnr` -- placement / routing-estimate / clock-tree synthesis;
+* :mod:`repro.circuits` -- benchmark circuit generators (ISCAS89-like,
+  CEP-like, CPU-like, linear pipelines);
+* :mod:`repro.flow` -- the end-to-end design flow and style comparison;
+* :mod:`repro.reporting` -- Table I / Table II / Fig. 4 regeneration.
+
+Quickstart::
+
+    from repro import circuits, flow
+
+    design = circuits.build("s5378")
+    comparison = flow.compare_styles(design)
+    print(comparison.table())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,137 @@
+"""Multi-bit data-driven clock gating (DDCG) for p2 latches (Sec. IV-D).
+
+DDCG gates a latch's clock with ``XOR(D, Q)``: the clock is delivered only
+when the data would actually change.  A single-bit DDCG needs an XOR and a
+share of a CG cell per latch, so the paper groups latches under one
+multi-bit structure: the per-latch comparison signals are OR-ed into one
+enable driving a shared CG cell -- cheaper clock tree, but a toggle in any
+member wakes the whole group.
+
+Following the paper we gate only groups whose data pins toggle rarely
+(< 1% of the clock frequency by default), group latches by toggle rate so
+low-activity latches share structures (a rate-sorted proxy for "low and
+highly correlated"), and cap CG fanout at 32.
+
+The conventional ICG (c0) is used here rather than M1: a DDCG enable
+compares D against Q, and D settles only after the leading latches close
+(T/4 for p1, T for p3), which is *after* the p3 window M1 would latch EN
+in -- but comfortably before the conventional cell's capture at the p2
+rising edge (3T/8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import Library
+from repro.netlist.core import Module
+
+
+@dataclass
+class DdcgReport:
+    gated_latches: int = 0
+    groups: list[list[str]] = field(default_factory=list)
+    xor_cells: int = 0
+    or_cells: int = 0
+    cg_cells: int = 0
+    skipped_high_activity: list[str] = field(default_factory=list)
+
+
+def toggle_rate(
+    activity: dict[str, int], net: str, cycles: int
+) -> float:
+    """Toggles per cycle of a net over a measured window."""
+    if cycles <= 0:
+        return 1.0
+    return activity.get(net, 0) / cycles
+
+
+def apply_ddcg(
+    module: Module,
+    library: Library,
+    activity: dict[str, int],
+    cycles: int,
+    p2_net: str = "p2",
+    threshold: float = 0.01,
+    max_fanout: int = 32,
+    min_group: int = 2,
+) -> DdcgReport:
+    """Gate remaining ungated p2 latches whose D toggles below ``threshold``.
+
+    ``activity``/``cycles`` come from a profiling simulation (the paper's
+    gate-level simulations "used to determine signal activity that drove
+    data-driven clock gating").
+    """
+    report = DdcgReport()
+    candidates: list[tuple[float, str]] = []
+    for inst in module.latches():
+        if inst.attrs.get("phase") != "p2" or inst.net_of("G") != p2_net:
+            continue
+        rate = toggle_rate(activity, inst.net_of("D"), cycles)
+        if rate < threshold:
+            candidates.append((rate, inst.name))
+        else:
+            report.skipped_high_activity.append(inst.name)
+
+    # Rate-sorted grouping keeps similar-activity latches together.
+    candidates.sort()
+    names = [name for _, name in candidates]
+    xor_cell = library.cell_for_op("XOR", 2)
+    or_cell = library.cells_for_op("OR")  # any arity; pick per need
+    cg_cell = library.cell_for_op("ICG")
+
+    for start in range(0, len(names), max_fanout):
+        chunk = names[start : start + max_fanout]
+        if len(chunk) < min_group:
+            break
+        compare_nets: list[str] = []
+        for latch_name in chunk:
+            latch = module.instances[latch_name]
+            cmp_net = module.add_net(module.fresh_name("ddcg_cmp"))
+            module.add_instance(
+                module.fresh_name("ddcg_xor_"),
+                xor_cell,
+                {"A": latch.net_of("D"), "B": latch.net_of("Q"),
+                 "Y": cmp_net.name},
+            )
+            report.xor_cells += 1
+            compare_nets.append(cmp_net.name)
+        enable = _or_tree(module, library, compare_nets, report)
+        gck = module.add_net(module.fresh_name("ddcg_gck"))
+        module.add_instance(
+            module.fresh_name("ddcg_cg_"),
+            cg_cell,
+            {"CK": p2_net, "EN": enable, "GCK": gck.name},
+            attrs={"phase": "p2", "ddcg": True},
+        )
+        report.cg_cells += 1
+        for latch_name in chunk:
+            module.reconnect(latch_name, "G", gck.name)
+            module.instances[latch_name].attrs["ddcg"] = True
+            report.gated_latches += 1
+        report.groups.append(list(chunk))
+    return report
+
+
+def _or_tree(
+    module: Module, library: Library, nets: list[str], report: DdcgReport
+) -> str:
+    """Reduce ``nets`` with OR gates of the widest available arity."""
+    widest = max(len(c.data_pins) for c in library.cells_for_op("OR"))
+    level = list(nets)
+    while len(level) > 1:
+        nxt: list[str] = []
+        for start in range(0, len(level), widest):
+            chunk = level[start : start + widest]
+            if len(chunk) == 1:
+                nxt.append(chunk[0])
+                continue
+            out = module.add_net(module.fresh_name("ddcg_or"))
+            cell = library.cell_for_op("OR", len(chunk))
+            conns = {pin: net for pin, net in zip(cell.data_pins, chunk)}
+            conns["Y"] = out.name
+            module.add_instance(module.fresh_name("ddcg_or_"), cell, conns)
+            report.or_cells += 1
+            nxt.append(out.name)
+        level = nxt
+    return level[0]

@@ -1,0 +1,36 @@
+"""Benchmark circuit generators.
+
+* :func:`~repro.circuits.registry.build` / ``names`` / ``spec`` -- the 18
+  calibrated stand-ins for the paper's evaluation designs;
+* :func:`~repro.circuits.linear.linear_pipeline` -- Fig. 1 pipelines;
+* :func:`~repro.circuits.structured.build_structured` -- the calibrated
+  generator itself;
+* :func:`~repro.circuits.random_logic.random_sequential_circuit` -- seeded
+  random circuits for property tests.
+"""
+
+from repro.circuits.linear import expected_three_phase_latches, linear_pipeline
+from repro.circuits.random_logic import random_sequential_circuit
+from repro.circuits.registry import (
+    BENCHMARKS,
+    SUITES,
+    BenchmarkSpec,
+    build,
+    names,
+    spec,
+)
+from repro.circuits.structured import StructuredSpec, build_structured
+
+__all__ = [
+    "expected_three_phase_latches",
+    "linear_pipeline",
+    "random_sequential_circuit",
+    "BENCHMARKS",
+    "SUITES",
+    "BenchmarkSpec",
+    "build",
+    "names",
+    "spec",
+    "StructuredSpec",
+    "build_structured",
+]

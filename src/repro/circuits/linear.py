@@ -1,0 +1,93 @@
+"""Linear pipeline generator (the special case of Sec. III-B / Fig. 1).
+
+An N-stage FF pipeline with a configurable block of combinational logic per
+stage.  The paper proves the 3-phase conversion of such a pipeline adds
+exactly one extra latch stage for every other original stage -- the
+property test in ``tests/convert/test_linear_pipeline.py`` checks our ILP
+reproduces that minimum.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.library.cell import Library
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module
+
+
+def linear_pipeline(
+    stages: int,
+    width: int = 1,
+    logic_depth: int = 2,
+    library: Library = GENERIC,
+    seed: int = 0,
+    name: str | None = None,
+) -> Module:
+    """An FF pipeline: ``stages`` register ranks, ``width`` bits wide, with
+    ``logic_depth`` levels of mixing logic between ranks.
+
+    The first rank is fed by primary inputs; the last rank drives the
+    outputs.  With ``width > 1`` the logic mixes neighbouring bits so the
+    stages are not independent chains.
+    """
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    rng = random.Random(seed)
+    module = Module(name or f"pipe{stages}x{width}")
+    module.add_input("clk", is_clock=True)
+
+    current = []
+    for bit in range(width):
+        module.add_input(f"in{bit}")
+        current.append(f"in{bit}")
+
+    ops = ("NAND", "NOR", "XOR", "AND", "OR")
+    for stage in range(stages):
+        captured = []
+        for bit in range(width):
+            q = module.add_net(f"s{stage}_q{bit}")
+            module.add_instance(
+                f"ff_s{stage}_b{bit}",
+                library.cell_for_op("DFF"),
+                {"D": current[bit], "CK": "clk", "Q": q.name},
+                attrs={"init": 0},
+            )
+            captured.append(q.name)
+        current = captured
+        for level in range(logic_depth):
+            mixed = []
+            for bit in range(width):
+                out = module.add_net(f"s{stage}_l{level}_b{bit}")
+                if width > 1:
+                    op = ops[rng.randrange(len(ops))]
+                    other = current[(bit + 1) % width]
+                    module.add_instance(
+                        f"g_s{stage}_l{level}_b{bit}",
+                        library.cell_for_op(op, 2),
+                        {"A": current[bit], "B": other, "Y": out.name},
+                    )
+                else:
+                    module.add_instance(
+                        f"g_s{stage}_l{level}_b{bit}",
+                        library.cell_for_op("INV"),
+                        {"A": current[bit], "Y": out.name},
+                    )
+                mixed.append(out.name)
+            current = mixed
+
+    for bit in range(width):
+        module.add_output(f"out{bit}", net_name=current[bit])
+    return module
+
+
+def expected_three_phase_latches(stages: int, width: int = 1) -> int:
+    """The paper's minimum for a linear pipeline (Sec. III-B): one latch per
+    original FF plus one extra latch stage for every other original stage.
+
+    With the interface constraint that PI-fed FFs are back-to-back, the
+    first rank is always extra-latched, so ranks 1, 3, 5, ... (0-based ranks
+    0, 2, 4, ...) carry followers: ``ceil(stages / 2)`` extra ranks.
+    """
+    extra_ranks = (stages + 1) // 2
+    return stages * width + extra_ranks * width

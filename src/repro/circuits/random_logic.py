@@ -1,0 +1,114 @@
+"""Seeded random sequential circuit generator.
+
+Used by property-based tests (conversion must preserve behaviour on *any*
+circuit) and by the solver ablation.  Circuits are built combinationally
+acyclic by construction; sequential feedback (including self-loops) is
+introduced deliberately via the ``feedback`` knob, and enable-mux registers
+via ``enable_fraction`` so clock-gating inference has something to find.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.library.cell import Library
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module
+
+_OPS = ("AND", "OR", "NAND", "NOR", "XOR", "XNOR", "INV", "BUF")
+
+
+def random_sequential_circuit(
+    seed: int,
+    n_ffs: int = 8,
+    n_gates: int = 30,
+    n_inputs: int = 4,
+    n_outputs: int = 3,
+    feedback: float = 0.3,
+    enable_fraction: float = 0.0,
+    library: Library = GENERIC,
+    name: str | None = None,
+) -> Module:
+    """A random but well-formed single-clock FF-based circuit.
+
+    ``feedback`` is the probability an FF's next-state function draws from
+    the FF's own fanout cone side (creating sequential cycles);
+    ``enable_fraction`` wraps that fraction of FFs in a recirculating mux
+    driven by a shared enable input.
+    """
+    if n_ffs < 1 or n_inputs < 1 or n_outputs < 1:
+        raise ValueError("need at least one FF, input, and output")
+    rng = random.Random(seed)
+    module = Module(name or f"rand{seed}")
+    module.add_input("clk", is_clock=True)
+
+    inputs = []
+    for i in range(n_inputs):
+        module.add_input(f"pi{i}")
+        inputs.append(f"pi{i}")
+    n_enables = max(1, n_ffs // 8) if enable_fraction > 0 else 0
+    enables = []
+    for i in range(n_enables):
+        module.add_input(f"en{i}")
+        enables.append(f"en{i}")
+
+    q_nets = []
+    for i in range(n_ffs):
+        q_nets.append(module.add_net(f"q{i}").name)
+
+    # Combinational cloud over PIs and FF outputs, acyclic by construction:
+    # gate k may only read PIs, Q nets, and outputs of gates < k.
+    available = inputs + q_nets
+    gate_outputs: list[str] = []
+    for k in range(n_gates):
+        op = _OPS[rng.randrange(len(_OPS))]
+        if op in ("INV", "BUF"):
+            n_in = 1
+        elif op in ("XOR", "XNOR"):
+            n_in = 2
+        else:
+            n_in = rng.randint(2, 4)
+        picks = [available[rng.randrange(len(available))] for _ in range(n_in)]
+        out = module.add_net(f"g{k}_y").name
+        cell = library.cell_for_op(op, None if n_in == 1 else n_in)
+        conns = {pin: net for pin, net in zip(cell.data_pins, picks)}
+        conns["Y"] = out
+        module.add_instance(f"g{k}", cell, conns)
+        gate_outputs.append(out)
+        available.append(out)
+
+    # Next-state functions: each FF's D comes from somewhere in the cloud.
+    # To modulate feedback, D is drawn either from nets influenced by FF
+    # outputs (any gate output or another Q) or from the PI-heavy prefix.
+    dff = library.cell_for_op("DFF")
+    mux = library.cell_for_op("MUX2")
+    n_enabled = int(round(n_ffs * enable_fraction))
+    for i in range(n_ffs):
+        if rng.random() < feedback or not gate_outputs:
+            source = (q_nets + gate_outputs)[
+                rng.randrange(len(q_nets) + len(gate_outputs))
+            ]
+        else:
+            source = (inputs + gate_outputs)[
+                rng.randrange(len(inputs) + len(gate_outputs))
+            ]
+        if i < n_enabled and enables:
+            enable = enables[i % len(enables)]
+            mux_out = module.add_net(f"dmux{i}").name
+            module.add_instance(
+                f"mux{i}",
+                mux,
+                {"A": q_nets[i], "B": source, "S": enable, "Y": mux_out},
+            )
+            source = mux_out
+        module.add_instance(
+            f"ff{i}",
+            dff,
+            {"D": source, "CK": "clk", "Q": q_nets[i]},
+            attrs={"init": rng.randint(0, 1)},
+        )
+
+    pool = gate_outputs + q_nets
+    for i in range(n_outputs):
+        module.add_output(f"po{i}", net_name=pool[rng.randrange(len(pool))])
+    return module

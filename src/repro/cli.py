@@ -1,0 +1,235 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Examples::
+
+    repro list
+    repro run s5378                 # one design, all three styles
+    repro table1 --suite iscas
+    repro table2 --designs s1196 des3 plasma
+    repro fig4 --cycles 60
+    repro runtime --suite cep
+    repro convert --bench path/to/circuit.bench --out out.v --period 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuits import build, names, spec
+from repro.flow import FlowOptions, compare_styles
+from repro.reporting import (
+    format_fig4,
+    format_runtime,
+    format_table1,
+    format_table2,
+    run_fig4,
+    run_suite,
+    summarize_runtime,
+)
+
+
+def _progress(message: str) -> None:
+    print(message, file=sys.stderr, flush=True)
+
+
+def _add_selection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--suite", choices=("iscas", "cep", "cpu"),
+                        help="limit to one benchmark suite")
+    parser.add_argument("--designs", nargs="+", metavar="NAME",
+                        help="explicit design list")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="override measurement cycles (smaller = faster)")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in names():
+        bench = spec(name)
+        print(f"{name:10} suite={bench.suite:5} ffs={bench.structure.n_ffs:6d} "
+              f"period={bench.period:.0f}ps workload={bench.workload}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bench = spec(args.design)
+    module = build(args.design)
+    options = FlowOptions(
+        period=bench.period,
+        profile=bench.workload,
+        sim_cycles=args.cycles or bench.sim_cycles,
+    )
+    comparison = compare_styles(module, options)
+    row = comparison.table_row()
+    print(f"design {args.design} ({bench.suite}) @ {bench.period:.0f} ps")
+    print(f"  registers: {row['regs']}  "
+          f"(save vs 2xFF {row['reg_save_2ff']:.1f}%, "
+          f"vs M-S {row['reg_save_ms']:.1f}%)")
+    print(f"  area: " + ", ".join(
+        f"{k}={v:.0f}" for k, v in row["area"].items()))
+    for style in ("ff", "ms", "3p"):
+        power = row["power"][style]
+        print(f"  {style:3} power: clock {power['clock']:.4f} "
+              f"seq {power['seq']:.4f} comb {power['comb']:.4f} "
+              f"total {power['total']:.4f} mW")
+    print(f"  3-P total power saving: vs FF "
+          f"{row['power_save_ff']['total']:.1f}%, "
+          f"vs M-S {row['power_save_ms']['total']:.1f}%")
+    return 0
+
+
+def _run_selected(args: argparse.Namespace):
+    return run_suite(
+        suite=args.suite,
+        designs=args.designs,
+        sim_cycles=args.cycles,
+        progress=_progress,
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(format_table1(_run_selected(args)))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    print(format_table2(_run_selected(args)))
+    return 0
+
+
+def _cmd_runtime(args: argparse.Namespace) -> int:
+    print(format_runtime(summarize_runtime(_run_selected(args))))
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    result = run_fig4(sim_cycles=args.cycles, progress=_progress)
+    print(format_fig4(result))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.convert import convert_to_three_phase
+    from repro.library import FDSOI28
+    from repro.netlist import bench as bench_io
+    from repro.netlist import blif as blif_io
+    from repro.netlist import check, verilog
+    from repro.synth import synthesize
+
+    if args.bench:
+        module = bench_io.load(args.bench)
+    else:
+        module = blif_io.load(args.blif)
+    mapped = synthesize(module, FDSOI28).module
+    result = convert_to_three_phase(mapped, FDSOI28, period=args.period)
+    check(result.module)
+    verilog.dump(result.module, args.out)
+    counts = result.assignment.phase_counts()
+    print(f"converted {module.name}: {result.assignment.num_ffs} FFs -> "
+          f"{result.assignment.total_latches} latches {counts}; "
+          f"wrote {args.out}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.convert import ClockSpec, convert_to_three_phase
+    from repro.library import FDSOI28
+    from repro.synth import synthesize
+    from repro.timing import minimum_period, optimize_schedule
+
+    bench = spec(args.design)
+    mapped = synthesize(build(args.design), FDSOI28,
+                        clock_gating_style="gated").module
+    result = convert_to_three_phase(mapped, FDSOI28, period=bench.period)
+    default_min = minimum_period(
+        result.module, ClockSpec.default_three_phase, 50, 4 * bench.period)
+    opt = optimize_schedule(result.module, result.clocks,
+                            hi=4 * bench.period)
+    print(f"design {args.design} (paper period {bench.period:.0f} ps)")
+    print(f"  default schedule minimum period: {default_min:8.1f} ps")
+    print(f"  SMO-optimized schedule:          {opt.period:8.1f} ps "
+          f"({opt.iterations} LP iterations)")
+    print(f"  optimized edges: {opt}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Concatenate regenerated artifacts from benchmarks/out into one
+    digest (the raw material of EXPERIMENTS.md)."""
+    import pathlib
+
+    out = pathlib.Path(args.dir)
+    if not out.is_dir():
+        print(f"no artifact directory {out}; run pytest benchmarks/ first",
+              file=sys.stderr)
+        return 1
+    artifacts = sorted(out.glob("*.txt"))
+    if not artifacts:
+        print(f"{out} is empty; run pytest benchmarks/ --benchmark-only",
+              file=sys.stderr)
+        return 1
+    for path in artifacts:
+        print(f"==== {path.name} " + "=" * max(0, 60 - len(path.name)))
+        print(path.read_text().rstrip())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Saving Power by Converting Flip-Flop "
+                    "to 3-Phase Latch-Based Designs' (DATE 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark designs").set_defaults(
+        func=_cmd_list)
+
+    run = sub.add_parser("run", help="run one design in all three styles")
+    run.add_argument("design")
+    run.add_argument("--cycles", type=int, default=None)
+    run.set_defaults(func=_cmd_run)
+
+    for cmd, func, help_text in (
+        ("table1", _cmd_table1, "regenerate Table I (registers and area)"),
+        ("table2", _cmd_table2, "regenerate Table II (power)"),
+        ("runtime", _cmd_runtime, "regenerate the Sec. V runtime comparison"),
+    ):
+        p = sub.add_parser(cmd, help=help_text)
+        _add_selection_args(p)
+        p.set_defaults(func=func)
+
+    fig4 = sub.add_parser("fig4", help="regenerate Fig. 4 (CPU workloads)")
+    fig4.add_argument("--cycles", type=int, default=None)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert an ISCAS89 .bench or BLIF file to 3-phase Verilog")
+    source = convert.add_mutually_exclusive_group(required=True)
+    source.add_argument("--bench", help="ISCAS89 .bench input")
+    source.add_argument("--blif", help="BLIF input")
+    convert.add_argument("--out", required=True)
+    convert.add_argument("--period", type=float, default=1000.0)
+    convert.set_defaults(func=_cmd_convert)
+
+    schedule = sub.add_parser(
+        "schedule",
+        help="SMO-optimal phase schedule for a converted benchmark")
+    schedule.add_argument("design")
+    schedule.set_defaults(func=_cmd_schedule)
+
+    report = sub.add_parser(
+        "report", help="print all regenerated artifacts (benchmarks/out)")
+    report.add_argument("--dir", default="benchmarks/out")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

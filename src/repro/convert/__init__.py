@@ -1,0 +1,32 @@
+"""FF-to-latch conversion: the paper's 3-phase flow and the M-S baseline."""
+
+from repro.convert.assignment import PhaseAssignment
+from repro.convert.clocks import ClockSpec, Phase
+from repro.convert.master_slave import MasterSlaveResult, convert_to_master_slave
+from repro.convert.pulsed import PulsedResult, convert_to_pulsed_latch, pulsed_clock
+from repro.convert.phase_ilp import (
+    assign_phases,
+    build_model,
+    solve_greedy,
+    solve_ilp,
+    solve_via_mis,
+)
+from repro.convert.three_phase import ConversionResult, convert_to_three_phase
+
+__all__ = [
+    "PhaseAssignment",
+    "ClockSpec",
+    "Phase",
+    "PulsedResult",
+    "convert_to_pulsed_latch",
+    "pulsed_clock",
+    "MasterSlaveResult",
+    "convert_to_master_slave",
+    "assign_phases",
+    "build_model",
+    "solve_greedy",
+    "solve_ilp",
+    "solve_via_mis",
+    "ConversionResult",
+    "convert_to_three_phase",
+]

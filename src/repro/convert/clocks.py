@@ -1,0 +1,174 @@
+"""Clock phase schedules for FF, master-slave, and 3-phase designs.
+
+The paper never prints its phase waveforms; the schedule below is derived
+from every textual constraint (see DESIGN.md section 3):
+
+* **C2** -- latches connected by combinational logic must never be
+  simultaneously transparent.  The converted design only ever connects
+  p1->p3, p3->p2, p2->p1, p1->p2 and p2->p3, so all three phases must be
+  pairwise non-overlapping.
+* Sec. IV-D -- "only a small (if any) gap between p1 rising and p3
+  falling": p3 must close right where p1 opens (the cycle boundary).
+* Sec. IV-C -- after retiming, each back-to-back stage's logic is split
+  into halves that must fit in roughly Tc/2; the single-latch hop p1->p3
+  must carry a full critical stage (C3).
+
+Default 3-phase schedule (cycle ``T``)::
+
+    p1 high [0,     T/4 )      closes e1 = T/4
+    p2 high [3T/8,  5T/8)      closes e2 = 5T/8
+    p3 high [3T/4,  T   )      closes e3 = T
+
+Worst-case *time-borrowing* budgets (capture close minus launch open):
+p1->p3 gets ``T`` (a full critical stage, satisfying C3); p3->p2 gets
+``7T/8``; p2->p3 gets ``5T/8`` and p1->p2 gets ``5T/8`` -- all at least the
+``T/2`` the retimed half-stages need.  e1 <= e2 <= e3 matches the SMO
+phase-ordering convention.
+
+``skip_first`` supports exact cycle-level equivalence checking: the p1
+latches of a freshly initialized 3-phase design must not overwrite their
+initial state in the first (partial) cycle, so the p1 phase's first
+transparency window is suppressed (see :mod:`repro.sim.equivalence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One periodic clock phase, transparent-high in ``[rise, fall)``.
+
+    ``0 <= rise < fall <= period`` (no wrap; a phase that should straddle
+    the boundary can be expressed by shifting the time origin).
+    """
+
+    name: str
+    rise: float
+    fall: float
+    skip_first: bool = False
+
+    @property
+    def width(self) -> float:
+        return self.fall - self.rise
+
+
+@dataclass(frozen=True)
+class ClockSpec:
+    """A k-phase clock: common period, one waveform per clock port."""
+
+    period: float
+    phases: tuple[Phase, ...]
+
+    def __post_init__(self) -> None:
+        for phase in self.phases:
+            if not (0 <= phase.rise < phase.fall <= self.period):
+                raise ValueError(
+                    f"phase {phase.name!r} interval [{phase.rise}, {phase.fall}) "
+                    f"does not fit in [0, {self.period}]"
+                )
+        names = [p.name for p in self.phases]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate phase names")
+
+    def phase(self, name: str) -> Phase:
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(f"no phase named {name!r}")
+
+    @property
+    def phase_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.phases)
+
+    def is_high(self, name: str, time: float) -> bool:
+        phase = self.phase(name)
+        local = time % self.period
+        if phase.skip_first and time < self.period:
+            return False
+        return phase.rise <= local < phase.fall
+
+    def closing_time(self, name: str) -> float:
+        """e_i of the SMO model: the closing edge within the cycle."""
+        return self.phase(name).fall
+
+    def opening_time(self, name: str) -> float:
+        return self.phase(name).rise
+
+    def overlaps(self, a: str, b: str) -> bool:
+        """Do phases ``a`` and ``b`` have simultaneous transparency?"""
+        pa, pb = self.phase(a), self.phase(b)
+        return pa.rise < pb.fall and pb.rise < pa.fall
+
+    # -- canonical schedules ----------------------------------------------------
+
+    @classmethod
+    def single(cls, period: float, name: str = "clk") -> "ClockSpec":
+        """The FF baseline: one 50%-duty clock, rising edge at 0."""
+        return cls(period, (Phase(name, 0.0, period / 2),))
+
+    @classmethod
+    def master_slave(
+        cls, period: float, clk: str = "clk", clkbar: str = "clkbar"
+    ) -> "ClockSpec":
+        """Two complementary 50%-duty phases.
+
+        The master latch (transparent on ``clkbar``) closes at the cycle
+        boundary; the slave (transparent on ``clk``) opens there -- together
+        they behave as a rising-edge FF while allowing time borrowing.
+        """
+        return cls(
+            period,
+            (
+                Phase(clk, 0.0, period / 2),
+                Phase(clkbar, period / 2, period),
+            ),
+        )
+
+    @classmethod
+    def default_three_phase(
+        cls,
+        period: float,
+        names: tuple[str, str, str] = ("p1", "p2", "p3"),
+        gap_fraction: float = 0.0,
+    ) -> "ClockSpec":
+        """The derived 3-phase schedule (module docstring).
+
+        ``gap_fraction`` optionally shrinks every window symmetrically by
+        that fraction of the period on each side, adding hold margin at the
+        cost of borrowing budget (used by the phase-width ablation).
+        """
+        gap = gap_fraction * period
+        p1, p2, p3 = names
+        return cls(
+            period,
+            (
+                Phase(p1, 0.0 + gap, period / 4 - gap, skip_first=True),
+                Phase(p2, 3 * period / 8 + gap, 5 * period / 8 - gap),
+                Phase(p3, 3 * period / 4 + gap, period - gap),
+            ),
+        )
+
+    @classmethod
+    def uniform_three_phase(
+        cls,
+        period: float,
+        names: tuple[str, str, str] = ("p1", "p2", "p3"),
+    ) -> "ClockSpec":
+        """Equal thirds (ablation alternative): p1 [0,T/3), p2 [T/3,2T/3),
+        p3 [2T/3,T).  Satisfies C2 with zero gap between *every* pair of
+        consecutive phases, so every hop has zero hold margin (the default
+        schedule keeps T/8 gaps except at the p3-fall/p1-rise boundary the
+        paper itself describes as gap-free).  The phase-schedule ablation
+        quantifies the hold-fixing cost."""
+        third = period / 3
+        p1, p2, p3 = names
+        return cls(
+            period,
+            (
+                Phase(p1, 0.0, third, skip_first=True),
+                Phase(p2, third, 2 * third),
+                Phase(p3, 2 * third, period),
+            ),
+        )

@@ -1,0 +1,89 @@
+"""FF-based to master-slave latch-based conversion (the paper's baseline).
+
+Every flip-flop becomes two transparent-high latches: a *master* clocked by
+``clkbar`` (closes at the cycle boundary, where the FF sampled) and a
+*slave* clocked by ``clk`` (opens at the boundary).  The pair is the
+classical time-borrowing-capable equivalent of a rising-edge FF, and it is
+the "M-S" comparison column of Tables I and II.
+
+Gated clocks are duplicated onto both phases via
+:class:`~repro.convert.gated_clocks.GatedClockRebuilder`, mirroring what a
+commercial flow's latch mapping does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import Library
+from repro.netlist.core import Module
+from repro.netlist.sweep import sweep_unloaded
+from repro.convert.clocks import ClockSpec
+from repro.convert.gated_clocks import GatedClockRebuilder
+
+
+@dataclass
+class MasterSlaveResult:
+    module: Module
+    clocks: ClockSpec
+    #: master latch name -> slave latch name
+    pairs: dict[str, str] = field(default_factory=dict)
+    swept_cells: int = 0
+
+
+def convert_to_master_slave(
+    module: Module,
+    library: Library,
+    period: float,
+    clk: str = "clk",
+    clkbar: str = "clkbar",
+) -> MasterSlaveResult:
+    """Convert a single-clock FF-based module to master-slave latches."""
+    clocks = ClockSpec.master_slave(period, clk=clk, clkbar=clkbar)
+    result = module.copy(module.name + "_ms")
+
+    reuse_clk = clk in result.ports
+    if not reuse_clk:
+        result.add_input(clk, is_clock=True)
+    result.add_input(clkbar, is_clock=True)
+    old_clock_ports = [p for p in result.clock_ports if p not in (clk, clkbar)]
+
+    rebuilder = GatedClockRebuilder(result, library)
+    pairs: dict[str, str] = {}
+
+    for ff_name in sorted(name for name, inst in module.instances.items()
+                          if inst.cell.op == "DFF"):
+        ff = result.instances[ff_name]
+        init = ff.attrs.get("init", 0)
+        old_ck_net = ff.net_of("CK")
+        master_clock = rebuilder.clock_net_for(old_ck_net, clkbar)
+        slave_clock = rebuilder.clock_net_for(old_ck_net, clk)
+
+        latch_cell = library.cell_for_op("DLATCH", drive=ff.cell.drive)
+
+        # The FF instance becomes the slave (keeps the Q net); a new master
+        # is inserted in front of its D.
+        d_net = ff.net_of("D")
+        mid_net = result.add_net(result.fresh_name(f"{ff_name}_ms_n"))
+        master_name = result.fresh_name(f"{ff_name}_m_")
+        result.add_instance(
+            master_name,
+            latch_cell,
+            {"D": d_net, "G": master_clock, "Q": mid_net.name},
+            attrs={"phase": clkbar, "role": "master", "orig_ff": ff_name,
+                   "init": init},
+        )
+        slave = result.replace_cell(ff_name, latch_cell, pin_map={"CK": "G"})
+        slave.attrs.update(phase=clk, role="slave", orig_ff=ff_name, init=init)
+        result.reconnect(ff_name, "D", mid_net.name)
+        result.reconnect(ff_name, "G", slave_clock)
+        pairs[master_name] = ff_name
+
+    swept = sweep_unloaded(result)
+    for port in old_clock_ports:
+        net = result.net_of_port(port)
+        if not net.loads:
+            result.remove_port(port)
+    return MasterSlaveResult(
+        module=result, clocks=clocks, pairs=pairs, swept_cells=swept
+    )

@@ -1,0 +1,85 @@
+"""Pulsed-latch conversion (the Sec. I alternative the paper argues against).
+
+Pulsed-latch schemes replace each FF with a single transparent latch
+driven by a narrow clock pulse: cheapest possible register (one latch per
+FF, light clock pin) but "subject to hold problems and pulse width
+variations that are challenging to predict, control, and mitigate"
+(Sec. I).  This conversion exists so the benchmarks can *quantify* that
+trade-off on our substrate: every latch is simultaneously transparent
+during the pulse, so every register-to-register min path must outlast the
+pulse width plus skew -- the overlap-aware hold analysis
+(:func:`repro.timing.smo.effective_hold_gap`) charges exactly that, and
+the hold-fix pass pays for it in buffers.
+
+The pulse generators themselves are modelled as the pulse clock tree
+(built by CTS like any other phase); their internal one-shot circuitry is
+not separately charged, which *favours* pulsed latches -- the comparison
+is conservative in the paper's direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import Library
+from repro.netlist.core import Module
+from repro.netlist.sweep import sweep_unloaded
+from repro.convert.clocks import ClockSpec, Phase
+from repro.convert.gated_clocks import GatedClockRebuilder
+
+
+@dataclass
+class PulsedResult:
+    module: Module
+    clocks: ClockSpec
+    pulse_width: float
+    converted: int = 0
+    swept_cells: int = 0
+
+
+def pulsed_clock(period: float, pulse_fraction: float = 0.12,
+                 name: str = "pclk") -> ClockSpec:
+    """A single narrow transparent-high pulse right after the boundary.
+
+    ``skip_first`` preserves initial values exactly like the 3-phase p1
+    convention (see :mod:`repro.convert.clocks`).
+    """
+    width = pulse_fraction * period
+    return ClockSpec(period, (Phase(name, 0.0, width, skip_first=True),))
+
+
+def convert_to_pulsed_latch(
+    module: Module,
+    library: Library,
+    period: float,
+    pulse_fraction: float = 0.12,
+    clock: str = "pclk",
+) -> PulsedResult:
+    """Convert every FF to a pulse-clocked transparent latch."""
+    clocks = pulsed_clock(period, pulse_fraction, clock)
+    result = module.copy(module.name + "_pl")
+    result.add_input(clock, is_clock=True)
+    old_clock_ports = [p for p in result.clock_ports if p != clock]
+
+    rebuilder = GatedClockRebuilder(result, library)
+    converted = 0
+    for ff_name in sorted(n for n, i in module.instances.items()
+                          if i.cell.op == "DFF"):
+        ff = result.instances[ff_name]
+        init = ff.attrs.get("init", 0)
+        gated = rebuilder.clock_net_for(ff.net_of("CK"), clock)
+        latch_cell = library.cell_for_op("DLATCH", drive=ff.cell.drive)
+        latch = result.replace_cell(ff_name, latch_cell, pin_map={"CK": "G"})
+        latch.attrs.update(phase=clock, role="pulsed", orig_ff=ff_name,
+                           init=init)
+        result.reconnect(ff_name, "G", gated)
+        converted += 1
+
+    swept = sweep_unloaded(result)
+    for port in old_clock_ports:
+        if not result.net_of_port(port).loads:
+            result.remove_port(port)
+    return PulsedResult(
+        module=result, clocks=clocks, pulse_width=pulse_fraction * period,
+        converted=converted, swept_cells=swept,
+    )

@@ -1,0 +1,130 @@
+"""FF-based to 3-phase latch-based netlist rewrite (Sec. IV-B).
+
+Given a phase assignment from :mod:`repro.convert.phase_ilp`, the rewrite:
+
+1. adds the three phase clock ports ``p1``/``p2``/``p3``;
+2. converts every single-group FF into one transparent-high latch on p1
+   (constraint C1: the original register position stays latched);
+3. converts every back-to-back FF into a *leading* latch on its assigned
+   phase (p1 or p3) plus an inserted *follower* latch on p2 at its output;
+4. re-targets gated clocks: each FF's ICG chain is duplicated onto the
+   latch's phase (shared per chain+phase), per Sec. IV-B;
+5. sweeps the now-unloaded original clock network and removes the old
+   clock port.
+
+Initial values: both latches of a pair (and single latches) inherit the
+FF's ``init`` so cycle-level behaviour matches from the first cycle (see
+:mod:`repro.convert.clocks` for the p1 ``skip_first`` convention and
+:mod:`repro.sim.equivalence` for the proof obligations discharged by test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import Library
+from repro.netlist.core import Module
+from repro.netlist.sweep import sweep_unloaded
+from repro.convert.assignment import PhaseAssignment
+from repro.convert.clocks import ClockSpec
+from repro.convert.gated_clocks import GatedClockRebuilder
+from repro.convert.phase_ilp import assign_phases
+
+
+@dataclass
+class ConversionResult:
+    """The converted module plus bookkeeping for reports."""
+
+    module: Module
+    assignment: PhaseAssignment
+    clocks: ClockSpec
+    #: follower latch instance name -> leading latch instance name
+    followers: dict[str, str] = field(default_factory=dict)
+    swept_cells: int = 0
+
+
+def convert_to_three_phase(
+    module: Module,
+    library: Library,
+    assignment: PhaseAssignment | None = None,
+    period: float | None = None,
+    clocks: ClockSpec | None = None,
+    method: str = "mis",
+) -> ConversionResult:
+    """Convert a single-clock FF-based module to a 3-phase latch design.
+
+    ``module`` is left untouched; a converted copy named ``<name>_3p`` is
+    returned.  ``assignment`` defaults to solving the paper's ILP with
+    ``method``.  ``clocks`` defaults to the derived schedule at ``period``
+    (which is then required).
+    """
+    if assignment is None:
+        assignment = assign_phases(module, method=method)
+    if clocks is None:
+        if period is None:
+            raise ValueError("provide either clocks or period")
+        clocks = ClockSpec.default_three_phase(period)
+
+    result = module.copy(module.name + "_3p")
+    for phase_name in clocks.phase_names:
+        result.add_input(phase_name, is_clock=True)
+
+    old_clock_ports = [p for p in result.clock_ports
+                       if p not in clocks.phase_names]
+    rebuilder = GatedClockRebuilder(result, library)
+    followers: dict[str, str] = {}
+
+    for ff_name in sorted(assignment.group):
+        ff = result.instances[ff_name]
+        if ff.cell.op != "DFF":
+            raise ValueError(f"{ff_name!r} is not a flip-flop")
+        phase = assignment.leading_phase(ff_name)
+        is_single = assignment.is_single(ff_name)
+        init = ff.attrs.get("init", 0)
+
+        old_ck_net = ff.net_of("CK")
+        leading_clock = rebuilder.clock_net_for(old_ck_net, phase)
+
+        latch_cell = library.cell_for_op("DLATCH", drive=ff.cell.drive)
+        leading = result.replace_cell(ff_name, latch_cell, pin_map={"CK": "G"})
+        leading.attrs.update(
+            phase=phase,
+            group="single" if is_single else "b2b",
+            role="leading",
+            orig_ff=ff_name,
+            init=init,
+        )
+        result.reconnect(ff_name, "G", leading_clock)
+
+        if not is_single:
+            q_net = leading.net_of("Q")
+            follower = result.insert_cell_after(
+                q_net,
+                latch_cell,
+                in_pin="D",
+                out_pin="Q",
+                name_prefix=f"{ff_name}_p2_",
+                extra_conns={"G": "p2"},
+                attrs={
+                    "phase": "p2",
+                    "group": "b2b",
+                    "role": "follower",
+                    "orig_ff": ff_name,
+                    "init": init,
+                },
+            )
+            followers[follower.name] = ff_name
+
+    swept = sweep_unloaded(result)
+    for port in old_clock_ports:
+        net = result.net_of_port(port)
+        if not net.loads:
+            result.remove_port(port)
+
+    return ConversionResult(
+        module=result,
+        assignment=assignment,
+        clocks=clocks,
+        followers=followers,
+        swept_cells=swept,
+    )

@@ -1,0 +1,13 @@
+"""End-to-end flow: per-style implementation runs and comparisons."""
+
+from repro.flow.compare import StyleComparison, compare_styles
+from repro.flow.design_flow import STYLES, DesignResult, FlowOptions, run_flow
+
+__all__ = [
+    "StyleComparison",
+    "compare_styles",
+    "STYLES",
+    "DesignResult",
+    "FlowOptions",
+    "run_flow",
+]

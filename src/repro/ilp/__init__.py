@@ -1,0 +1,33 @@
+"""0-1 integer linear programming engine (Gurobi substitute).
+
+* :class:`~repro.ilp.model.IlpModel` -- binary minimization models;
+* :mod:`~repro.ilp.branch_bound` -- exact from-scratch branch-and-bound;
+* :mod:`~repro.ilp.scipy_backend` -- exact HiGHS backend via scipy;
+* :mod:`~repro.ilp.mis` -- exact maximum-independent-set branch-and-reduce
+  (the structure the paper's ILP reduces to).
+"""
+
+from repro.ilp import branch_bound, mis, scipy_backend
+from repro.ilp.model import Constraint, IlpModel, Sense, Solution, SolveStatus
+
+
+def solve(model: IlpModel, backend: str = "scipy", **kwargs) -> Solution:
+    """Solve with a named backend: ``"scipy"`` (HiGHS) or ``"bb"`` (ours)."""
+    if backend == "scipy":
+        return scipy_backend.solve(model, **kwargs)
+    if backend == "bb":
+        return branch_bound.solve(model, **kwargs)
+    raise ValueError(f"unknown ILP backend {backend!r}")
+
+
+__all__ = [
+    "Constraint",
+    "IlpModel",
+    "Sense",
+    "Solution",
+    "SolveStatus",
+    "branch_bound",
+    "scipy_backend",
+    "mis",
+    "solve",
+]

@@ -1,0 +1,28 @@
+"""Cell and technology-library models.
+
+Public API:
+
+* :class:`~repro.library.cell.Cell`, :class:`~repro.library.cell.Library`,
+  :class:`~repro.library.cell.PinSpec` -- the cell model;
+* :data:`~repro.library.fdsoi28.FDSOI28` -- the synthetic 28-nm FDSOI
+  technology library used by all experiments;
+* :data:`~repro.library.generic.GENERIC` -- the unit-cost generic library
+  used by circuit generators before technology mapping;
+* :mod:`~repro.library.liberty` -- Liberty-lite serialization.
+"""
+
+from repro.library.cell import Cell, CellKind, Library, PinDirection, PinSpec
+from repro.library.fdsoi28 import FDSOI28, build_library
+from repro.library.generic import GENERIC, build_generic_library
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "Library",
+    "PinDirection",
+    "PinSpec",
+    "FDSOI28",
+    "GENERIC",
+    "build_library",
+    "build_generic_library",
+]

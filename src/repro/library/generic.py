@@ -1,0 +1,45 @@
+"""Generic (pre-mapping) cell library.
+
+Circuit generators and parsers produce netlists built from these
+drive-agnostic unit cells; :func:`repro.synth.mapping.map_to_library`
+replaces them with characterized cells from a technology library such as
+:data:`repro.library.fdsoi28.FDSOI28`.
+"""
+
+from __future__ import annotations
+
+from repro.library.cell import (
+    Cell,
+    Library,
+    comb_pins,
+    dff_pins,
+    icg_pins,
+    latch_pins,
+    mux2_pins,
+    tie_pins,
+)
+
+
+def build_generic_library(max_gate_inputs: int = 4) -> Library:
+    """A unit-cost library with one cell per op/arity."""
+    lib = Library(name="generic", voltage=1.0, wire_cap_per_um=0.0)
+    lib.add(Cell(name="INV", op="INV", pins=comb_pins(1)))
+    lib.add(Cell(name="BUF", op="BUF", pins=comb_pins(1)))
+    for op in ("AND", "OR", "NAND", "NOR"):
+        for n in range(2, max_gate_inputs + 1):
+            lib.add(Cell(name=f"{op}{n}", op=op, pins=comb_pins(n)))
+    for op in ("XOR", "XNOR"):
+        lib.add(Cell(name=f"{op}2", op=op, pins=comb_pins(2)))
+    lib.add(Cell(name="MUX2", op="MUX2", pins=mux2_pins()))
+    lib.add(Cell(name="DFF", op="DFF", pins=dff_pins(1.0, 1.0), setup=1.0, hold=0.5))
+    lib.add(Cell(name="DLATCH", op="DLATCH", pins=latch_pins(1.0, 1.0),
+                 setup=1.0, hold=0.5))
+    lib.add(Cell(name="ICG", op="ICG", pins=icg_pins(1.0, 1.0)))
+    lib.add(Cell(name="ICG_M1", op="ICG_M1", pins=icg_pins(1.0, 1.0, with_pb=True)))
+    lib.add(Cell(name="ICG_AND", op="ICG_AND", pins=icg_pins(1.0, 1.0)))
+    lib.add(Cell(name="TIE0", op="TIE0", pins=tie_pins()))
+    lib.add(Cell(name="TIE1", op="TIE1", pins=tie_pins()))
+    return lib
+
+
+GENERIC = build_generic_library()

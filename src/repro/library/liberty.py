@@ -1,0 +1,203 @@
+"""Liberty-lite: a text serialization for :class:`~repro.library.cell.Library`.
+
+Real Liberty files carry NLDM lookup tables and attributes we do not model;
+this dialect keeps the familiar ``group(name) { attr : value; }`` syntax but
+only the attributes our linear delay/energy model uses, so libraries can be
+inspected, diffed, and reloaded::
+
+    library(fdsoi28) {
+      voltage : 0.9;
+      wire_cap_per_um : 0.2;
+      cell(DFF_X1) {
+        op : DFF;
+        area : 4.4;
+        ...
+        pin(CK) { direction : input; capacitance : 1.25; clock : true; }
+      }
+    }
+
+The parser is a small recursive-descent parser over that grammar and accepts
+``//`` line comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.library.cell import Cell, Library, PinDirection, PinSpec
+
+
+def dumps(lib: Library) -> str:
+    """Serialize a library to Liberty-lite text."""
+    out: list[str] = [f"library({lib.name}) {{"]
+    out.append(f"  voltage : {lib.voltage};")
+    out.append(f"  wire_cap_per_um : {lib.wire_cap_per_um};")
+    for cell in lib.cells.values():
+        out.append(f"  cell({cell.name}) {{")
+        out.append(f"    op : {cell.op};")
+        out.append(f"    area : {cell.area};")
+        out.append(f"    drive : {cell.drive};")
+        out.append(f"    intrinsic_delay : {cell.intrinsic_delay};")
+        out.append(f"    delay_per_ff : {cell.delay_per_ff};")
+        out.append(f"    energy_per_toggle : {cell.energy_per_toggle};")
+        out.append(f"    clock_energy : {cell.clock_energy};")
+        out.append(f"    leakage : {cell.leakage};")
+        out.append(f"    setup : {cell.setup};")
+        out.append(f"    hold : {cell.hold};")
+        for pin in cell.pins:
+            attrs = [f"direction : {pin.direction.value};"]
+            if pin.direction is PinDirection.INPUT:
+                attrs.append(f"capacitance : {pin.capacitance};")
+            if pin.is_clock:
+                attrs.append("clock : true;")
+            out.append(f"    pin({pin.name}) {{ " + " ".join(attrs) + " }")
+        out.append("  }")
+    out.append("}")
+    return "\n".join(out) + "\n"
+
+
+def dump(lib: Library, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(lib))
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<lbrace>\{) | (?P<rbrace>\}) | (?P<lparen>\() | (?P<rparen>\)) |
+    (?P<colon>:) | (?P<semi>;) |
+    (?P<word>[A-Za-z0-9_.+\-]+)
+    """,
+    re.VERBOSE,
+)
+
+
+class LibertyError(ValueError):
+    """Raised on malformed Liberty-lite input."""
+
+
+@dataclass
+class _Group:
+    """Parsed ``kind(name) { ... }`` group."""
+
+    kind: str
+    name: str
+    attrs: dict[str, str]
+    children: list["_Group"]
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    for line in text.splitlines():
+        line = line.split("//", 1)[0]
+        pos = 0
+        while pos < len(line):
+            if line[pos].isspace():
+                pos += 1
+                continue
+            match = _TOKEN_RE.match(line, pos)
+            if not match:
+                raise LibertyError(f"unexpected character {line[pos]!r} in {line!r}")
+            tokens.append(match.group(0))
+            pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise LibertyError("unexpected end of input")
+        self._pos += 1
+        return token
+
+    def _expect(self, token: str) -> None:
+        got = self._next()
+        if got != token:
+            raise LibertyError(f"expected {token!r}, got {got!r}")
+
+    def parse_group(self) -> _Group:
+        kind = self._next()
+        self._expect("(")
+        name = self._next()
+        self._expect(")")
+        self._expect("{")
+        attrs: dict[str, str] = {}
+        children: list[_Group] = []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise LibertyError(f"unterminated group {kind}({name})")
+            if token == "}":
+                self._next()
+                return _Group(kind, name, attrs, children)
+            word = self._next()
+            after = self._peek()
+            if after == ":":
+                self._next()
+                value = self._next()
+                self._expect(";")
+                attrs[word] = value
+            elif after == "(":
+                self._pos -= 1
+                children.append(self.parse_group())
+            else:
+                raise LibertyError(f"unexpected token {after!r} after {word!r}")
+
+
+def _pin_from_group(group: _Group) -> PinSpec:
+    direction = PinDirection(group.attrs.get("direction", "input"))
+    return PinSpec(
+        name=group.name,
+        direction=direction,
+        capacitance=float(group.attrs.get("capacitance", 0.0)),
+        is_clock=group.attrs.get("clock", "false") == "true",
+    )
+
+
+def _cell_from_group(group: _Group) -> Cell:
+    pins = tuple(_pin_from_group(g) for g in group.children if g.kind == "pin")
+    attrs = group.attrs
+    return Cell(
+        name=group.name,
+        op=attrs["op"],
+        pins=pins,
+        area=float(attrs.get("area", 0.0)),
+        drive=int(attrs.get("drive", 1)),
+        intrinsic_delay=float(attrs.get("intrinsic_delay", 0.0)),
+        delay_per_ff=float(attrs.get("delay_per_ff", 0.0)),
+        energy_per_toggle=float(attrs.get("energy_per_toggle", 0.0)),
+        clock_energy=float(attrs.get("clock_energy", 0.0)),
+        leakage=float(attrs.get("leakage", 0.0)),
+        setup=float(attrs.get("setup", 0.0)),
+        hold=float(attrs.get("hold", 0.0)),
+    )
+
+
+def loads(text: str) -> Library:
+    """Parse Liberty-lite text into a :class:`Library`."""
+    parser = _Parser(_tokenize(text))
+    top = parser.parse_group()
+    if top.kind != "library":
+        raise LibertyError(f"expected a library group, got {top.kind!r}")
+    lib = Library(
+        name=top.name,
+        voltage=float(top.attrs.get("voltage", 1.0)),
+        wire_cap_per_um=float(top.attrs.get("wire_cap_per_um", 0.0)),
+    )
+    for child in top.children:
+        if child.kind == "cell":
+            lib.add(_cell_from_group(child))
+    return lib
+
+
+def load(path: str) -> Library:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,34 @@
+"""Flat gate-level netlist: data model, I/O, validation, and traversals."""
+
+from repro.netlist.core import (
+    Endpoint,
+    Instance,
+    Module,
+    Net,
+    NetlistError,
+    Pin,
+    PortDirection,
+    PortRef,
+)
+from repro.netlist.stats import NetlistStats, collect_stats
+from repro.netlist.traversal import FFGraph, comb_topo_order, ff_fanout_map
+from repro.netlist.validate import ValidationError, check, find_issues
+
+__all__ = [
+    "Endpoint",
+    "Instance",
+    "Module",
+    "Net",
+    "NetlistError",
+    "Pin",
+    "PortDirection",
+    "PortRef",
+    "NetlistStats",
+    "collect_stats",
+    "FFGraph",
+    "comb_topo_order",
+    "ff_fanout_map",
+    "ValidationError",
+    "check",
+    "find_issues",
+]

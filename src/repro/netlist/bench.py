@@ -1,0 +1,262 @@
+"""ISCAS89 ``.bench`` format reader and writer.
+
+The ISCAS89 sequential benchmarks (the paper's first evaluation suite) are
+distributed in the ``.bench`` netlist format::
+
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G5 = DFF(G10)
+    G11 = AND(G0, G5)
+    G12 = NOT(G11)
+
+The reader produces a generic-library :class:`~repro.netlist.core.Module`
+with a single added clock port (``.bench`` leaves the clock implicit).
+Gates wider than the library's widest arity are decomposed into balanced
+trees.  The writer emits the same dialect; it refuses ops the format cannot
+express (e.g. MUX2, ICG).
+"""
+
+from __future__ import annotations
+
+from repro.library.cell import Library
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module
+
+#: bench op -> internal op
+_OP_FROM_BENCH = {
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    "NOT": "INV",
+    "INV": "INV",
+    "BUFF": "BUF",
+    "BUF": "BUF",
+    "DFF": "DFF",
+}
+
+_OP_TO_BENCH = {
+    "AND": "AND",
+    "NAND": "NAND",
+    "OR": "OR",
+    "NOR": "NOR",
+    "XOR": "XOR",
+    "XNOR": "XNOR",
+    "INV": "NOT",
+    "BUF": "BUFF",
+    "DFF": "DFF",
+}
+
+
+class BenchError(ValueError):
+    """Raised on malformed ``.bench`` input."""
+
+
+def _max_arity(library: Library, op: str) -> int:
+    widths = [len(c.data_pins) for c in library.cells.values() if c.op == op]
+    if not widths:
+        raise BenchError(f"library {library.name!r} has no cell for op {op!r}")
+    return max(widths)
+
+
+def loads(
+    text: str,
+    name: str = "bench",
+    library: Library = GENERIC,
+    clock: str = "clk",
+) -> Module:
+    """Parse ``.bench`` text into a module mapped onto ``library``."""
+    module = Module(name)
+    module.add_input(clock, is_clock=True)
+
+    # (target_net, op, input_nets), resolved after all lines are read so
+    # forward references work.
+    gates: list[tuple[str, str, list[str]]] = []
+    outputs: list[str] = []
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT(") or upper.startswith("OUTPUT("):
+            kind, rest = line.split("(", 1)
+            signal = rest.rstrip(")").strip()
+            if kind.strip().upper() == "INPUT":
+                module.add_input(signal)
+            else:
+                outputs.append(signal)
+            continue
+        if "=" not in line:
+            raise BenchError(f"cannot parse line {line!r}")
+        target, expr = (part.strip() for part in line.split("=", 1))
+        if "(" not in expr or not expr.endswith(")"):
+            raise BenchError(f"cannot parse expression {expr!r}")
+        op_name, args = expr.split("(", 1)
+        op = _OP_FROM_BENCH.get(op_name.strip().upper())
+        if op is None:
+            raise BenchError(f"unknown bench op {op_name!r}")
+        inputs = [a.strip() for a in args.rstrip(")").split(",") if a.strip()]
+        gates.append((target, op, inputs))
+
+    for target, _, _ in gates:
+        module.get_or_add_net(target)
+    for target, op, inputs in gates:
+        for net in inputs:
+            module.get_or_add_net(net)
+        _emit_gate(module, library, target, op, inputs, clock)
+
+    for signal in outputs:
+        if signal not in module.nets:
+            raise BenchError(f"OUTPUT({signal}) references unknown signal")
+        module.add_output(f"{signal}_out" if signal in module.ports else signal,
+                          net_name=signal)
+    return module
+
+
+def _emit_gate(
+    module: Module,
+    library: Library,
+    target: str,
+    op: str,
+    inputs: list[str],
+    clock: str,
+) -> None:
+    if op == "DFF":
+        if len(inputs) != 1:
+            raise BenchError(f"DFF {target!r} must have exactly one input")
+        cell = library.cell_for_op("DFF")
+        module.add_instance(
+            module.fresh_name(f"ff_{target}_"),
+            cell,
+            {"D": inputs[0], "CK": clock, "Q": target},
+            attrs={"init": 0},
+        )
+        return
+    if op in ("INV", "BUF"):
+        if len(inputs) != 1:
+            raise BenchError(f"{op} {target!r} must have exactly one input")
+        cell = library.cell_for_op(op)
+        module.add_instance(
+            module.fresh_name(f"g_{target}_"), cell,
+            {"A": inputs[0], "Y": target},
+        )
+        return
+    if len(inputs) == 1:
+        # Degenerate 1-input AND/OR in some bench files: a buffer.
+        cell = library.cell_for_op("BUF")
+        module.add_instance(
+            module.fresh_name(f"g_{target}_"), cell,
+            {"A": inputs[0], "Y": target},
+        )
+        return
+    _emit_gate_tree(module, library, target, op, inputs)
+
+
+def _emit_gate_tree(
+    module: Module,
+    library: Library,
+    target: str,
+    op: str,
+    inputs: list[str],
+) -> None:
+    """Emit ``op`` over ``inputs`` as a tree no wider than the library allows.
+
+    Inverting ops (NAND/NOR/XNOR) decompose as the non-inverting reduction
+    followed by a final inverting stage to preserve the function.
+    """
+    inner_op = {"NAND": "AND", "NOR": "OR", "XNOR": "XOR"}.get(op)
+    reduce_op = inner_op if inner_op and len(inputs) > _max_arity(library, op) else None
+
+    if reduce_op is None and len(inputs) <= _max_arity(library, op):
+        cell = library.cell_for_op(op, len(inputs))
+        conns = {pin: net for pin, net in zip(cell.data_pins, inputs)}
+        conns["Y"] = target
+        module.add_instance(module.fresh_name(f"g_{target}_"), cell, conns)
+        return
+
+    base_op = reduce_op or op
+    width = _max_arity(library, base_op)
+    level = list(inputs)
+    while len(level) > width:
+        nxt: list[str] = []
+        for i in range(0, len(level), width):
+            chunk = level[i : i + width]
+            if len(chunk) == 1:
+                nxt.append(chunk[0])
+                continue
+            net = module.add_net(module.fresh_name(f"{target}__t"))
+            cell = library.cell_for_op(base_op, len(chunk))
+            conns = {pin: n for pin, n in zip(cell.data_pins, chunk)}
+            conns["Y"] = net.name
+            module.add_instance(module.fresh_name(f"g_{target}_"), cell, conns)
+            nxt.append(net.name)
+        level = nxt
+
+    final_op = op if reduce_op is None else {"AND": "NAND", "OR": "NOR", "XOR": "XNOR"}[base_op]
+    if reduce_op is not None and len(level) > _max_arity(library, final_op):
+        # Collapse once more with the non-inverting op, then invert.
+        net = module.add_net(module.fresh_name(f"{target}__t"))
+        _emit_gate_tree(module, library, net.name, base_op, level)
+        inv = library.cell_for_op("INV")
+        module.add_instance(
+            module.fresh_name(f"g_{target}_"), inv, {"A": net.name, "Y": target}
+        )
+        return
+    cell = library.cell_for_op(final_op, len(level))
+    conns = {pin: net for pin, net in zip(cell.data_pins, level)}
+    conns["Y"] = target
+    module.add_instance(module.fresh_name(f"g_{target}_"), cell, conns)
+
+
+def load(path: str, library: Library = GENERIC) -> Module:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read(), name=path.rsplit("/", 1)[-1].split(".")[0],
+                     library=library)
+
+
+def dumps(module: Module, clock: str = "clk") -> str:
+    """Serialize a module to ``.bench`` text (generic gates and DFFs only)."""
+    lines = [f"# {module.name}"]
+    for port in module.data_input_ports():
+        lines.append(f"INPUT({port})")
+    # .bench names outputs by signal; keep port names round-trippable by
+    # bridging differently-named output nets with buffers.
+    for port in module.output_ports():
+        lines.append(f"OUTPUT({port})")
+        net = module.net_of_port(port).name
+        if net != port:
+            lines.append(f"{port} = BUFF({net})")
+    for inst in module.instances.values():
+        op = inst.cell.op
+        target = inst.net_of(inst.cell.output_pin)
+        if op == "MUX2":
+            # Decompose: Y = (B AND S) OR (A AND NOT S).
+            a, b, s = inst.net_of("A"), inst.net_of("B"), inst.net_of("S")
+            lines.append(f"{target}_mxn = NOT({s})")
+            lines.append(f"{target}_mxa = AND({a}, {target}_mxn)")
+            lines.append(f"{target}_mxb = AND({b}, {s})")
+            lines.append(f"{target} = OR({target}_mxa, {target}_mxb)")
+            continue
+        bench_op = _OP_TO_BENCH.get(op)
+        if bench_op is None:
+            raise BenchError(f"op {op!r} is not expressible in .bench")
+        if op == "DFF":
+            if inst.net_of("CK") != clock:
+                raise BenchError(
+                    f"FF {inst.name!r} is not clocked by {clock!r}; "
+                    ".bench has a single implicit clock"
+                )
+            lines.append(f"{target} = DFF({inst.net_of('D')})")
+        else:
+            args = ", ".join(inst.net_of(p) for p in inst.cell.data_pins)
+            lines.append(f"{target} = {bench_op}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def dump(module: Module, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(module))

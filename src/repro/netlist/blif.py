@@ -1,0 +1,269 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+BLIF is the lingua franca of academic logic synthesis (SIS/ABC/VTR), so
+supporting it lets the conversion flow consume circuits from those tools.
+The supported subset is what ABC emits for mapped sequential circuits:
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end``;
+* ``.names`` logic tables -- imported by *recognizing* the tables of the
+  standard gates (AND/OR/NAND/NOR/XOR/XNOR/INV/BUF of up to 4 inputs);
+  arbitrary tables are rejected with a clear message rather than silently
+  mis-imported;
+* ``.latch input output [type control] [init]`` -- rising-edge latches
+  become DFFs on the global clock.
+
+The writer emits ``.names`` tables for every gate op and ``.latch`` lines
+for DFFs, which round-trips through the reader.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.library.cell import Library
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module
+from repro.sim.logic import eval_op
+
+
+class BlifError(ValueError):
+    """Raised on unsupported or malformed BLIF input."""
+
+
+def _truth_table(op: str, n_inputs: int) -> frozenset[tuple[int, ...]]:
+    """The on-set of a gate as a set of input tuples."""
+    rows = []
+    for bits in itertools.product((0, 1), repeat=n_inputs):
+        if eval_op(op, list(bits)) == 1:
+            rows.append(bits)
+    return frozenset(rows)
+
+
+def _build_recognizer(max_inputs: int = 4):
+    """(n_inputs, on-set) -> op name for all supported gates."""
+    table: dict[tuple[int, frozenset], str] = {}
+    for op, widths in (
+        ("BUF", (1,)), ("INV", (1,)),
+        ("AND", (2, 3, 4)), ("OR", (2, 3, 4)),
+        ("NAND", (2, 3, 4)), ("NOR", (2, 3, 4)),
+        ("XOR", (2,)), ("XNOR", (2,)), ("MUX2", (3,)),
+    ):
+        for n in widths:
+            key = (n, _truth_table(op, n))
+            table.setdefault(key, op)
+    return table
+
+
+_RECOGNIZER = _build_recognizer()
+
+
+def _expand_cover(cover: list[tuple[str, str]], n_inputs: int) -> frozenset:
+    """Expand a BLIF single-output cover to its on-set (inputs <= 4)."""
+    on: set[tuple[int, ...]] = set()
+    off_rows = [row for row, out in cover if out == "0"]
+    on_rows = [row for row, out in cover if out == "1"]
+    if off_rows and on_rows:
+        raise BlifError("mixed on-set/off-set covers are not supported")
+
+    def matches(pattern: str, bits: tuple[int, ...]) -> bool:
+        return all(p == "-" or int(p) == b for p, b in zip(pattern, bits))
+
+    for bits in itertools.product((0, 1), repeat=n_inputs):
+        if on_rows:
+            if any(matches(p, bits) for p in on_rows):
+                on.add(bits)
+        else:
+            if not any(matches(p, bits) for p in off_rows):
+                on.add(bits)
+    return frozenset(on)
+
+
+def loads(text: str, library: Library = GENERIC, clock: str = "clk") -> Module:
+    """Parse BLIF text into a generic-library module."""
+    # Join continuation lines, strip comments.
+    raw_lines: list[str] = []
+    pending = ""
+    for line in text.splitlines():
+        line = line.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        raw_lines.append((pending + line).strip())
+        pending = ""
+
+    model_name = "blif"
+    inputs: list[str] = []
+    outputs: list[str] = []
+    latches: list[tuple[str, str, int]] = []
+    names_blocks: list[tuple[list[str], list[tuple[str, str]]]] = []
+
+    i = 0
+    while i < len(raw_lines):
+        line = raw_lines[i]
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else model_name
+        elif directive == ".inputs":
+            inputs.extend(tokens[1:])
+        elif directive == ".outputs":
+            outputs.extend(tokens[1:])
+        elif directive == ".latch":
+            if len(tokens) < 3:
+                raise BlifError(f"malformed .latch: {line!r}")
+            init = 0
+            if len(tokens) in (4, 6):  # trailing init value present
+                trailing = tokens[-1]
+                if trailing in ("0", "1"):
+                    init = int(trailing)
+                elif trailing in ("2", "3"):
+                    init = 0  # don't-care/unknown -> 0
+            latches.append((tokens[1], tokens[2], init))
+        elif directive == ".names":
+            signals = tokens[1:]
+            cover: list[tuple[str, str]] = []
+            i += 1
+            while i < len(raw_lines) and not raw_lines[i].startswith("."):
+                parts = raw_lines[i].split()
+                if len(signals) == 1:
+                    cover.append(("", parts[0]))
+                else:
+                    cover.append((parts[0], parts[1]))
+                i += 1
+            names_blocks.append((signals, cover))
+            continue
+        elif directive == ".end":
+            break
+        elif directive in (".model", ".exdc"):
+            pass
+        else:
+            raise BlifError(f"unsupported BLIF directive {directive!r}")
+        i += 1
+
+    module = Module(model_name)
+    module.add_input(clock, is_clock=True)
+    for port in inputs:
+        module.add_input(port)
+
+    for signals, cover in names_blocks:
+        *ins, out = signals
+        module.get_or_add_net(out)
+        for net in ins:
+            module.get_or_add_net(net)
+    for data, out, _ in latches:
+        module.get_or_add_net(out)
+        module.get_or_add_net(data)
+
+    for signals, cover in names_blocks:
+        *ins, out = signals
+        _emit_names(module, library, ins, out, cover)
+
+    dff = library.cell_for_op("DFF")
+    for data, out, init in latches:
+        module.add_instance(
+            module.fresh_name(f"ff_{out}_"), dff,
+            {"D": data, "CK": clock, "Q": out},
+            attrs={"init": init},
+        )
+
+    for port in outputs:
+        if port not in module.nets:
+            raise BlifError(f".outputs references unknown signal {port!r}")
+        name = port if port not in module.ports else f"{port}_out"
+        module.add_output(name, net_name=port)
+    return module
+
+
+def _emit_names(module, library, ins, out, cover) -> None:
+    if not ins:
+        # constant
+        value = any(o == "1" for _, o in cover)
+        cell = library.cell_for_op("TIE1" if value else "TIE0")
+        module.add_instance(module.fresh_name(f"g_{out}_"), cell, {"Y": out})
+        return
+    if len(ins) > 4:
+        raise BlifError(
+            f".names with {len(ins)} inputs for {out!r}: decompose the "
+            "design (e.g. with ABC) to gates of at most 4 inputs first"
+        )
+    on_set = _expand_cover(cover, len(ins))
+    op = _RECOGNIZER.get((len(ins), on_set))
+    if op is None:
+        raise BlifError(
+            f".names table for {out!r} is not a standard gate; "
+            "map the design to a gate library first"
+        )
+    cell = library.cell_for_op(op, None if len(ins) == 1 else len(ins))
+    conns = {pin: net for pin, net in zip(cell.data_pins, ins)}
+    conns["Y"] = out
+    module.add_instance(module.fresh_name(f"g_{out}_"), cell, conns)
+
+
+#: op -> writer producing BLIF cover rows given n inputs.
+def _cover_rows(op: str, n: int) -> list[str]:
+    rows = []
+    for bits in itertools.product((0, 1), repeat=n):
+        if eval_op(op, list(bits)) == 1:
+            rows.append("".join(str(b) for b in bits) + " 1")
+    return rows
+
+
+def dumps(module: Module, clock: str = "clk") -> str:
+    """Serialize a (generic-gate, single-clock) module to BLIF."""
+    lines = [f".model {module.name}"]
+    data_inputs = module.data_input_ports()
+    lines.append(".inputs " + " ".join(data_inputs))
+    lines.append(".outputs " + " ".join(module.output_ports()))
+    # BLIF has no port/net aliasing: bridge differently-named output nets
+    # with buffer tables so port names round-trip.
+    aliases = []
+    for port in module.output_ports():
+        net = module.net_of_port(port).name
+        if net != port:
+            aliases.append(f".names {net} {port}\n1 1")
+    lines.extend(aliases)
+
+    for inst in module.instances.values():
+        op = inst.cell.op
+        if op == "DFF":
+            if inst.net_of("CK") != clock:
+                raise BlifError(
+                    f"FF {inst.name!r} is not on the global clock {clock!r}"
+                )
+            init = inst.attrs.get("init", 0)
+            lines.append(
+                f".latch {inst.net_of('D')} {inst.net_of('Q')} re {clock} {init}"
+            )
+            continue
+        if op == "MUX2":
+            a, b, s = inst.net_of("A"), inst.net_of("B"), inst.net_of("S")
+            y = inst.net_of("Y")
+            lines.append(f".names {a} {b} {s} {y}")
+            lines.append("1-0 1")
+            lines.append("-11 1")
+            continue
+        if op in ("TIE0", "TIE1"):
+            lines.append(f".names {inst.net_of('Y')}")
+            if op == "TIE1":
+                lines.append("1")
+            continue
+        if op not in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR", "INV", "BUF"):
+            raise BlifError(f"op {op!r} is not expressible in this BLIF subset")
+        ins = [inst.net_of(p) for p in inst.cell.data_pins]
+        lines.append(f".names {' '.join(ins)} {inst.net_of('Y')}")
+        lines.extend(_cover_rows(op, len(ins)))
+
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def load(path: str, library: Library = GENERIC) -> Module:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read(), library)
+
+
+def dump(module: Module, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(module))

@@ -1,0 +1,106 @@
+"""GraphViz export for netlists and FF graphs (debugging/teaching aid).
+
+Two views:
+
+* :func:`netlist_dot` -- the full gate-level netlist, cells shaped by
+  kind (registers as boxes, gates as ellipses, ICGs as houses) and latch
+  phases colored, so a converted design's phase structure is visible at a
+  glance;
+* :func:`ff_graph_dot` -- the abstract FF connectivity graph the
+  conversion ILP runs on, with self-loop and PI-fed nodes highlighted and
+  (optionally) the single/back-to-back decision of an assignment.
+"""
+
+from __future__ import annotations
+
+from repro.library.cell import CellKind
+from repro.netlist.core import Module, Pin
+from repro.netlist.traversal import FFGraph
+
+_PHASE_COLORS = {
+    "p1": "#8ecae6",
+    "p2": "#ffd166",
+    "p3": "#90be6d",
+    "clk": "#8ecae6",
+    "clkbar": "#ffd166",
+    "pclk": "#e9c46a",
+}
+
+
+def _quote(name: str) -> str:
+    return '"' + name.replace('"', r"\"") + '"'
+
+
+def netlist_dot(module: Module, include_clocks: bool = False) -> str:
+    """The gate-level netlist as a GraphViz digraph."""
+    lines = [f"digraph {_quote(module.name)} {{", "  rankdir=LR;"]
+    for inst in module.instances.values():
+        kind = inst.cell.kind
+        if kind is CellKind.COMB or kind is CellKind.TIE:
+            shape, fill = "ellipse", "#f1f1f1"
+        elif kind is CellKind.ICG:
+            shape, fill = "house", "#f4a261"
+        else:
+            shape = "box"
+            fill = _PHASE_COLORS.get(str(inst.attrs.get("phase")), "#cdb4db")
+        label = f"{inst.name}\\n{inst.cell.op}"
+        lines.append(
+            f"  {_quote(inst.name)} [shape={shape} style=filled "
+            f"fillcolor={_quote(fill)} label={_quote(label)}];"
+        )
+    for port in module.ports:
+        lines.append(
+            f"  {_quote('port:' + port)} [shape=cds label={_quote(port)}];"
+        )
+
+    def endpoint(ref) -> str | None:
+        if isinstance(ref, Pin):
+            return ref.instance
+        return "port:" + ref.port
+
+    for net in module.nets.values():
+        if net.driver is None:
+            continue
+        src = endpoint(net.driver)
+        for load in net.loads:
+            if isinstance(load, Pin):
+                inst = module.instances[load.instance]
+                is_clock_pin = inst.cell.pin(load.pin).is_clock
+                if is_clock_pin and not include_clocks:
+                    continue
+                style = " [style=dashed color=gray]" if is_clock_pin else ""
+            else:
+                style = ""
+            lines.append(
+                f"  {_quote(src)} -> {_quote(endpoint(load))}{style};"
+            )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def ff_graph_dot(graph: FFGraph, assignment=None) -> str:
+    """The conversion ILP's FF graph, optionally with its solution."""
+    lines = ["digraph ffgraph {", "  rankdir=LR;"]
+    for ff in graph.ffs:
+        attrs = []
+        if assignment is not None:
+            if assignment.is_single(ff):
+                attrs.append('fillcolor="#8ecae6" style=filled')
+                attrs.append('xlabel="single"')
+            else:
+                attrs.append('fillcolor="#ffd166" style=filled')
+        if graph.self_loop(ff):
+            attrs.append("peripheries=2")
+        if ff in graph.pi_fanout:
+            attrs.append('color="#e63946"')
+        lines.append(f"  {_quote(ff)} [{' '.join(attrs)}];")
+    for src, dsts in graph.fanout.items():
+        for dst in dsts:
+            lines.append(f"  {_quote(src)} -> {_quote(dst)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def dump(text: str, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

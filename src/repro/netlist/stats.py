@@ -1,0 +1,63 @@
+"""Netlist statistics used by reports and Table I."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import CellKind
+from repro.netlist.core import Module
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Register/area summary of one design variant.
+
+    ``registers`` counts state-holding cells (FFs + latches); ICG-internal
+    latches are part of the ICG cell and not counted, matching how the paper
+    counts "# of Regs".
+    """
+
+    name: str
+    flip_flops: int
+    latches: int
+    icgs: int
+    comb_cells: int
+    total_cells: int
+    total_area: float
+    nets: int
+    latch_phase_counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def registers(self) -> int:
+        return self.flip_flops + self.latches
+
+
+def collect_stats(module: Module) -> NetlistStats:
+    flip_flops = 0
+    latches = 0
+    icgs = 0
+    comb = 0
+    phase_counts: dict[str, int] = {}
+    for inst in module.instances.values():
+        kind = inst.cell.kind
+        if inst.cell.op == "DFF":
+            flip_flops += 1
+        elif inst.cell.op == "DLATCH":
+            latches += 1
+            phase = str(inst.attrs.get("phase", "?"))
+            phase_counts[phase] = phase_counts.get(phase, 0) + 1
+        elif kind is CellKind.ICG:
+            icgs += 1
+        elif kind is CellKind.COMB:
+            comb += 1
+    return NetlistStats(
+        name=module.name,
+        flip_flops=flip_flops,
+        latches=latches,
+        icgs=icgs,
+        comb_cells=comb,
+        total_cells=len(module.instances),
+        total_area=module.total_area(),
+        nets=len(module.nets),
+        latch_phase_counts=phase_counts,
+    )

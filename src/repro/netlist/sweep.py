@@ -1,0 +1,61 @@
+"""Dead-logic sweep.
+
+After the conversion passes re-clock every register, the original clock
+gating cells, clock buffers, and any enable logic that fed only them are
+left driving unloaded nets.  :func:`sweep_unloaded` removes such instances
+iteratively, the way a synthesis tool's ``sweep`` step would.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.core import Module
+
+
+def sweep_unloaded(
+    module: Module,
+    remove_sequential: bool = False,
+    protect: set[str] | None = None,
+) -> int:
+    """Iteratively remove instances none of whose outputs drive anything.
+
+    Sequential cells are kept unless ``remove_sequential`` (an unloaded
+    register is still dead logic, but sweeping it changes register counts,
+    so the caller opts in).  Returns the number of removed instances.
+    """
+    protected = protect or set()
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for name in list(module.instances):
+            if name in protected:
+                continue
+            inst = module.instances[name]
+            if inst.is_sequential and not remove_sequential:
+                continue
+            outputs = [
+                inst.conns[pin]
+                for pin in inst.cell.output_pins
+                if pin in inst.conns
+            ]
+            if any(module.nets[net].loads for net in outputs):
+                continue
+            module.remove_instance(name)
+            for net in outputs:
+                if net in module.nets and not module.nets[net].loads \
+                        and module.nets[net].driver is None:
+                    module.remove_net(net)
+            removed += 1
+            changed = True
+    return removed
+
+
+def sweep_unloaded_nets(module: Module) -> int:
+    """Remove nets with neither driver nor loads."""
+    removed = 0
+    for name in list(module.nets):
+        net = module.nets[name]
+        if net.driver is None and not net.loads:
+            module.remove_net(name)
+            removed += 1
+    return removed

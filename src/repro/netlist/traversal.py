@@ -1,0 +1,218 @@
+"""Netlist traversals: topological order, FF-to-FF connectivity, clock tracing.
+
+The central product here is :func:`ff_fanout_map`: for every flip-flop ``u``
+the set ``FO(u)`` of flip-flops whose data input is reachable from ``u``'s
+output through combinational logic only -- the relation the paper's ILP
+(Sec. IV-A) is written over -- plus the analogous set for primary inputs.
+
+Reachability is computed with one reverse-topological sweep propagating
+per-net bitmasks (Python ints), so it is near-linear even for the
+multi-thousand-FF CPU benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import CellKind, PinDirection
+from repro.netlist.core import Module, Pin
+
+#: Pin names that terminate a combinational path at a sequential cell.
+_SEQ_DATA_PINS = {"D"}
+
+
+def comb_topo_order(module: Module) -> list[str]:
+    """Combinational instances in topological (input-to-output) order.
+
+    Raises ``ValueError`` on a combinational cycle; run
+    :func:`repro.netlist.validate.check` for a diagnostic report.
+    """
+    comb = {
+        name: inst
+        for name, inst in module.instances.items()
+        if inst.cell.kind is CellKind.COMB
+    }
+    indegree = dict.fromkeys(comb, 0)
+    successors: dict[str, list[str]] = {name: [] for name in comb}
+    for name, inst in comb.items():
+        for pin in inst.cell.input_pins:
+            net_name = inst.conns.get(pin)
+            if net_name is None:
+                continue
+            driver = module.nets[net_name].driver
+            if isinstance(driver, Pin) and driver.instance in comb:
+                successors[driver.instance].append(name)
+                indegree[name] += 1
+    ready = [name for name, deg in indegree.items() if deg == 0]
+    order: list[str] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for nxt in successors[node]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(comb):
+        raise ValueError("combinational cycle detected")
+    return order
+
+
+@dataclass
+class FFGraph:
+    """FF-level connectivity extracted from a netlist.
+
+    ``ffs`` lists flip-flop instance names in index order; ``fanout[u]`` is
+    the set of FF names reachable from FF ``u`` through combinational logic;
+    ``pi_fanout`` is the set of FF names reachable from any data primary
+    input.  ``self_loop(u)`` tests combinational feedback around ``u``.
+    """
+
+    ffs: list[str]
+    fanout: dict[str, set[str]] = field(default_factory=dict)
+    pi_fanout: set[str] = field(default_factory=set)
+
+    def self_loop(self, name: str) -> bool:
+        return name in self.fanout.get(name, ())
+
+    def fanin(self) -> dict[str, set[str]]:
+        result: dict[str, set[str]] = {name: set() for name in self.ffs}
+        for src, dsts in self.fanout.items():
+            for dst in dsts:
+                result[dst].add(src)
+        return result
+
+    def undirected_adjacency(self) -> dict[str, set[str]]:
+        """Symmetric adjacency (excluding self) used by the MIS reduction."""
+        adj: dict[str, set[str]] = {name: set() for name in self.ffs}
+        for src, dsts in self.fanout.items():
+            for dst in dsts:
+                if src != dst:
+                    adj[src].add(dst)
+                    adj[dst].add(src)
+        return adj
+
+
+def _net_to_ff_masks(module: Module, seq_names: list[str]) -> dict[str, int]:
+    """For each net, a bitmask of sequential cells whose data pin the net
+    reaches through combinational logic (including directly)."""
+    index = {name: i for i, name in enumerate(seq_names)}
+    mask: dict[str, int] = dict.fromkeys(module.nets, 0)
+
+    # Direct loads: a net feeding a sequential D pin reaches that cell.
+    for net in module.nets.values():
+        bits = 0
+        for load in net.loads:
+            if not isinstance(load, Pin):
+                continue
+            inst = module.instances[load.instance]
+            if inst.is_sequential and load.pin in _SEQ_DATA_PINS:
+                bits |= 1 << index[inst.name]
+        mask[net.name] = bits
+
+    # Propagate through combinational cells in reverse topological order:
+    # a gate's input nets reach whatever its output net reaches.
+    for name in reversed(comb_topo_order(module)):
+        inst = module.instances[name]
+        out_net = inst.conns.get(inst.cell.output_pin)
+        if out_net is None:
+            continue
+        out_mask = mask[out_net]
+        if not out_mask:
+            continue
+        for pin in inst.cell.input_pins:
+            net_name = inst.conns.get(pin)
+            if net_name is not None:
+                mask[net_name] |= out_mask
+    return mask
+
+
+def ff_fanout_map(module: Module) -> FFGraph:
+    """Extract the FF graph the conversion ILP is formulated over.
+
+    Only flip-flops participate; paths end at any sequential data pin and at
+    ICG enable pins (an enable path is not a data path).  Primary-input
+    reachability covers all non-clock input ports.
+    """
+    ffs = [inst.name for inst in module.flip_flops()]
+    masks = _net_to_ff_masks(module, ffs)
+
+    graph = FFGraph(ffs=ffs, fanout={name: set() for name in ffs})
+    for name in ffs:
+        inst = module.instances[name]
+        q_net = inst.conns.get("Q")
+        if q_net is None:
+            continue
+        bits = masks[q_net]
+        graph.fanout[name] = {ffs[i] for i in _bit_indices(bits)}
+
+    pi_bits = 0
+    for port in module.data_input_ports():
+        pi_bits |= masks[port]
+    graph.pi_fanout = {ffs[i] for i in _bit_indices(pi_bits)}
+    return graph
+
+
+def _bit_indices(bits: int) -> list[int]:
+    out = []
+    i = 0
+    while bits:
+        if bits & 1:
+            out.append(i)
+        bits >>= 1
+        i += 1
+    return out
+
+
+def trace_clock_root(module: Module, net_name: str) -> list[str]:
+    """Follow a clock net backward through ICGs and buffers to its root.
+
+    Returns the chain of instance names from the sink side back to the root
+    (clock port or undriven net); the first element drives ``net_name``.
+    Used when re-targeting gated clocks during conversion.
+    """
+    chain: list[str] = []
+    current = net_name
+    seen: set[str] = set()
+    while True:
+        if current in seen:
+            raise ValueError(f"clock net cycle at {current!r}")
+        seen.add(current)
+        driver = module.nets[current].driver
+        if not isinstance(driver, Pin):
+            return chain
+        inst = module.instances[driver.instance]
+        if inst.cell.kind is CellKind.ICG:
+            chain.append(inst.name)
+            current = inst.net_of("CK")
+        elif inst.cell.op in ("BUF", "INV"):
+            chain.append(inst.name)
+            current = inst.net_of("A")
+        else:
+            return chain
+
+
+def transitive_fanin_cone(module: Module, net_names: list[str]) -> set[str]:
+    """Combinational instances in the fanin cone of the given nets.
+
+    The cone stops at sequential outputs, ICG outputs, and ports.
+    """
+    cone: set[str] = set()
+    stack = list(net_names)
+    seen_nets: set[str] = set()
+    while stack:
+        net_name = stack.pop()
+        if net_name in seen_nets:
+            continue
+        seen_nets.add(net_name)
+        driver = module.nets[net_name].driver
+        if not isinstance(driver, Pin):
+            continue
+        inst = module.instances[driver.instance]
+        if inst.cell.kind is not CellKind.COMB:
+            continue
+        cone.add(inst.name)
+        for pin in inst.cell.input_pins:
+            net = inst.conns.get(pin)
+            if net is not None:
+                stack.append(net)
+    return cone

@@ -1,0 +1,331 @@
+"""Structural Verilog subset writer and reader.
+
+The writer emits the flat, mapped netlist as gate-level Verilog -- one
+instantiation per cell with named port connections -- which is the shape
+real conversion flows exchange with commercial tools::
+
+    module s27 (input clk, input G0, output G17);
+      wire n1;
+      NAND2_X1 g1 (.A(G0), .B(n1), .Y(G17));
+      ...
+    endmodule
+
+The reader accepts exactly that subset (one module, wire/input/output
+declarations, named-connection instantiations) and resolves cell names
+against a provided library, enabling round-trips and import of externally
+produced netlists.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.library.cell import Library
+from repro.netlist.core import Module, PortDirection
+
+
+class VerilogError(ValueError):
+    """Raised on unsupported or malformed Verilog input."""
+
+
+_ID = r"[A-Za-z_][A-Za-z0-9_$]*"
+
+
+def _sanitize(name: str) -> str:
+    """Make a net/instance name a legal Verilog identifier."""
+    if re.fullmatch(_ID, name):
+        return name
+    return re.sub(r"[^A-Za-z0-9_$]", "_", "n_" + name)
+
+
+def dumps(module: Module) -> str:
+    """Serialize to structural Verilog."""
+    rename: dict[str, str] = {}
+    used: set[str] = set()
+
+    def unique(name: str) -> str:
+        if name in rename:
+            return rename[name]
+        candidate = _sanitize(name)
+        while candidate in used:
+            candidate += "_"
+        used.add(candidate)
+        rename[name] = candidate
+        return candidate
+
+    port_decls = []
+    for port, direction in module.ports.items():
+        keyword = "input" if direction is PortDirection.INPUT else "output"
+        port_decls.append(f"{keyword} {unique(port)}")
+
+    lines = [f"module {_sanitize(module.name)} (" + ", ".join(port_decls) + ");"]
+
+    port_nets = {module.net_of_port(p).name for p in module.ports}
+    wires = [unique(n) for n in module.nets if n not in port_nets]
+    for wire in wires:
+        lines.append(f"  wire {wire};")
+    # Output ports whose net has a different name need an alias assign.
+    for port in module.output_ports():
+        net = module.net_of_port(port).name
+        if net != port:
+            lines.append(f"  assign {unique(port)} = {unique(net)};")
+
+    for inst in module.instances.values():
+        conns = ", ".join(
+            f".{pin}({unique(net)})" for pin, net in sorted(inst.conns.items())
+        )
+        # Sequential initial values travel as a synthesis attribute, the
+        # way real flows annotate them.
+        attr = ""
+        if inst.is_sequential and "init" in inst.attrs:
+            attr = f"(* init = {int(inst.attrs['init'])} *) "
+        lines.append(
+            f"  {attr}{inst.cell.name} {unique('i_' + inst.name)} ({conns});"
+        )
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def dump(module: Module, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(module))
+
+
+_MODULE_RE = re.compile(
+    rf"module\s+({_ID})\s*\((.*?)\)\s*;", re.DOTALL
+)
+_WIRE_RE = re.compile(rf"wire\s+({_ID}(?:\s*,\s*{_ID})*)\s*;")
+_ASSIGN_RE = re.compile(rf"assign\s+({_ID})\s*=\s*({_ID})\s*;")
+_INST_RE = re.compile(
+    rf"(?:\(\*\s*init\s*=\s*(?P<init>[01])\s*\*\)\s*)?"
+    rf"(?P<cell>{_ID})\s+(?P<inst>{_ID})\s*\((?P<conns>.*?)\)\s*;",
+    re.DOTALL,
+)
+_CONN_RE = re.compile(rf"\.({_ID})\s*\(\s*({_ID})\s*\)")
+
+
+def loads(text: str, library: Library, clock_ports: set[str] | None = None) -> Module:
+    """Parse the structural subset emitted by :func:`dumps`.
+
+    ``clock_ports`` marks which input ports are clocks; defaults to any
+    input port named like a clock (``clk``, ``clock``, or phase names
+    ``p1``/``p2``/``p3``/``clkbar``).
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+    header = _MODULE_RE.search(text)
+    if not header:
+        raise VerilogError("no module header found")
+    name, port_blob = header.group(1), header.group(2)
+    module = Module(name)
+
+    body = text[header.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise VerilogError("missing endmodule")
+    body = body[:end]
+
+    default_clock_names = {"clk", "clock", "clkbar", "p1", "p2", "p3"}
+    outputs: list[str] = []
+    for decl in port_blob.split(","):
+        decl = decl.strip()
+        if not decl:
+            continue
+        parts = decl.split()
+        if len(parts) != 2 or parts[0] not in ("input", "output"):
+            raise VerilogError(f"unsupported port declaration {decl!r}")
+        direction, port = parts
+        if direction == "input":
+            is_clock = (
+                port in clock_ports if clock_ports is not None
+                else port in default_clock_names
+            )
+            module.add_input(port, is_clock=is_clock)
+        else:
+            outputs.append(port)
+
+    for match in _WIRE_RE.finditer(body):
+        for wire in match.group(1).split(","):
+            module.get_or_add_net(wire.strip())
+
+    aliases: dict[str, str] = {}
+    for match in _ASSIGN_RE.finditer(body):
+        aliases[match.group(1)] = match.group(2)
+
+    instantiated = _WIRE_RE.sub("", body)
+    instantiated = _ASSIGN_RE.sub("", instantiated)
+    for match in _INST_RE.finditer(instantiated):
+        cell_name = match.group("cell")
+        inst_name = match.group("inst")
+        conn_blob = match.group("conns")
+        if cell_name not in library:
+            raise VerilogError(f"unknown cell {cell_name!r}")
+        conns: dict[str, str] = {}
+        for conn in _CONN_RE.finditer(conn_blob):
+            pin, net = conn.groups()
+            module.get_or_add_net(net)
+            conns[pin] = net
+        attrs = {}
+        if match.group("init") is not None:
+            attrs["init"] = int(match.group("init"))
+        module.add_instance(inst_name, library[cell_name], conns, attrs)
+
+    for port in outputs:
+        module.add_output(port, net_name=aliases.get(port, port))
+    return module
+
+
+def load(path: str, library: Library) -> Module:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read(), library)
+
+
+# -- hierarchical input -------------------------------------------------------
+
+def loads_hierarchical(
+    text: str,
+    library: Library,
+    top: str | None = None,
+    clock_ports: set[str] | None = None,
+) -> Module:
+    """Parse multi-module structural Verilog and flatten it into one
+    :class:`Module`.
+
+    Submodule instances are inlined recursively; internal nets and
+    instances get ``<instance>.``-prefixed names (sanitized on re-export).
+    ``top`` defaults to the one module never instantiated by another.
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+    raw_modules: dict[str, tuple[str, str]] = {}  # name -> (ports, body)
+    for match in _MODULE_RE.finditer(text):
+        name, ports = match.group(1), match.group(2)
+        rest = text[match.end():]
+        end = rest.find("endmodule")
+        if end < 0:
+            raise VerilogError(f"missing endmodule for {name!r}")
+        raw_modules[name] = (ports, rest[:end])
+    if not raw_modules:
+        raise VerilogError("no module definitions found")
+
+    instantiated: set[str] = set()
+    parsed: dict[str, dict] = {}
+    for name, (ports, body) in raw_modules.items():
+        parsed[name] = _parse_body(name, ports, body, library, raw_modules)
+        for cell_name, _, _, _ in parsed[name]["instances"]:
+            if cell_name in raw_modules:
+                instantiated.add(cell_name)
+
+    if top is None:
+        roots = [n for n in raw_modules if n not in instantiated]
+        if len(roots) != 1:
+            raise VerilogError(
+                f"cannot infer top module (candidates: {sorted(roots)}); "
+                "pass top= explicitly"
+            )
+        top = roots[0]
+    elif top not in raw_modules:
+        raise VerilogError(f"unknown top module {top!r}")
+
+    default_clock_names = {"clk", "clock", "clkbar", "p1", "p2", "p3"}
+    module = Module(top)
+    top_ir = parsed[top]
+    outputs: list[str] = []
+    for direction, port in top_ir["ports"]:
+        if direction == "input":
+            is_clock = (port in clock_ports if clock_ports is not None
+                        else port in default_clock_names)
+            module.add_input(port, is_clock=is_clock)
+        else:
+            outputs.append(port)
+
+    _flatten_into(module, parsed, library, top, prefix="",
+                  port_map={p: p for _, p in top_ir["ports"]},
+                  stack=(top,))
+
+    for port in outputs:
+        # aliases were realized as buffers driving the port-named net
+        module.add_output(port, net_name=port)
+    return module
+
+
+def _parse_body(name, ports_blob, body, library, raw_modules):
+    ports = []
+    for decl in ports_blob.split(","):
+        decl = decl.strip()
+        if not decl:
+            continue
+        parts = decl.split()
+        if len(parts) != 2 or parts[0] not in ("input", "output"):
+            raise VerilogError(
+                f"unsupported port declaration {decl!r} in {name!r}")
+        ports.append((parts[0], parts[1]))
+    wires = []
+    for match in _WIRE_RE.finditer(body):
+        wires.extend(w.strip() for w in match.group(1).split(","))
+    aliases = {}
+    for match in _ASSIGN_RE.finditer(body):
+        aliases[match.group(1)] = match.group(2)
+    stripped = _WIRE_RE.sub("", body)
+    stripped = _ASSIGN_RE.sub("", stripped)
+    instances = []
+    for match in _INST_RE.finditer(stripped):
+        cell_name = match.group("cell")
+        if cell_name not in library and cell_name not in raw_modules:
+            raise VerilogError(f"unknown cell or module {cell_name!r}")
+        conns = {pin: net for pin, net
+                 in _CONN_RE.findall(match.group("conns"))}
+        init = match.group("init")
+        instances.append((cell_name, match.group("inst"), conns,
+                          int(init) if init is not None else None))
+    return {"ports": ports, "wires": wires, "aliases": aliases,
+            "instances": instances}
+
+
+def _flatten_into(module, parsed, library, name, prefix, port_map, stack):
+    ir = parsed[name]
+
+    def resolve(net: str) -> str:
+        return port_map.get(net, prefix + net)
+
+    for wire in ir["wires"]:
+        module.get_or_add_net(resolve(wire))
+    # An ``assign port = net`` inside this level bridges the internal net
+    # to whatever the parent connected: realized as a buffer, which keeps
+    # single-driver semantics without net merging.
+    for target, source in ir["aliases"].items():
+        if target in port_map:
+            outer = module.get_or_add_net(port_map[target]).name
+            inner = module.get_or_add_net(resolve(source)).name
+            module.add_instance(
+                module.fresh_name(prefix + "alias_"),
+                library.cell_for_op("BUF"),
+                {"A": inner, "Y": outer},
+            )
+
+    for cell_name, inst_name, conns, init in ir["instances"]:
+        if cell_name in parsed and cell_name not in library:
+            if cell_name in stack:
+                raise VerilogError(
+                    f"recursive instantiation of {cell_name!r}")
+            sub_ports = parsed[cell_name]["ports"]
+            sub_map = {}
+            for _, port in sub_ports:
+                outer = conns.get(port)
+                if outer is None:
+                    raise VerilogError(
+                        f"instance {inst_name!r} leaves port {port!r} of "
+                        f"{cell_name!r} unconnected")
+                sub_map[port] = module.get_or_add_net(resolve(outer)).name
+            _flatten_into(module, parsed, library, cell_name,
+                          prefix + inst_name + ".", sub_map,
+                          stack + (cell_name,))
+            continue
+        resolved = {}
+        for pin, net in conns.items():
+            resolved[pin] = module.get_or_add_net(resolve(net)).name
+        attrs = {"init": init} if init is not None else None
+        module.add_instance(prefix + inst_name, library[cell_name],
+                            resolved, attrs)

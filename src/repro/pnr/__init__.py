@@ -1,0 +1,19 @@
+"""Place-and-route-lite: placement, CTS with real buffers, wire estimates."""
+
+from repro.pnr.cts import ClockTreeStats, CtsResult, synthesize_clock_trees
+from repro.pnr.flow import PhysicalDesign, place_and_route
+from repro.pnr.placement import Placement, place
+from repro.pnr.routing import RoutingEstimate, estimate_routing, hpwl
+
+__all__ = [
+    "ClockTreeStats",
+    "CtsResult",
+    "synthesize_clock_trees",
+    "PhysicalDesign",
+    "place_and_route",
+    "Placement",
+    "place",
+    "RoutingEstimate",
+    "estimate_routing",
+    "hpwl",
+]

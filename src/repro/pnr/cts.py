@@ -1,0 +1,140 @@
+"""Clock-tree synthesis: bottom-up geometric clustering with real buffers.
+
+Each clock source net (phase root ports and gated-clock ICG outputs) whose
+sink count exceeds the buffer fanout limit gets a buffer tree: sinks are
+clustered by spatial proximity (Morton order over placement coordinates),
+one clock buffer per cluster placed at the cluster centroid, recursively
+until the root drives few enough loads.
+
+The buffers are *real instances* inserted into the netlist (marked with
+``attrs["clock_buffer"]``), so simulation delivers clock edges through
+them and the power model charges tree switching to the clock group -- the
+mechanism behind the paper's observation that 3-phase designs spend
+3x the clock-tree-synthesis effort (three roots) yet less clock power
+(fewer, lighter sinks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import CellKind, Library
+from repro.netlist.core import Module, Pin
+from repro.pnr.placement import Placement
+
+
+@dataclass
+class ClockTreeStats:
+    root: str
+    sinks: int
+    buffers: int = 0
+    levels: int = 0
+    #: abstract effort units for the runtime model (sinks touched per level)
+    effort: float = 0.0
+
+
+@dataclass
+class CtsResult:
+    trees: list[ClockTreeStats] = field(default_factory=list)
+
+    @property
+    def total_buffers(self) -> int:
+        return sum(t.buffers for t in self.trees)
+
+    @property
+    def total_effort(self) -> float:
+        return sum(t.effort for t in self.trees)
+
+
+def _morton_key(pos: tuple[float, float], scale: float) -> int:
+    x = int(pos[0] / max(scale, 1e-9) * 1023)
+    y = int(pos[1] / max(scale, 1e-9) * 1023)
+    key = 0
+    for bit in range(10):
+        key |= ((x >> bit) & 1) << (2 * bit)
+        key |= ((y >> bit) & 1) << (2 * bit + 1)
+    return key
+
+
+def _sink_position(
+    module: Module, placement: Placement, ref: Pin
+) -> tuple[float, float]:
+    return placement.positions.get(ref.instance, (0.0, 0.0))
+
+
+def synthesize_clock_trees(
+    module: Module,
+    library: Library,
+    placement: Placement,
+    max_fanout: int = 24,
+    buffer_name: str = "CLKBUF_X4",
+) -> CtsResult:
+    """Buffer every clock source net in place; updates ``placement`` with
+    the new buffers' positions."""
+    result = CtsResult()
+    buffer_cell = library[buffer_name]
+
+    roots: list[str] = [
+        module.nets[p].name for p in module.clock_ports
+    ]
+    for inst in list(module.instances.values()):
+        if inst.cell.kind is CellKind.ICG:
+            roots.append(inst.net_of("GCK"))
+
+    for root in roots:
+        stats = _buffer_tree(
+            module, library, placement, root, max_fanout, buffer_cell
+        )
+        result.trees.append(stats)
+    return result
+
+
+def _buffer_tree(
+    module: Module,
+    library: Library,
+    placement: Placement,
+    root_net: str,
+    max_fanout: int,
+    buffer_cell,
+) -> ClockTreeStats:
+    sinks = [ref for ref in module.nets[root_net].loads if isinstance(ref, Pin)]
+    stats = ClockTreeStats(root=root_net, sinks=len(sinks))
+    scale = max(placement.width, placement.height, 1.0)
+
+    current: list[Pin] = sinks
+    while len(current) > max_fanout:
+        stats.levels += 1
+        stats.effort += len(current)
+        ordered = sorted(
+            current,
+            key=lambda ref: _morton_key(
+                _sink_position(module, placement, ref), scale
+            ),
+        )
+        next_level: list[Pin] = []
+        for start in range(0, len(ordered), max_fanout):
+            cluster = ordered[start : start + max_fanout]
+            xs = [_sink_position(module, placement, r)[0] for r in cluster]
+            ys = [_sink_position(module, placement, r)[1] for r in cluster]
+            centroid = (sum(xs) / len(xs), sum(ys) / len(ys))
+
+            buf_name = module.fresh_name(f"ctsbuf_{root_net}_")
+            branch_net = module.add_net(module.fresh_name(f"{root_net}_br"))
+            for ref in cluster:
+                module.disconnect(ref.instance, ref.pin)
+                module.connect(ref.instance, ref.pin, branch_net.name)
+            module.add_instance(
+                buf_name,
+                buffer_cell,
+                {"A": root_net, "Y": branch_net.name},
+                attrs={"clock_buffer": True, "clock_root": root_net},
+            )
+            placement.positions[buf_name] = centroid
+            stats.buffers += 1
+            next_level.append(Pin(buf_name, "A"))
+        # The new buffers load the root; if still too many, cluster them too.
+        current = next_level
+        # Re-target: buffers currently connect A to root_net directly; when
+        # another level is needed, they become the sinks to re-cluster.
+    stats.effort += len(current)
+    return stats

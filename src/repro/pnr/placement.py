@@ -1,0 +1,109 @@
+"""Placement-lite: connectivity-ordered row placement.
+
+Not a real placer -- the experiments need *relative* wire lengths and
+clock-tree geometry, so instances are laid out in standard-cell rows in a
+breadth-first connectivity order (neighbours in the netlist end up near
+each other), inside a square die sized from total cell area plus a
+whitespace factor.  Ports sit on the die boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.netlist.core import Module, Pin
+
+#: standard-cell row height, um (28-nm-ish).
+ROW_HEIGHT = 0.6
+#: fraction of die area left as whitespace/routing.
+WHITESPACE = 0.35
+
+
+@dataclass
+class Placement:
+    width: float
+    height: float
+    positions: dict[str, tuple[float, float]] = field(default_factory=dict)
+    port_positions: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    def position_of(self, name: str) -> tuple[float, float]:
+        return self.positions[name]
+
+
+def _bfs_order(module: Module) -> list[str]:
+    """Instances ordered by BFS from the primary inputs over connectivity."""
+    order: list[str] = []
+    visited: set[str] = set()
+    queue: deque[str] = deque()
+
+    def visit_net(net_name: str) -> None:
+        for ref in module.nets[net_name].loads:
+            if isinstance(ref, Pin) and ref.instance not in visited:
+                visited.add(ref.instance)
+                queue.append(ref.instance)
+
+    for port in module.input_ports():
+        if port not in module.clock_ports:
+            visit_net(module.nets[port].name)
+    for port in module.clock_ports:
+        visit_net(module.nets[port].name)
+
+    while queue or len(visited) < len(module.instances):
+        if not queue:  # disconnected remainder
+            for name in module.instances:
+                if name not in visited:
+                    visited.add(name)
+                    queue.append(name)
+                    break
+        name = queue.popleft()
+        order.append(name)
+        inst = module.instances[name]
+        for pin in inst.cell.output_pins:
+            net = inst.conns.get(pin)
+            if net is not None:
+                visit_net(net)
+    return order
+
+
+def place(module: Module) -> Placement:
+    """Row placement of every instance; ports around the boundary."""
+    total_area = module.total_area()
+    die_area = max(total_area, 1.0) / (1.0 - WHITESPACE)
+    side = math.sqrt(die_area)
+    rows = max(1, int(side / ROW_HEIGHT))
+    row_capacity = die_area / rows  # um of width-area per row
+
+    placement = Placement(width=side, height=rows * ROW_HEIGHT)
+    x = 0.0
+    row = 0
+    used = 0.0
+    for name in _bfs_order(module):
+        inst = module.instances[name]
+        cell_width = inst.cell.area / ROW_HEIGHT
+        if used + inst.cell.area > row_capacity and row < rows - 1:
+            row += 1
+            used = 0.0
+            x = 0.0
+        y = (row + 0.5) * ROW_HEIGHT
+        # snake rows for locality
+        px = x + cell_width / 2 if row % 2 == 0 else side - x - cell_width / 2
+        placement.positions[name] = (px, y)
+        x += cell_width
+        used += inst.cell.area
+
+    ports = list(module.ports)
+    for index, port in enumerate(ports):
+        frac = (index + 0.5) / len(ports)
+        perimeter = frac * 4.0
+        if perimeter < 1.0:
+            pos = (perimeter * side, 0.0)
+        elif perimeter < 2.0:
+            pos = (side, (perimeter - 1.0) * placement.height)
+        elif perimeter < 3.0:
+            pos = ((3.0 - perimeter) * side, placement.height)
+        else:
+            pos = (0.0, (4.0 - perimeter) * placement.height)
+        placement.port_positions[port] = pos
+    return placement

@@ -1,0 +1,57 @@
+"""Routing estimate: HPWL-based wire length and capacitance per net."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.cell import Library
+from repro.netlist.core import Module, Pin, PortRef
+from repro.pnr.placement import Placement
+
+#: detour factor over half-perimeter wirelength.
+ROUTE_FACTOR = 1.15
+
+
+@dataclass
+class RoutingEstimate:
+    wire_lengths: dict[str, float]
+    wire_caps: dict[str, float]
+    total_wire_length: float
+
+
+def _net_pins(
+    module: Module, placement: Placement, net_name: str
+) -> list[tuple[float, float]]:
+    pins: list[tuple[float, float]] = []
+    net = module.nets[net_name]
+    for ref in net.endpoints:
+        if isinstance(ref, Pin):
+            pos = placement.positions.get(ref.instance)
+        else:
+            pos = placement.port_positions.get(ref.port)
+        if pos is not None:
+            pins.append(pos)
+    return pins
+
+
+def hpwl(points: list[tuple[float, float]]) -> float:
+    """Half-perimeter wirelength of a pin set."""
+    if len(points) < 2:
+        return 0.0
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def estimate_routing(
+    module: Module, placement: Placement, library: Library
+) -> RoutingEstimate:
+    lengths: dict[str, float] = {}
+    caps: dict[str, float] = {}
+    total = 0.0
+    for net_name in module.nets:
+        length = ROUTE_FACTOR * hpwl(_net_pins(module, placement, net_name))
+        lengths[net_name] = length
+        caps[net_name] = length * library.wire_cap_per_um
+        total += length
+    return RoutingEstimate(lengths, caps, total)

@@ -1,0 +1,17 @@
+"""Activity-based power model (Clock/Seq/Comb groups, Table II style)."""
+
+from repro.power.model import (
+    PowerGroup,
+    PowerReport,
+    clock_nets_of,
+    measure_power,
+    savings,
+)
+
+__all__ = [
+    "PowerGroup",
+    "PowerReport",
+    "clock_nets_of",
+    "measure_power",
+    "savings",
+]

@@ -1,0 +1,25 @@
+"""Regeneration of the paper's tables and figures."""
+
+from repro.reporting import paper_data
+from repro.reporting.fig4 import Fig4Result, format_fig4, run_fig4
+from repro.reporting.runtime import RuntimeSummary, format_runtime, summarize_runtime
+from repro.reporting.tables import (
+    format_table1,
+    format_table2,
+    run_benchmark,
+    run_suite,
+)
+
+__all__ = [
+    "paper_data",
+    "Fig4Result",
+    "format_fig4",
+    "run_fig4",
+    "RuntimeSummary",
+    "format_runtime",
+    "summarize_runtime",
+    "format_table1",
+    "format_table2",
+    "run_benchmark",
+    "run_suite",
+]

@@ -1,0 +1,117 @@
+"""Regeneration of Fig. 4: CPU power on Dhrystone and Coremark.
+
+The paper re-runs its two place-and-routed CPUs (RISC-V and ARM-M0) on the
+two standard CPU workloads and plots stacked Clock/Seq/Comb power per
+style.  Here each workload is an activity profile
+(:data:`repro.sim.stimulus.PROFILES`) driving the same implemented
+designs; the result is the same stacked decomposition, rendered as text
+bars plus the savings the paper prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro.circuits import build, spec
+from repro.flow import FlowOptions, StyleComparison, compare_styles
+from repro.reporting.paper_data import FIG4_TARGETS
+
+CPUS = ("riscv", "armm0")
+WORKLOADS = ("dhrystone", "coremark")
+
+
+@dataclass
+class Fig4Cell:
+    """One bar of Fig. 4: a (cpu, workload, style) power decomposition."""
+
+    cpu: str
+    workload: str
+    style: str
+    clock: float
+    seq: float
+    comb: float
+
+    @property
+    def total(self) -> float:
+        return self.clock + self.seq + self.comb
+
+
+@dataclass
+class Fig4Result:
+    cells: list[Fig4Cell] = field(default_factory=list)
+    comparisons: dict[tuple[str, str], StyleComparison] = field(
+        default_factory=dict
+    )
+
+    def cell(self, cpu: str, workload: str, style: str) -> Fig4Cell:
+        for c in self.cells:
+            if (c.cpu, c.workload, c.style) == (cpu, workload, style):
+                return c
+        raise KeyError((cpu, workload, style))
+
+    def average_saving(self, cpu: str, base: str) -> float:
+        """Average total-power saving of 3-phase vs ``base`` over workloads."""
+        totals = []
+        for workload in WORKLOADS:
+            cmp = self.comparisons[(cpu, workload)]
+            totals.append(cmp.power_saving_vs(base)["total"])
+        return sum(totals) / len(totals)
+
+
+def run_fig4(
+    sim_cycles: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    cpus: tuple[str, ...] = CPUS,
+) -> Fig4Result:
+    result = Fig4Result()
+    for cpu in cpus:
+        bench = spec(cpu)
+        module = build(cpu)
+        for workload in WORKLOADS:
+            if progress:
+                progress(f"fig4: {cpu} / {workload}")
+            options = FlowOptions(
+                period=bench.period,
+                profile=workload,
+                sim_cycles=sim_cycles if sim_cycles is not None
+                else bench.sim_cycles,
+            )
+            cmp = compare_styles(module, options)
+            result.comparisons[(cpu, workload)] = cmp
+            for style in ("ff", "ms", "3p"):
+                power = cmp.result(style).power
+                result.cells.append(
+                    Fig4Cell(cpu, workload, style,
+                             power.clock.total, power.seq.total,
+                             power.comb.total)
+                )
+    return result
+
+
+def format_fig4(result: Fig4Result, bar_width: int = 46) -> str:
+    """Text rendering of the stacked bars + paper comparison."""
+    lines = ["Fig. 4: CPU power (mW), stacked Clock/Seq/Comb"]
+    peak = max(c.total for c in result.cells) if result.cells else 1.0
+    for cell in result.cells:
+        scale = bar_width / peak
+        c = int(cell.clock * scale)
+        s = int(cell.seq * scale)
+        b = int(cell.comb * scale)
+        bar = "C" * c + "S" * s + "x" * b
+        lines.append(
+            f"  {cell.cpu:6} {cell.workload:10} {cell.style:3} "
+            f"{cell.total:7.4f} |{bar}"
+        )
+    if not result.comparisons:
+        return "\n".join(lines)
+    for cpu in sorted({c.cpu for c in result.cells}):
+        target = FIG4_TARGETS.get(cpu, {})
+        vs_ff = result.average_saving(cpu, "ff")
+        vs_ms = result.average_saving(cpu, "ms")
+        lines.append(
+            f"  {cpu}: 3-P average saving vs FF {vs_ff:5.1f}% "
+            f"(paper {target.get('vs_ff', float('nan')):.1f}%), "
+            f"vs M-S {vs_ms:5.1f}% (paper {target.get('vs_ms', float('nan')):.1f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Regeneration of the Sec. V runtime comparison.
+
+The paper: the 3-phase flow costs on average +204% runtime vs FF and +44%
+vs M-S; the ILP is at most 27 s and < 1% of the flow; CTS takes ~3x (three
+trees) and routing +35%.  Our flow records wall-clock per step, so the
+same ratios can be computed from any set of
+:class:`~repro.flow.compare.StyleComparison` results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flow import StyleComparison
+from repro.reporting.paper_data import RUNTIME_CLAIMS
+
+
+@dataclass
+class RuntimeSummary:
+    flow_vs_ff_percent: float
+    flow_vs_ms_percent: float
+    ilp_share: float
+    ilp_max_seconds: float
+    cts_ratio_vs_ff: float
+    route_vs_ff_percent: float
+    per_design: dict[str, dict[str, float]]
+
+
+def summarize_runtime(results: dict[str, StyleComparison]) -> RuntimeSummary:
+    per_design: dict[str, dict[str, float]] = {}
+    overhead_ff: list[float] = []
+    overhead_ms: list[float] = []
+    ilp_shares: list[float] = []
+    ilp_abs: list[float] = []
+    cts_ratios: list[float] = []
+    route_overheads: list[float] = []
+
+    for name, cmp in results.items():
+        ff_rt = cmp.ff.total_runtime
+        ms_rt = cmp.ms.total_runtime
+        p3 = cmp.three_phase
+        p3_rt = p3.total_runtime
+        per_design[name] = {
+            "ff": ff_rt, "ms": ms_rt, "3p": p3_rt,
+            "ilp": p3.runtime.get("ilp", 0.0),
+            "cts_ff": cmp.ff.runtime.get("cts", 0.0),
+            "cts_3p": p3.runtime.get("cts", 0.0),
+        }
+        if ff_rt > 0:
+            overhead_ff.append(100.0 * (p3_rt - ff_rt) / ff_rt)
+        if ms_rt > 0:
+            overhead_ms.append(100.0 * (p3_rt - ms_rt) / ms_rt)
+        if p3_rt > 0:
+            ilp_shares.append(p3.runtime.get("ilp", 0.0) / p3_rt)
+        ilp_abs.append(p3.runtime.get("ilp", 0.0))
+        cts_ff = cmp.ff.runtime.get("cts", 0.0)
+        if cts_ff > 0:
+            cts_ratios.append(p3.runtime.get("cts", 0.0) / cts_ff)
+        route_ff = cmp.ff.runtime.get("route", 0.0)
+        if route_ff > 0:
+            route_overheads.append(
+                100.0 * (p3.runtime.get("route", 0.0) - route_ff) / route_ff
+            )
+
+    def avg(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return RuntimeSummary(
+        flow_vs_ff_percent=avg(overhead_ff),
+        flow_vs_ms_percent=avg(overhead_ms),
+        ilp_share=avg(ilp_shares),
+        ilp_max_seconds=max(ilp_abs) if ilp_abs else 0.0,
+        cts_ratio_vs_ff=avg(cts_ratios),
+        route_vs_ff_percent=avg(route_overheads),
+        per_design=per_design,
+    )
+
+
+def format_runtime(summary: RuntimeSummary) -> str:
+    claims = RUNTIME_CLAIMS
+    lines = [
+        "Sec. V runtime comparison (measured | paper claim)",
+        f"  3-P flow vs FF:   +{summary.flow_vs_ff_percent:6.1f}% | "
+        f"+{claims['flow_vs_ff_percent']:.0f}%",
+        f"  3-P flow vs M-S:  +{summary.flow_vs_ms_percent:6.1f}% | "
+        f"+{claims['flow_vs_ms_percent']:.0f}%",
+        f"  ILP share:         {100 * summary.ilp_share:6.2f}% | < 1%",
+        f"  ILP max:           {summary.ilp_max_seconds:6.2f} s | <= 27 s",
+        f"  CTS ratio vs FF:   {summary.cts_ratio_vs_ff:6.2f}x | ~3x",
+        f"  route vs FF:      +{summary.route_vs_ff_percent:6.1f}% | +35%",
+    ]
+    for name, row in summary.per_design.items():
+        lines.append(
+            f"    {name:10} ff {row['ff']:7.2f}s  ms {row['ms']:7.2f}s  "
+            f"3p {row['3p']:7.2f}s  (ilp {row['ilp']:6.3f}s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Regeneration of the paper's Table I and Table II.
+
+``run_benchmark`` implements one design in all three styles;
+``format_table1`` / ``format_table2`` print the same rows the paper
+reports, side by side with the published numbers where available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.circuits import build, names, spec
+from repro.flow import FlowOptions, StyleComparison, compare_styles
+from repro.reporting.paper_data import TABLE1, TABLE2
+
+
+def run_benchmark(
+    name: str,
+    sim_cycles: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    options: FlowOptions | None = None,
+) -> StyleComparison:
+    """Implement benchmark ``name`` in all three styles."""
+    bench = spec(name)
+    module = build(name)
+    base = options or FlowOptions()
+    base = replace(
+        base,
+        period=bench.period,
+        profile=bench.workload,
+        sim_cycles=sim_cycles if sim_cycles is not None else bench.sim_cycles,
+    )
+    if progress:
+        progress(f"{name}: period {bench.period} ps, workload {bench.workload}")
+    return compare_styles(module, base)
+
+
+def run_suite(
+    suite: str | None = None,
+    designs: list[str] | None = None,
+    sim_cycles: int | None = None,
+    progress: Callable[[str], None] | None = None,
+    options: FlowOptions | None = None,
+) -> dict[str, StyleComparison]:
+    targets = designs if designs is not None else names(suite)
+    results: dict[str, StyleComparison] = {}
+    for name in targets:
+        results[name] = run_benchmark(name, sim_cycles, progress, options)
+        if progress:
+            row = results[name]
+            progress(
+                f"  regs {row.reg_counts}  power "
+                f"{row.three_phase.power.total:.3f} mW "
+                f"(save vs FF {row.power_saving_vs('ff')['total']:.1f}%)"
+            )
+    return results
+
+
+def _fmt(value: float, width: int = 7, digits: int = 1) -> str:
+    return f"{value:{width}.{digits}f}"
+
+
+def format_table1(results: dict[str, StyleComparison]) -> str:
+    """Table I: register counts and areas, measured vs paper."""
+    lines = [
+        "TABLE I: # of Regs and Total Area (measured | paper)",
+        f"{'design':10} {'FF':>6} {'M-S':>6} {'3-P':>6} "
+        f"{'sv2FF%':>14} {'svMS%':>14} "
+        f"{'areaFF':>8} {'area3P':>8} {'svFF%':>14} {'svMS%':>14}",
+    ]
+    for name, row in results.items():
+        paper = TABLE1.get(name)
+        regs = row.reg_counts
+
+        def pair(measured: float, published: float | None, digits=1) -> str:
+            if published is None:
+                return f"{measured:6.{digits}f} |   --"
+            return f"{measured:6.{digits}f} |{published:6.{digits}f}"
+
+        lines.append(
+            f"{name:10} {regs['ff']:6d} {regs['ms']:6d} {regs['3p']:6d} "
+            f"{pair(row.reg_saving_vs_2ff, paper.reg_save_2ff if paper else None)} "
+            f"{pair(row.reg_saving_vs_ms, paper.reg_save_ms if paper else None)} "
+            f"{row.areas['ff']:8.0f} {row.areas['3p']:8.0f} "
+            f"{pair(row.area_saving_vs_ff, paper.area_save_ff if paper else None)} "
+            f"{pair(row.area_saving_vs_ms, paper.area_save_ms if paper else None)}"
+        )
+    if results:
+        avg = _averages_table1(results)
+        lines.append(
+            f"{'Average':10} {'':6} {'':6} {'':6} "
+            f"{avg['reg_save_2ff']:6.1f} |  ...  {avg['reg_save_ms']:6.1f} |  ...  "
+            f"{'':8} {'':8} "
+            f"{avg['area_save_ff']:6.1f} |  ...  {avg['area_save_ms']:6.1f} |  ..."
+        )
+    return "\n".join(lines)
+
+
+def _averages_table1(results: dict[str, StyleComparison]) -> dict[str, float]:
+    n = len(results)
+    return {
+        "reg_save_2ff": sum(r.reg_saving_vs_2ff for r in results.values()) / n,
+        "reg_save_ms": sum(r.reg_saving_vs_ms for r in results.values()) / n,
+        "area_save_ff": sum(r.area_saving_vs_ff for r in results.values()) / n,
+        "area_save_ms": sum(r.area_saving_vs_ms for r in results.values()) / n,
+    }
+
+
+def format_table2(results: dict[str, StyleComparison]) -> str:
+    """Table II: power groups per style + savings, measured vs paper."""
+    lines = [
+        "TABLE II: Power dissipation (mW) and savings (measured | paper %)",
+        f"{'design':10} {'style':5} {'clock':>8} {'seq':>8} {'comb':>8} "
+        f"{'total':>8}   {'saveFF%':>15} {'saveMS%':>15}",
+    ]
+    for name, row in results.items():
+        paper = TABLE2.get(name)
+        for style in ("ff", "ms", "3p"):
+            power = row.result(style).power
+            suffix = ""
+            if style == "3p":
+                sv_ff = row.power_saving_vs("ff")["total"]
+                sv_ms = row.power_saving_vs("ms")["total"]
+                p_ff = f"{paper.save_ff.total:6.1f}" if paper else "   -- "
+                p_ms = f"{paper.save_ms.total:6.1f}" if paper else "   -- "
+                suffix = (f"  {sv_ff:7.1f} |{p_ff} {sv_ms:7.1f} |{p_ms}")
+            lines.append(
+                f"{name:10} {style:5} {power.clock.total:8.4f} "
+                f"{power.seq.total:8.4f} {power.comb.total:8.4f} "
+                f"{power.total:8.4f} {suffix}"
+            )
+    if results:
+        n = len(results)
+        avg_ff = sum(r.power_saving_vs("ff")["total"] for r in results.values()) / n
+        avg_ms = sum(r.power_saving_vs("ms")["total"] for r in results.values()) / n
+        lines.append(
+            f"{'Average 3-P saving:':28} vs FF {avg_ff:6.1f}% "
+            f"(paper 15.5%)   vs M-S {avg_ms:6.1f}% (paper 18.5%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Timing-resilient template support (the paper's future-work direction)."""
+
+from repro.resilience.error_detection import EdReport, add_error_detection
+
+__all__ = ["EdReport", "add_error_detection"]

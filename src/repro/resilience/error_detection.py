@@ -1,0 +1,127 @@
+"""Error-detection overhead for timing-resilient latch designs.
+
+The paper's future work: "we plan to quantify the advantage of this
+approach when applied to soft-error and timing resilient templates in
+which the decrease in latches also reduces the overhead of the necessary
+error detection logic."  Timing-resilient schemes (Bubble Razor [5],
+Blade [6]) attach a detector to latches that may capture late data: a
+shadow sampler plus a comparator, whose area and clock load scale with
+the number of protected latches -- exactly what the 3-phase conversion
+minimizes.
+
+This module *inserts* the detection structures so their overhead is
+measured by the same area/power machinery as everything else:
+
+* per protected latch: a shadow latch on the same phase plus an XOR
+  comparator (the transition-detector stand-in -- functionally silent in
+  an error-free simulation, but its area, clock pin, and comparator load
+  are all real);
+* the per-latch error flags reduce through an OR tree to a single
+  ``err`` output, as in the published templates.
+
+Protection policies:
+
+* ``"all"`` -- Bubble-Razor style: every latch is protected (two-phase
+  resilient designs protect both phases);
+* ``"timing"`` -- Blade style: only latches whose data input arrives
+  through combinational logic (a latch fed directly by another register
+  cannot capture late).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.library.cell import Library
+from repro.netlist.core import Module, Pin
+
+
+@dataclass
+class EdReport:
+    policy: str
+    protected: int = 0
+    shadow_latches: int = 0
+    comparators: int = 0
+    or_gates: int = 0
+    area_added: float = 0.0
+    error_output: str | None = None
+    exempt: list[str] = field(default_factory=list)
+
+
+def _comb_driven(module: Module, latch) -> bool:
+    driver = module.nets[latch.net_of("D")].driver
+    if not isinstance(driver, Pin):
+        return False  # port-driven: interface timing, not a late capture
+    return not module.instances[driver.instance].is_sequential
+
+
+def add_error_detection(
+    module: Module,
+    library: Library,
+    policy: str = "all",
+    error_port: str = "err",
+) -> EdReport:
+    """Insert detection logic in place and expose the ``err`` output."""
+    if policy not in ("all", "timing"):
+        raise ValueError(f"unknown protection policy {policy!r}")
+    report = EdReport(policy=policy)
+    latch_cell = library.cell_for_op("DLATCH")
+    xor_cell = library.cell_for_op("XOR", 2)
+
+    flags: list[str] = []
+    for latch in list(module.latches()):
+        if latch.attrs.get("shadow"):
+            continue
+        if policy == "timing" and not _comb_driven(module, latch):
+            report.exempt.append(latch.name)
+            continue
+        shadow_q = module.add_net(module.fresh_name(f"{latch.name}_shq"))
+        module.add_instance(
+            module.fresh_name(f"{latch.name}_sh_"),
+            latch_cell,
+            {"D": latch.net_of("D"), "G": latch.net_of("G"),
+             "Q": shadow_q.name},
+            attrs={"shadow": True, "init": latch.attrs.get("init", 0),
+                   "phase": latch.attrs.get("phase")},
+        )
+        flag = module.add_net(module.fresh_name(f"{latch.name}_edf"))
+        module.add_instance(
+            module.fresh_name(f"{latch.name}_edx_"),
+            xor_cell,
+            {"A": latch.net_of("Q"), "B": shadow_q.name, "Y": flag.name},
+            attrs={"error_detect": True},
+        )
+        flags.append(flag.name)
+        report.protected += 1
+        report.shadow_latches += 1
+        report.comparators += 1
+        report.area_added += latch_cell.area + xor_cell.area
+
+    if not flags:
+        return report
+
+    # OR-reduce the flags to the error output.
+    widest = max(len(c.data_pins) for c in library.cells_for_op("OR"))
+    level = flags
+    while len(level) > 1:
+        nxt: list[str] = []
+        for start in range(0, len(level), widest):
+            chunk = level[start : start + widest]
+            if len(chunk) == 1:
+                nxt.append(chunk[0])
+                continue
+            out = module.add_net(module.fresh_name("ed_or"))
+            cell = library.cell_for_op("OR", len(chunk))
+            conns = {pin: net for pin, net in zip(cell.data_pins, chunk)}
+            conns["Y"] = out.name
+            module.add_instance(
+                module.fresh_name("ed_or_"), cell, conns,
+                attrs={"error_detect": True},
+            )
+            report.or_gates += 1
+            report.area_added += cell.area
+            nxt.append(out.name)
+        level = nxt
+    module.add_output(error_port, net_name=level[0])
+    report.error_output = error_port
+    return report

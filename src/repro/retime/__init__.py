@@ -1,0 +1,13 @@
+"""Modified retiming (Sec. IV-C): forward motion of the inserted latches,
+plus the completing backward move set."""
+
+from repro.retime.backward import BackwardReport, move_backward, retime_backward_pass
+from repro.retime.forward import RetimeResult, retime_forward
+
+__all__ = [
+    "BackwardReport",
+    "move_backward",
+    "retime_backward_pass",
+    "RetimeResult",
+    "retime_forward",
+]

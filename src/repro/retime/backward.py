@@ -1,0 +1,138 @@
+"""Backward retiming moves (latch from a gate's output to its inputs).
+
+Forward moves (:mod:`repro.retime.forward`) cover the paper's flow, since
+the inserted p2 latch starts at its leading latch's output with all stage
+logic downstream.  Backward moves complete the classical retiming move
+set and give the balancer an escape when a forward-only walk dead-ends
+(e.g. a latch pushed past the midpoint by a merge).
+
+Legality beyond the structural rules mirrors forward moves, with the
+classical extra condition on **initial states**: moving a latch with
+initial value ``v`` from the output of gate ``g`` to its inputs requires
+input values ``x`` with ``g(x) = v``.  We only move when the preimage is
+*unique* (e.g. INV/BUF always; AND with v=1; OR with v=0; XOR of one
+variable input with constants...), since an ambiguous choice could
+disagree with the values other fanins observe.  In practice unique
+preimages cover the inverter/buffer chains where backward motion is
+useful; ambiguous cases are skipped and reported.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.library.cell import CellKind, Library
+from repro.netlist.core import Instance, Module, Pin
+from repro.sim.logic import eval_op
+
+
+@dataclass
+class BackwardReport:
+    moves: int = 0
+    latches_added: int = 0
+    latches_removed: int = 0
+    skipped_ambiguous: list[str] = field(default_factory=list)
+    skipped_structural: list[str] = field(default_factory=list)
+
+
+def unique_preimage(op: str, n_inputs: int, value: int) -> tuple[int, ...] | None:
+    """The single input vector with ``op(x) = value``, or None."""
+    matches = [
+        bits
+        for bits in itertools.product((0, 1), repeat=n_inputs)
+        if eval_op(op, list(bits)) == value
+    ]
+    return matches[0] if len(matches) == 1 else None
+
+
+def can_move_backward(module: Module, latch: Instance) -> str | None:
+    """The driving gate if ``latch`` may retime backward across it."""
+    d_net = latch.net_of("D")
+    driver = module.nets[d_net].driver
+    if not isinstance(driver, Pin):
+        return None
+    gate = module.instances[driver.instance]
+    if gate.cell.kind is not CellKind.COMB:
+        return None
+    # the gate's output must feed ONLY this latch, else other fanouts
+    # would lose a register on their paths
+    if len(module.nets[d_net].loads) != 1:
+        return None
+    return gate.name
+
+
+def move_backward(
+    module: Module,
+    latch_name: str,
+    library: Library,
+) -> tuple[bool, str]:
+    """Attempt one backward move; returns (moved, reason-if-not)."""
+    latch = module.instances[latch_name]
+    gate_name = can_move_backward(module, latch)
+    if gate_name is None:
+        return False, "structural"
+    gate = module.instances[gate_name]
+
+    init = int(latch.attrs.get("init", 0))
+    n_inputs = len(gate.cell.input_pins)
+    preimage = unique_preimage(gate.cell.op, n_inputs, init)
+    if preimage is None:
+        return False, "ambiguous-init"
+
+    clock_net = latch.net_of("G")
+    phase = latch.attrs.get("phase")
+    latch_cell = library.cell_for_op("DLATCH", drive=gate.cell.drive)
+
+    # Insert one latch on each gate input; reconnect the gate's output
+    # straight to the old latch's loads; drop the old latch.
+    for pin, pin_init in zip(gate.cell.input_pins, preimage):
+        src_net = gate.net_of(pin)
+        new_q = module.add_net(module.fresh_name(f"bk_{gate_name}_{pin}"))
+        new_name = module.fresh_name(f"bk_{latch_name}_")
+        module.add_instance(
+            new_name,
+            latch_cell,
+            {"D": src_net, "G": clock_net, "Q": new_q.name},
+            attrs={"phase": phase, "role": "retimed", "init": int(pin_init)},
+        )
+        module.reconnect(gate_name, pin, new_q.name)
+
+    old_q = latch.net_of("Q")
+    gate_out = latch.net_of("D")
+    module.remove_instance(latch_name)
+    module.move_loads(old_q, gate_out)
+    if not module.nets[old_q].loads and module.nets[old_q].driver is None:
+        module.remove_net(old_q)
+    return True, ""
+
+
+def retime_backward_pass(
+    module: Module,
+    library: Library,
+    movable_phase: str = "p2",
+    max_moves: int = 1000,
+) -> BackwardReport:
+    """Greedy backward sweep over movable latches (no timing objective;
+    callers combine with STA like the forward engine does)."""
+    report = BackwardReport()
+    progress = True
+    while progress and report.moves < max_moves:
+        progress = False
+        for latch in list(module.latches()):
+            if latch.attrs.get("phase") != movable_phase:
+                continue
+            before = len(module.latches())
+            moved, reason = move_backward(module, latch.name, library)
+            if moved:
+                after = len(module.latches())
+                report.moves += 1
+                report.latches_added += max(0, after - before + 1)
+                report.latches_removed += 1
+                progress = True
+            elif reason == "ambiguous-init":
+                report.skipped_ambiguous.append(latch.name)
+            else:
+                report.skipped_structural.append(latch.name)
+        break  # single sweep: backward motion is an assist, not a search
+    return report

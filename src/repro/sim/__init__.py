@@ -1,0 +1,24 @@
+"""Event-driven gate-level simulation, stimulus, and equivalence checking."""
+
+from repro.sim.equivalence import EquivalenceReport, check_equivalent, compare_streams
+from repro.sim.logic import X, eval_op
+from repro.sim.simulator import SimulationError, Simulator
+from repro.sim.stimulus import PROFILES, WorkloadProfile, generate_vectors
+from repro.sim.testbench import TestbenchResult, run_testbench
+from repro.sim.vcd import VcdRecorder
+
+__all__ = [
+    "EquivalenceReport",
+    "check_equivalent",
+    "compare_streams",
+    "X",
+    "eval_op",
+    "SimulationError",
+    "Simulator",
+    "PROFILES",
+    "WorkloadProfile",
+    "generate_vectors",
+    "TestbenchResult",
+    "run_testbench",
+    "VcdRecorder",
+]

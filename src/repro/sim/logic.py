@@ -1,0 +1,77 @@
+"""Three-valued logic evaluation (0, 1, X) for the gate-level simulator.
+
+X models unknown/uninitialized values and propagates pessimistically
+except through controlling values (0 on an AND, 1 on an OR, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: The unknown value.  0 and 1 are plain ints.
+X = 2
+
+
+def _and(values: list[int]) -> int:
+    saw_x = False
+    for v in values:
+        if v == 0:
+            return 0
+        if v == X:
+            saw_x = True
+    return X if saw_x else 1
+
+
+def _or(values: list[int]) -> int:
+    saw_x = False
+    for v in values:
+        if v == 1:
+            return 1
+        if v == X:
+            saw_x = True
+    return X if saw_x else 0
+
+
+def _not(value: int) -> int:
+    if value == X:
+        return X
+    return 1 - value
+
+
+def _xor(values: list[int]) -> int:
+    parity = 0
+    for v in values:
+        if v == X:
+            return X
+        parity ^= v
+    return parity
+
+
+def _mux2(values: list[int]) -> int:
+    a, b, s = values
+    if s == 0:
+        return a
+    if s == 1:
+        return b
+    return a if a == b and a != X else X
+
+
+#: op name -> function(list of input values in pin order) -> output value.
+EVAL: dict[str, Callable[[list[int]], int]] = {
+    "BUF": lambda v: v[0],
+    "INV": lambda v: _not(v[0]),
+    "AND": _and,
+    "NAND": lambda v: _not(_and(v)),
+    "OR": _or,
+    "NOR": lambda v: _not(_or(v)),
+    "XOR": _xor,
+    "XNOR": lambda v: _not(_xor(v)),
+    "MUX2": _mux2,
+    "TIE0": lambda v: 0,
+    "TIE1": lambda v: 1,
+}
+
+
+def eval_op(op: str, values: list[int]) -> int:
+    """Evaluate a combinational op on pin-ordered input values."""
+    return EVAL[op](values)

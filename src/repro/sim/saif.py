@@ -1,0 +1,102 @@
+"""SAIF-lite: switching-activity interchange for power analysis.
+
+Sign-off flows pass switching activity from simulation to the power tool
+as SAIF (Switching Activity Interchange Format).  This dialect keeps the
+familiar ``(NET (name (T0 ..) (T1 ..) (TC ..)))`` structure with the
+fields our power model consumes: toggle count ``TC`` and the measurement
+``DURATION``, plus ``T1`` (time high) when duty information is available.
+
+A dumped file round-trips into the ``activity`` dict + ``cycles`` window
+that :func:`repro.power.measure_power` takes, so power can be computed
+from a previously recorded run (or from activity produced elsewhere).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.netlist.core import Module
+
+
+@dataclass
+class ActivityRecord:
+    """Recorded switching activity over a measurement window."""
+
+    design: str
+    duration: float  # ps
+    period: float  # ps
+    toggles: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return int(round(self.duration / self.period)) if self.period else 0
+
+
+def dumps(
+    module: Module,
+    toggles: dict[str, int],
+    duration: float,
+    period: float,
+) -> str:
+    """Serialize activity to SAIF-lite text."""
+    lines = [
+        "(SAIFILE",
+        "  (SAIFVERSION \"2.0-lite\")",
+        f"  (DESIGN \"{module.name}\")",
+        "  (TIMESCALE 1 ps)",
+        f"  (DURATION {duration:.0f})",
+        f"  (CLOCK_PERIOD {period:.0f})",
+        f"  (INSTANCE {module.name}",
+    ]
+    for net in sorted(module.nets):
+        count = toggles.get(net, 0)
+        lines.append(f"    (NET ({_escape(net)} (TC {count})))")
+    lines.append("  )")
+    lines.append(")")
+    return "\n".join(lines) + "\n"
+
+
+def dump(module: Module, toggles: dict[str, int], duration: float,
+         period: float, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(module, toggles, duration, period))
+
+
+def _escape(name: str) -> str:
+    return name if re.fullmatch(r"[\w.$\[\]]+", name) else f'"{name}"'
+
+
+class SaifError(ValueError):
+    """Raised on malformed SAIF-lite input."""
+
+
+_DESIGN_RE = re.compile(r'\(DESIGN\s+"([^"]*)"\)')
+_DURATION_RE = re.compile(r"\(DURATION\s+([0-9.]+)\)")
+_PERIOD_RE = re.compile(r"\(CLOCK_PERIOD\s+([0-9.]+)\)")
+_NET_RE = re.compile(r'\(NET\s+\((?:"([^"]+)"|([\w.$\[\]]+))\s+\(TC\s+(\d+)\)\)\)')
+
+
+def loads(text: str) -> ActivityRecord:
+    """Parse SAIF-lite text back into an activity record."""
+    if "(SAIFILE" not in text:
+        raise SaifError("not a SAIF-lite file (missing SAIFILE)")
+    design = _DESIGN_RE.search(text)
+    duration = _DURATION_RE.search(text)
+    if duration is None:
+        raise SaifError("missing DURATION")
+    period = _PERIOD_RE.search(text)
+    record = ActivityRecord(
+        design=design.group(1) if design else "unknown",
+        duration=float(duration.group(1)),
+        period=float(period.group(1)) if period else 0.0,
+    )
+    for match in _NET_RE.finditer(text):
+        name = match.group(1) or match.group(2)
+        record.toggles[name] = int(match.group(3))
+    return record
+
+
+def load(path: str) -> ActivityRecord:
+    with open(path, encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,75 @@
+"""Cycle-level testbench: drive input vectors, sample output streams.
+
+Input timing convention (single convention valid for all three design
+styles; see the derivation in DESIGN.md section 3 and
+:mod:`repro.convert.clocks`):
+
+* vector 0 is applied at t = 0;
+* vector n (n >= 1) is applied at ``n*T + 0.3*T`` -- after the 3-phase p1
+  latches close (T/4) and well before the master-slave master closes
+  ((n+1)*T), which makes primary inputs behave "as if clocked by p1"
+  exactly as the paper assumes;
+* outputs are sampled just before each cycle boundary, where every style
+  holds the same architectural state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.core import Module
+from repro.convert.clocks import ClockSpec
+from repro.sim.simulator import Simulator
+from repro.sim.stimulus import Vector
+
+#: fraction of the period after the boundary where vectors are applied.
+#: Must be > 1/4 (after the 3-phase p1 latches close, so PIs behave "as if
+#: clocked by p1") and small enough that PI-driven logic settles before the
+#: master-slave master opens at T/2.
+INPUT_TIME_FRACTION = 0.27
+#: fraction of the period before the boundary where outputs are sampled.
+SAMPLE_GUARD_FRACTION = 0.02
+
+
+@dataclass
+class TestbenchResult:
+    """Sampled output streams plus the simulator (for activity queries)."""
+
+    module: Module
+    samples: list[Vector] = field(default_factory=list)
+    simulator: Simulator | None = None
+
+    def stream(self, port: str) -> list[int]:
+        return [sample[port] for sample in self.samples]
+
+
+def run_testbench(
+    module: Module,
+    clocks: ClockSpec,
+    vectors: list[Vector],
+    delay_model: str = "cell",
+    activity_warmup: int = 0,
+) -> TestbenchResult:
+    """Simulate ``module`` over ``vectors`` (one per cycle).
+
+    ``activity_warmup`` resets toggle counters after that many cycles so
+    power measurements exclude reset/initialization transients.
+    """
+    sim = Simulator(module, clocks, delay_model=delay_model)
+    period = clocks.period
+    outputs = module.output_ports()
+    result = TestbenchResult(module=module, simulator=sim)
+
+    for index, vector in enumerate(vectors):
+        time = 0.0 if index == 0 else index * period + INPUT_TIME_FRACTION * period
+        for port, value in vector.items():
+            sim.set_input(port, value, time)
+
+    for cycle in range(len(vectors)):
+        sample_time = (cycle + 1) * period - SAMPLE_GUARD_FRACTION * period
+        sim.run_until(sample_time)
+        result.samples.append({port: sim.port_value(port) for port in outputs})
+        if activity_warmup and cycle + 1 == activity_warmup:
+            sim.reset_activity()
+        sim.run_until((cycle + 1) * period)
+    return result

@@ -1,0 +1,66 @@
+"""Synthesis-lite: the front of the paper's design flow.
+
+:func:`synthesize` = clock-gating inference (Fig. 2 styles) followed by
+technology mapping onto the target library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.library.cell import Library
+from repro.netlist.core import Module
+from repro.synth.clock_gating import (
+    ClockGatingReport,
+    GatingCandidate,
+    find_candidates,
+    infer_clock_gating,
+)
+from repro.synth.mapping import MappingReport, drive_for_load, map_to_library
+from repro.synth.sizing import SizingReport, downsize_gates
+
+
+@dataclass
+class SynthesisResult:
+    module: Module
+    gating: ClockGatingReport
+    mapping: MappingReport
+
+
+def synthesize(
+    module: Module,
+    library: Library,
+    clock_gating_style: str = "gated",
+    max_icg_fanout: int = 32,
+    min_gating_group: int = 2,
+) -> SynthesisResult:
+    """Standard synchronous synthesis front-end for the conversion flow.
+
+    Leaves ``module`` untouched; returns a mapped copy with the requested
+    clock-gating style applied.
+    """
+    work = module.copy(module.name)
+    gating = infer_clock_gating(
+        work,
+        library,
+        style=clock_gating_style,
+        max_fanout=max_icg_fanout,
+        min_group=min_gating_group,
+    )
+    mapping = map_to_library(work, library)
+    return SynthesisResult(module=mapping.module, gating=gating, mapping=mapping)
+
+
+__all__ = [
+    "SynthesisResult",
+    "synthesize",
+    "ClockGatingReport",
+    "GatingCandidate",
+    "find_candidates",
+    "infer_clock_gating",
+    "MappingReport",
+    "drive_for_load",
+    "map_to_library",
+    "SizingReport",
+    "downsize_gates",
+]

@@ -1,0 +1,39 @@
+"""Cell delay calculation (linear delay model, optional wire loads).
+
+The same model the simulator uses: ``delay = intrinsic + slope * load``,
+where load is the sum of sink pin capacitances on the output net plus any
+wire capacitance the placement estimate assigns to the net.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.core import Instance, Module, Pin
+
+
+def output_load(
+    module: Module,
+    inst: Instance,
+    wire_caps: dict[str, float] | None = None,
+) -> float:
+    outs = inst.cell.output_pins
+    if not outs:
+        return 0.0
+    net_name = inst.conns.get(outs[0])
+    if net_name is None:
+        return 0.0
+    load = (wire_caps or {}).get(net_name, 0.0)
+    for ref in module.nets[net_name].loads:
+        if isinstance(ref, Pin):
+            sink = module.instances[ref.instance]
+            load += sink.cell.pin_capacitance(ref.pin)
+    return load
+
+
+def cell_delay(
+    module: Module,
+    inst: Instance,
+    wire_caps: dict[str, float] | None = None,
+) -> float:
+    """Input-to-output (or clock-to-q) delay of one instance."""
+    load = output_load(module, inst, wire_caps)
+    return inst.cell.intrinsic_delay + inst.cell.delay_per_ff * load

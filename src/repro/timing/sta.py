@@ -1,0 +1,220 @@
+"""Multi-phase static timing analysis with time borrowing.
+
+One analysis covers all three design styles:
+
+* FF designs -- every register has zero transparency, so the iteration
+  terminates after one pass and reduces to classic period checking;
+* master-slave and 3-phase latch designs -- departures can precede the
+  closing edge (time borrowing), so latest arrivals are computed by a
+  Szymanski-style fixed-point iteration over the sequential timing graph.
+
+Coordinates: every quantity for register ``i`` is measured relative to its
+own capture edge.  ``departure[i]`` in ``[-width_i, borrow...]`` is when
+the register's token leaves; an edge ``i -> j`` transfers
+``departure_i + delay - E_ij`` into j's frame, where ``E_ij`` is the SMO
+forward phase shift.
+
+Primary inputs are a pseudo-register on p1 (the paper's interface
+convention); primary outputs are a pseudo-register capturing at the cycle
+boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.convert.clocks import ClockSpec
+from repro.netlist.core import Module
+from repro.timing.graph import PI_SOURCE, PO_SINK, TimingGraph, extract_timing_graph
+from repro.timing.smo import (
+    RegisterTiming,
+    effective_hold_gap,
+    forward_shift,
+    register_timing_for,
+)
+
+
+@dataclass(frozen=True)
+class TimingViolation:
+    kind: str  # "setup" | "hold" | "divergence"
+    src: str
+    dst: str
+    slack: float
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.src} -> {self.dst} slack {self.slack:.1f}"
+
+
+@dataclass
+class TimingReport:
+    period: float
+    worst_setup_slack: float = float("inf")
+    worst_hold_slack: float = float("inf")
+    total_borrowed: float = 0.0
+    max_borrowed: float = 0.0
+    iterations: int = 0
+    violations: list[TimingViolation] = field(default_factory=list)
+    departures: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __str__(self) -> str:
+        status = "MET" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (
+            f"timing {status} @ period {self.period}: "
+            f"setup slack {self.worst_setup_slack:.1f}, "
+            f"hold slack {self.worst_hold_slack:.1f}, "
+            f"max borrow {self.max_borrowed:.1f}"
+        )
+
+
+def _register_timings(
+    module: Module, clocks: ClockSpec
+) -> dict[str, RegisterTiming]:
+    timings: dict[str, RegisterTiming] = {}
+    for inst in module.sequential_instances():
+        phase = _clock_phase_of(module, inst.name, clocks)
+        timings[inst.name] = register_timing_for(
+            inst.name, inst.cell.op, phase, clocks,
+            setup=inst.cell.setup, hold=inst.cell.hold,
+        )
+    return timings
+
+
+def _clock_phase_of(module: Module, inst_name: str, clocks: ClockSpec) -> str:
+    """Phase driving a register, traced through any gating to the root."""
+    from repro.netlist.traversal import trace_clock_root
+
+    inst = module.instances[inst_name]
+    clock_pin = inst.cell.clock_pin
+    net = inst.net_of(clock_pin)
+    chain = trace_clock_root(module, net)
+    if chain:
+        root_inst = module.instances[chain[-1]]
+        pin = "CK" if "CK" in root_inst.conns else "A"
+        net = root_inst.net_of(pin)
+    if net not in clocks.phase_names:
+        raise ValueError(
+            f"register {inst_name!r} clock root {net!r} is not a phase of "
+            f"the clock spec {clocks.phase_names}"
+        )
+    return net
+
+
+def analyze(
+    module: Module,
+    clocks: ClockSpec,
+    graph: TimingGraph | None = None,
+    wire_caps: dict[str, float] | None = None,
+    max_iterations: int = 50,
+) -> TimingReport:
+    """Setup/hold analysis of ``module`` under ``clocks``."""
+    period = clocks.period
+    if graph is None:
+        graph = extract_timing_graph(module, wire_caps)
+    timings = _register_timings(module, clocks)
+
+    # Pseudo-registers for the interface.
+    p1_like = clocks.phases[0].name
+    timings[PI_SOURCE] = RegisterTiming(
+        PI_SOURCE, p1_like, clocks.phase(p1_like).fall,
+        0.0, 0.0, 0.0,
+    )
+    timings[PO_SINK] = RegisterTiming(PO_SINK, "", period, 0.0, 0.0, 0.0)
+
+    report = TimingReport(period=period)
+
+    # -- setup: fixed-point on departures ------------------------------------
+    departures = {name: -t.width for name, t in timings.items()}
+    incoming: dict[str, list] = {}
+    for edge in graph.edges:
+        incoming.setdefault(edge.dst, []).append(edge)
+
+    converged = False
+    for iteration in range(1, max_iterations + 1):
+        report.iterations = iteration
+        changed = False
+        for name, timing in timings.items():
+            arrivals = [
+                departures[e.src]
+                + e.max_delay
+                - forward_shift(period, timings[e.src].capture, timing.capture)
+                for e in incoming.get(name, ())
+            ]
+            if not arrivals:
+                continue
+            arrival = max(arrivals)
+            new_departure = max(-timing.width, arrival)
+            if new_departure > departures[name] + 1e-9:
+                departures[name] = new_departure
+                changed = True
+        if not changed:
+            converged = True
+            break
+
+    if not converged:
+        report.violations.append(
+            TimingViolation("divergence", "-", "-", float("-inf"))
+        )
+
+    report.departures = dict(departures)
+
+    for edge in graph.edges:
+        src_t, dst_t = timings[edge.src], timings[edge.dst]
+        shift = forward_shift(period, src_t.capture, dst_t.capture)
+        arrival = departures[edge.src] + edge.max_delay - shift
+        slack = -arrival - dst_t.setup  # must arrive setup before capture (0)
+        report.worst_setup_slack = min(report.worst_setup_slack, slack)
+        if slack < -1e-9:
+            report.violations.append(
+                TimingViolation("setup", edge.src, edge.dst, slack)
+            )
+        borrowed = max(0.0, (arrival + shift) - (shift - dst_t.width))
+        report.total_borrowed += borrowed
+        report.max_borrowed = max(report.max_borrowed, borrowed)
+
+        # -- hold: earliest launch vs previous capture ------------------------
+        if edge.dst == PO_SINK or edge.src == PI_SOURCE:
+            continue
+        gap = effective_hold_gap(period, src_t, dst_t)
+        hold_slack = edge.min_delay + gap - dst_t.hold
+        report.worst_hold_slack = min(report.worst_hold_slack, hold_slack)
+        if hold_slack < -1e-9:
+            report.violations.append(
+                TimingViolation("hold", edge.src, edge.dst, hold_slack)
+            )
+
+    return report
+
+
+def minimum_period(
+    module: Module,
+    clocks_builder,
+    lo: float,
+    hi: float,
+    tolerance: float = 1.0,
+) -> float:
+    """Binary-search the smallest period where setup is met.
+
+    ``clocks_builder(period)`` returns the ClockSpec at that period (e.g.
+    ``ClockSpec.single`` or ``ClockSpec.default_three_phase``); hold
+    violations are ignored here since they are period-independent.
+    """
+    graph = extract_timing_graph(module)
+
+    def setup_ok(period: float) -> bool:
+        rpt = analyze(module, clocks_builder(period), graph=graph)
+        return all(v.kind != "setup" and v.kind != "divergence"
+                   for v in rpt.violations)
+
+    if not setup_ok(hi):
+        raise ValueError(f"setup fails even at period {hi}")
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2
+        if setup_ok(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

@@ -1,0 +1,109 @@
+"""Multi-bit data-driven clock gating tests."""
+
+import pytest
+
+from repro.cg.ddcg import apply_ddcg, toggle_rate
+from repro.convert import ClockSpec, convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.circuits.linear import linear_pipeline
+from repro.netlist import check
+from repro.sim import check_equivalent, generate_vectors, run_testbench
+from repro.synth import synthesize
+
+
+@pytest.fixture
+def quiet_design():
+    """A pipeline whose p2 latches see little activity (constant-ish
+    inputs), making every one a DDCG candidate."""
+    module = linear_pipeline(5, width=3, logic_depth=3, seed=4)
+    mapped = synthesize(module, FDSOI28).module
+    result = convert_to_three_phase(mapped, FDSOI28, period=1000.0)
+    return module, result
+
+
+def _profile(result, cycles=40, profile="random"):
+    vectors = generate_vectors(result.module, cycles, profile=profile)
+    bench = run_testbench(result.module, result.clocks, vectors,
+                          delay_model="unit")
+    return bench.simulator.toggles, cycles
+
+
+class TestToggleRate:
+    def test_rates(self):
+        activity = {"a": 10, "b": 0}
+        assert toggle_rate(activity, "a", 40) == pytest.approx(0.25)
+        assert toggle_rate(activity, "b", 40) == 0.0
+        assert toggle_rate(activity, "missing", 40) == 0.0
+        assert toggle_rate(activity, "a", 0) == 1.0  # no window: assume hot
+
+
+class TestApply:
+    def test_quiet_latches_gated(self, quiet_design):
+        _, result = quiet_design
+        activity = {net: 0 for net in result.module.nets}
+        report = apply_ddcg(result.module, FDSOI28, activity, cycles=100)
+        check(result.module)
+        assert report.gated_latches > 0
+        assert report.cg_cells >= 1
+        assert report.xor_cells == report.gated_latches
+        # every gated latch now has an ICG-driven G
+        for group in report.groups:
+            for name in group:
+                assert result.module.instances[name].net_of("G") != "p2"
+
+    def test_hot_latches_skipped(self, quiet_design):
+        _, result = quiet_design
+        activity = {net: 1000 for net in result.module.nets}
+        report = apply_ddcg(result.module, FDSOI28, activity, cycles=100)
+        assert report.gated_latches == 0
+        assert report.skipped_high_activity
+
+    def test_threshold_respected(self, quiet_design):
+        _, result = quiet_design
+        p2 = [i for i in result.module.latches()
+              if i.attrs["phase"] == "p2"]
+        activity = {}
+        for index, latch in enumerate(p2):
+            # first half cold, second half hot
+            activity[latch.net_of("D")] = 0 if index < len(p2) // 2 else 50
+        report = apply_ddcg(result.module, FDSOI28, activity, cycles=100,
+                            threshold=0.01, min_group=1)
+        assert report.gated_latches == len(p2) // 2
+
+    def test_max_fanout_chunks(self, quiet_design):
+        _, result = quiet_design
+        activity = {net: 0 for net in result.module.nets}
+        report = apply_ddcg(result.module, FDSOI28, activity, cycles=100,
+                            max_fanout=2, min_group=1)
+        assert all(len(g) <= 2 for g in report.groups)
+
+    def test_behaviour_preserved(self, quiet_design):
+        original, result = quiet_design
+        activity, cycles = _profile(result)
+        apply_ddcg(result.module, FDSOI28, activity, cycles,
+                   threshold=0.5, min_group=1)  # gate aggressively
+        check(result.module)
+        report = check_equivalent(
+            original, ClockSpec.single(1000.0),
+            result.module, result.clocks, n_cycles=60,
+        )
+        assert report.equivalent, str(report)
+
+    def test_gating_reduces_delivered_clock_edges(self, quiet_design):
+        original, result = quiet_design
+        ungated = result.module.copy("ungated")
+        activity = {net: 0 for net in result.module.nets}
+        apply_ddcg(result.module, FDSOI28, activity, cycles=100,
+                   threshold=0.5, min_group=1)
+
+        def clock_pin_toggles(module):
+            vectors = generate_vectors(module, 40, profile="hello")
+            bench = run_testbench(module, result.clocks, vectors,
+                                  delay_model="unit")
+            total = 0
+            for latch in module.latches():
+                if latch.attrs.get("phase") == "p2":
+                    total += bench.simulator.toggles[latch.net_of("G")]
+            return total
+
+        assert clock_pin_toggles(result.module) < clock_pin_toggles(ungated)

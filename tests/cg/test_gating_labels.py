@@ -1,0 +1,76 @@
+"""Tests for the one-pass gating-label lattice analysis."""
+
+from repro.cg.common_enable import _MIXED, _NO_GATE, gating_labels
+from repro.library.generic import GENERIC
+from repro.netlist import Module
+
+
+def build(with_second_enable=False):
+    """Two gated latches (en0[, en1]) + one ungated latch feeding a cloud."""
+    m = Module("lat")
+    m.add_input("p1", is_clock=True)
+    m.add_input("en0")
+    if with_second_enable:
+        m.add_input("en1")
+    m.add_input("d")
+    for net in ("g0", "g1", "qa", "qb", "qc", "mix", "same", "pi_mix"):
+        m.add_net(net)
+    m.add_instance("icg0", GENERIC["ICG"],
+                   {"CK": "p1", "EN": "en0", "GCK": "g0"})
+    m.add_instance("icg1", GENERIC["ICG"],
+                   {"CK": "p1", "EN": "en1" if with_second_enable else "en0",
+                    "GCK": "g1"})
+    m.add_instance("la", GENERIC["DLATCH"], {"D": "d", "G": "g0", "Q": "qa"})
+    m.add_instance("lb", GENERIC["DLATCH"], {"D": "d", "G": "g1", "Q": "qb"})
+    m.add_instance("lc", GENERIC["DLATCH"], {"D": "d", "G": "p1", "Q": "qc"})
+    # same: combines two latches gated by (possibly) the same enable
+    m.add_instance("gs", GENERIC["AND2"], {"A": "qa", "B": "qb", "Y": "same"})
+    # mix: gated latch + ungated latch
+    m.add_instance("gm", GENERIC["AND2"], {"A": "qa", "B": "qc", "Y": "mix"})
+    # pi_mix: gated latch + raw primary input
+    m.add_instance("gp", GENERIC["OR2"], {"A": "qa", "B": "d", "Y": "pi_mix"})
+    m.add_output("o1", net_name="same")
+    m.add_output("o2", net_name="mix")
+    m.add_output("o3", net_name="pi_mix")
+    return m
+
+
+def test_latch_outputs_carry_their_enable():
+    labels = gating_labels(build())
+    assert labels["qa"] == "en0"
+    assert labels["qb"] == "en0"
+    assert labels["qc"] == _NO_GATE
+
+
+def test_common_enable_joins_cleanly():
+    labels = gating_labels(build())
+    assert labels["same"] == "en0"
+
+
+def test_different_enables_mix():
+    labels = gating_labels(build(with_second_enable=True))
+    assert labels["qb"] == "en1"
+    assert labels["same"] == _MIXED
+
+
+def test_ungated_latch_poisons():
+    labels = gating_labels(build())
+    assert labels["mix"] == _MIXED
+
+
+def test_primary_input_poisons():
+    # A PI can change while EN is low; cones containing PIs must not be
+    # gated on EN.
+    labels = gating_labels(build())
+    assert labels["pi_mix"] == _MIXED
+
+
+def test_constant_nets_unlabelled():
+    m = Module("c")
+    m.add_net("one")
+    m.add_net("y")
+    m.add_instance("t", GENERIC["TIE1"], {"Y": "one"})
+    m.add_instance("g", GENERIC["INV"], {"A": "one", "Y": "y"})
+    m.add_output("z", net_name="y")
+    labels = gating_labels(m)
+    assert labels["y"] is None

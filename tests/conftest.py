@@ -1,0 +1,48 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library.fdsoi28 import FDSOI28
+from repro.library.generic import GENERIC
+from repro.netlist import bench
+
+
+@pytest.fixture
+def fdsoi():
+    return FDSOI28
+
+
+@pytest.fixture
+def generic():
+    return GENERIC
+
+
+S27_TEXT = """
+# tiny ISCAS-like circuit
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+G17 = NOT(G11)
+"""
+
+
+@pytest.fixture
+def s27():
+    """The classic ISCAS89 s27 circuit (3 FFs, published netlist)."""
+    return bench.loads(S27_TEXT, "s27")

@@ -1,0 +1,72 @@
+"""PhaseAssignment feasibility validation tests."""
+
+import pytest
+
+from repro.convert.assignment import PhaseAssignment
+from repro.netlist.traversal import FFGraph
+
+
+def graph(edges, ffs, pi_fanout=()):
+    g = FFGraph(ffs=list(ffs), fanout={f: set() for f in ffs},
+                pi_fanout=set(pi_fanout))
+    for u, v in edges:
+        g.fanout[u].add(v)
+    return g
+
+
+def test_valid_assignment_passes():
+    g = graph([("a", "b")], "ab")
+    PhaseAssignment(group={"a": 0, "b": 1}, k={"a": 1, "b": 0}).validate(g)
+
+
+def test_missing_ff_detected():
+    g = graph([], "ab")
+    with pytest.raises(ValueError, match="missing assignment"):
+        PhaseAssignment(group={"a": 0}, k={"a": 1}).validate(g)
+
+
+def test_p3_single_rejected():
+    g = graph([], "a")
+    with pytest.raises(ValueError, match="back-to-back"):
+        PhaseAssignment(group={"a": 0}, k={"a": 0}).validate(g)
+
+
+def test_adjacent_singles_rejected():
+    g = graph([("a", "b")], "ab")
+    with pytest.raises(ValueError, match="simultaneous transparency"):
+        PhaseAssignment(group={"a": 0, "b": 0}, k={"a": 1, "b": 1}).validate(g)
+
+
+def test_single_feeding_p1_leading_rejected():
+    g = graph([("a", "b")], "ab")
+    with pytest.raises(ValueError, match="simultaneous transparency"):
+        PhaseAssignment(group={"a": 0, "b": 1}, k={"a": 1, "b": 1}).validate(g)
+
+
+def test_self_loop_single_rejected():
+    g = graph([("a", "a")], "a")
+    with pytest.raises(ValueError, match="self loop"):
+        PhaseAssignment(group={"a": 0}, k={"a": 1}).validate(g)
+
+
+def test_pi_fed_single_rejected():
+    g = graph([], "a", pi_fanout="a")
+    with pytest.raises(ValueError, match="PI-fed"):
+        PhaseAssignment(group={"a": 0}, k={"a": 1}).validate(g)
+
+
+def test_non_binary_rejected():
+    g = graph([], "a")
+    with pytest.raises(ValueError, match="non-binary"):
+        PhaseAssignment(group={"a": 2}, k={"a": 1}).validate(g)
+
+
+def test_counting_helpers():
+    a = PhaseAssignment(group={"a": 0, "b": 1, "c": 1},
+                        k={"a": 1, "b": 0, "c": 1})
+    assert a.num_single == 1
+    assert a.num_b2b == 2
+    assert a.total_latches == 5
+    assert a.leading_phase("b") == "p3"
+    assert a.leading_phase("c") == "p1"
+    assert a.phase_counts() == {"p1": 2, "p2": 2, "p3": 1}

@@ -1,0 +1,70 @@
+"""Gated-clock chain sharing semantics in the rebuilder."""
+
+from repro.convert.gated_clocks import GatedClockRebuilder
+from repro.library.generic import GENERIC
+from repro.netlist import Module, check
+
+
+def nested_gating() -> Module:
+    """clk -> ICG(en0) -> ICG(en1) -> two FFs; one FF on the outer gate."""
+    m = Module("nested")
+    m.add_input("clk", is_clock=True)
+    m.add_input("en0")
+    m.add_input("en1")
+    m.add_input("d")
+    for net in ("g0", "g1", "qa", "qb", "qc"):
+        m.add_net(net)
+    m.add_instance("icg0", GENERIC["ICG"],
+                   {"CK": "clk", "EN": "en0", "GCK": "g0"})
+    m.add_instance("icg1", GENERIC["ICG"],
+                   {"CK": "g0", "EN": "en1", "GCK": "g1"})
+    m.add_instance("fa", GENERIC["DFF"], {"D": "d", "CK": "g1", "Q": "qa"})
+    m.add_instance("fb", GENERIC["DFF"], {"D": "d", "CK": "g1", "Q": "qb"})
+    m.add_instance("fc", GENERIC["DFF"], {"D": "d", "CK": "g0", "Q": "qc"})
+    for i, q in enumerate(("qa", "qb", "qc")):
+        m.add_output(f"z{i}", net_name=q)
+    return m
+
+
+def test_same_chain_same_phase_shared():
+    m = nested_gating()
+    m.add_input("p1", is_clock=True)
+    rebuilder = GatedClockRebuilder(m, GENERIC)
+    a = rebuilder.clock_net_for("g1", "p1")
+    b = rebuilder.clock_net_for("g1", "p1")
+    assert a == b
+    check(m)
+
+
+def test_nested_chain_reuses_prefix():
+    m = nested_gating()
+    m.add_input("p1", is_clock=True)
+    rebuilder = GatedClockRebuilder(m, GENERIC)
+    inner = rebuilder.clock_net_for("g1", "p1")  # builds icg0' and icg1'
+    outer = rebuilder.clock_net_for("g0", "p1")  # must reuse icg0'
+    clones = [i for i in m.instances.values()
+              if i.attrs.get("cloned_from")]
+    # two ICGs cloned total, not three: the outer stage is shared
+    assert len(clones) == 2
+    # the inner clone's CK is the outer clone's output
+    inner_clone = next(i for i in clones if i.attrs["cloned_from"] == "icg1")
+    assert inner_clone.net_of("CK") == outer
+
+
+def test_different_phases_duplicated():
+    m = nested_gating()
+    m.add_input("p1", is_clock=True)
+    m.add_input("p3", is_clock=True)
+    rebuilder = GatedClockRebuilder(m, GENERIC)
+    a = rebuilder.clock_net_for("g1", "p1")
+    b = rebuilder.clock_net_for("g1", "p3")
+    assert a != b
+    clones = [i for i in m.instances.values() if i.attrs.get("cloned_from")]
+    assert len(clones) == 4  # both chain stages, per phase
+
+
+def test_ungated_returns_phase_port():
+    m = nested_gating()
+    m.add_input("p2", is_clock=True)
+    rebuilder = GatedClockRebuilder(m, GENERIC)
+    assert rebuilder.clock_net_for("clk", "p2") == "p2"

@@ -1,0 +1,87 @@
+"""Clock schedule invariants (the derived 3-phase waveforms)."""
+
+import pytest
+
+from repro.convert.clocks import ClockSpec, Phase
+
+
+class TestThreePhaseSchedule:
+    @pytest.fixture
+    def spec(self):
+        return ClockSpec.default_three_phase(1000.0)
+
+    def test_closing_order_matches_smo_convention(self, spec):
+        e1 = spec.closing_time("p1")
+        e2 = spec.closing_time("p2")
+        e3 = spec.closing_time("p3")
+        assert e1 <= e2 <= e3 == spec.period
+
+    def test_pairwise_non_overlap(self, spec):
+        # C2: all connected pairs, which for this construction is all pairs.
+        for a, b in (("p1", "p2"), ("p2", "p3"), ("p1", "p3")):
+            assert not spec.overlaps(a, b)
+
+    def test_p3_falls_where_p1_rises(self, spec):
+        # "small (if any) gap between p1 rising and p3 falling"
+        assert spec.phase("p3").fall == pytest.approx(spec.period)
+        assert spec.phase("p1").rise == pytest.approx(0.0)
+
+    def test_borrowing_budgets(self, spec):
+        period = spec.period
+        # p1 -> p3: full critical stage (C3).
+        budget_13 = spec.closing_time("p3") - spec.opening_time("p1")
+        assert budget_13 == pytest.approx(period)
+        # p3 -> p2 (next cycle) and p2 -> p1 (next cycle): >= half stage.
+        budget_32 = period + spec.closing_time("p2") - spec.opening_time("p3")
+        budget_21 = period + spec.closing_time("p1") - spec.opening_time("p2")
+        assert budget_32 >= period / 2
+        assert budget_21 >= period / 2
+        # p1 -> p2 and p2 -> p3 same-cycle hops: >= half stage.
+        assert spec.closing_time("p2") - spec.opening_time("p1") >= period / 2
+        assert spec.closing_time("p3") - spec.opening_time("p2") >= period / 2
+
+    def test_skip_first_only_p1(self, spec):
+        assert spec.phase("p1").skip_first
+        assert not spec.phase("p2").skip_first
+        assert not spec.phase("p3").skip_first
+        assert not spec.is_high("p1", spec.opening_time("p1") + 1.0)
+        assert spec.is_high("p1", spec.period + spec.opening_time("p1") + 1.0)
+
+    def test_gap_fraction_shrinks_windows(self):
+        base = ClockSpec.default_three_phase(1000.0)
+        gapped = ClockSpec.default_three_phase(1000.0, gap_fraction=0.02)
+        for name in ("p1", "p2", "p3"):
+            assert gapped.phase(name).width < base.phase(name).width
+
+
+class TestOtherSchedules:
+    def test_single(self):
+        spec = ClockSpec.single(800.0)
+        assert spec.is_high("clk", 100.0)
+        assert not spec.is_high("clk", 500.0)
+
+    def test_master_slave_complementary(self):
+        spec = ClockSpec.master_slave(1000.0)
+        for t in (10.0, 260.0, 510.0, 900.0):
+            assert spec.is_high("clk", t) != spec.is_high("clkbar", t)
+
+    def test_uniform_three_phase_non_overlapping(self):
+        spec = ClockSpec.uniform_three_phase(900.0)
+        assert not spec.overlaps("p1", "p2")
+        assert not spec.overlaps("p2", "p3")
+        assert not spec.overlaps("p1", "p3")
+
+
+class TestValidation:
+    def test_phase_outside_period_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            ClockSpec(100.0, (Phase("p", 50.0, 150.0),))
+
+    def test_duplicate_phase_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ClockSpec(100.0, (Phase("p", 0.0, 10.0), Phase("p", 20.0, 30.0)))
+
+    def test_unknown_phase_lookup(self):
+        spec = ClockSpec.single(100.0)
+        with pytest.raises(KeyError):
+            spec.phase("p9")

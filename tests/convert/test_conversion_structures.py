@@ -1,0 +1,66 @@
+"""Additional conversion structure coverage: sweep accounting, PO-only
+FFs, unusual clock port names."""
+
+import pytest
+
+from repro.convert import (
+    convert_to_master_slave,
+    convert_to_pulsed_latch,
+    convert_to_three_phase,
+)
+from repro.library.generic import GENERIC
+from repro.netlist import Module, check
+
+
+def odd_clock_name() -> Module:
+    m = Module("odd")
+    m.add_input("core_clock", is_clock=True)
+    m.add_input("d")
+    m.add_net("q")
+    m.add_instance("ff", GENERIC["DFF"],
+                   {"D": "d", "CK": "core_clock", "Q": "q"},
+                   attrs={"init": 0})
+    m.add_output("z", net_name="q")
+    return m
+
+
+@pytest.mark.parametrize("converter,extra", [
+    (convert_to_three_phase, {"period": 1000.0}),
+    (convert_to_master_slave, {"period": 1000.0}),
+    (convert_to_pulsed_latch, {"period": 1000.0}),
+])
+def test_nonstandard_clock_port_retired(converter, extra):
+    m = odd_clock_name()
+    result = converter(m, GENERIC, **extra)
+    check(result.module)
+    assert "core_clock" not in result.module.ports
+    assert result.module.latches()
+
+
+def test_unloaded_ff_still_converted():
+    m = odd_clock_name()
+    # an FF whose Q drives nothing (dead state bit kept by constraint C1)
+    m.add_net("dead_q")
+    m.add_instance("dead", GENERIC["DFF"],
+                   {"D": "d", "CK": "core_clock", "Q": "dead_q"},
+                   attrs={"init": 0})
+    result = convert_to_three_phase(m, GENERIC, period=1000.0)
+    check(result.module)
+    assert result.module.instances["dead"].cell.op == "DLATCH"
+
+
+def test_non_ff_name_rejected():
+    from repro.convert import assign_phases
+    from repro.convert.assignment import PhaseAssignment
+
+    m = odd_clock_name()
+    bogus = PhaseAssignment(group={"ff": 1, "nonexistent": 1},
+                            k={"ff": 0, "nonexistent": 0})
+    with pytest.raises(KeyError):
+        convert_to_three_phase(m, GENERIC, assignment=bogus, period=1000.0)
+
+
+def test_conversion_requires_period_or_clocks():
+    m = odd_clock_name()
+    with pytest.raises(ValueError, match="clocks or period"):
+        convert_to_three_phase(m, GENERIC)

@@ -1,0 +1,67 @@
+"""The Sec. III-B special case: linear pipelines (Fig. 1).
+
+"The conversion adds exactly one extra latch stage for every other original
+pipeline stage, which can be shown to be the minimum number of extra
+latches possible while still meeting all the constraints."
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.linear import expected_three_phase_latches, linear_pipeline
+from repro.convert import ClockSpec, assign_phases, convert_to_three_phase
+from repro.library.generic import GENERIC
+from repro.netlist import check, collect_stats
+from repro.sim import check_equivalent
+
+
+class TestFig1Property:
+    @pytest.mark.parametrize("stages", [1, 2, 3, 4, 5, 6, 9, 12])
+    def test_minimum_latch_count(self, stages):
+        module = linear_pipeline(stages, width=1)
+        assignment = assign_phases(module)
+        assert assignment.total_latches == expected_three_phase_latches(stages)
+
+    @pytest.mark.parametrize("stages,width", [(4, 3), (5, 2), (3, 4)])
+    def test_width_scales_linearly(self, stages, width):
+        module = linear_pipeline(stages, width=width)
+        assignment = assign_phases(module)
+        assert assignment.total_latches == expected_three_phase_latches(
+            stages, width
+        )
+
+    @given(st.integers(min_value=1, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_extra_latches_every_other_stage(self, stages):
+        module = linear_pipeline(stages)
+        assignment = assign_phases(module)
+        extra = assignment.num_b2b
+        assert extra == (stages + 1) // 2
+
+    def test_phase_pattern_alternates(self):
+        # Fig 1(b): ranks alternate b2b / single starting from the PI rank.
+        module = linear_pipeline(6)
+        assignment = assign_phases(module)
+        for stage in range(6):
+            ff = f"ff_s{stage}_b0"
+            if stage % 2 == 0:
+                assert not assignment.is_single(ff), f"rank {stage}"
+            else:
+                assert assignment.is_single(ff), f"rank {stage}"
+                assert assignment.leading_phase(ff) == "p1"
+
+
+class TestConvertedPipelines:
+    @pytest.mark.parametrize("stages,width", [(4, 2), (7, 1)])
+    def test_equivalence(self, stages, width):
+        module = linear_pipeline(stages, width=width, seed=stages)
+        result = convert_to_three_phase(module, GENERIC, period=1000.0)
+        check(result.module)
+        stats = collect_stats(result.module)
+        assert stats.latches == expected_three_phase_latches(stages, width)
+        report = check_equivalent(
+            module, ClockSpec.single(1000.0), result.module, result.clocks,
+            n_cycles=40 + 2 * stages,
+        )
+        assert report.equivalent, str(report)

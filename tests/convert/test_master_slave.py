@@ -1,0 +1,58 @@
+"""Master-slave baseline conversion tests."""
+
+import pytest
+
+from repro.convert import ClockSpec, convert_to_master_slave
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import check, collect_stats
+from repro.netlist.core import Pin
+from repro.sim import check_equivalent
+from repro.synth import synthesize
+
+
+@pytest.fixture
+def converted(s27):
+    mapped = synthesize(s27, FDSOI28).module
+    return mapped, convert_to_master_slave(mapped, FDSOI28, period=1000.0)
+
+
+def test_two_latches_per_ff(converted):
+    mapped, result = converted
+    check(result.module)
+    stats = collect_stats(result.module)
+    assert stats.flip_flops == 0
+    assert stats.latches == 2 * len(mapped.flip_flops())
+
+
+def test_master_feeds_slave_directly(converted):
+    _, result = converted
+    for master, slave in result.pairs.items():
+        slave_inst = result.module.instances[slave]
+        driver = result.module.nets[slave_inst.net_of("D")].driver
+        assert driver == Pin(master, "Q")
+        assert result.module.instances[master].attrs["role"] == "master"
+        assert slave_inst.attrs["role"] == "slave"
+
+
+def test_clock_phases(converted):
+    _, result = converted
+    for master, slave in result.pairs.items():
+        assert result.module.instances[master].attrs["phase"] == "clkbar"
+        assert result.module.instances[slave].attrs["phase"] == "clk"
+    assert result.module.clock_ports == {"clk", "clkbar"}
+
+
+def test_equivalent_to_ff_design(converted):
+    mapped, result = converted
+    report = check_equivalent(
+        mapped, ClockSpec.single(1000.0), result.module, result.clocks,
+        n_cycles=60,
+    )
+    assert report.equivalent, str(report)
+
+
+def test_slave_keeps_q_net(converted):
+    mapped, result = converted
+    for ff in mapped.flip_flops():
+        original_q = ff.net_of("Q")
+        assert result.module.instances[ff.name].net_of("Q") == original_q

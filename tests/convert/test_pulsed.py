@@ -1,0 +1,77 @@
+"""Pulsed-latch conversion tests: the Sec. I hold-problem demonstration."""
+
+import pytest
+
+from repro.circuits import build
+from repro.convert import ClockSpec, convert_to_pulsed_latch, pulsed_clock
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import check, collect_stats
+from repro.sim import compare_streams, generate_vectors
+from repro.synth import synthesize
+from repro.timing import analyze
+from repro.timing.hold_fix import fix_holds
+from repro.timing.smo import effective_hold_gap, register_timing_for
+
+
+@pytest.fixture(scope="module")
+def pulsed():
+    design = build("s1196")
+    mapped = synthesize(design, FDSOI28).module
+    return design, mapped, convert_to_pulsed_latch(mapped, FDSOI28,
+                                                   period=1000.0)
+
+
+class TestStructure:
+    def test_one_latch_per_ff(self, pulsed):
+        _, mapped, result = pulsed
+        check(result.module)
+        stats = collect_stats(result.module)
+        assert stats.flip_flops == 0
+        assert stats.latches == len(mapped.flip_flops())
+        assert result.converted == stats.latches
+
+    def test_pulse_clock_shape(self):
+        clocks = pulsed_clock(1000.0, pulse_fraction=0.1)
+        phase = clocks.phase("pclk")
+        assert phase.width == pytest.approx(100.0)
+        assert phase.skip_first
+
+
+class TestHoldExposure:
+    def test_overlapping_windows_negative_gap(self):
+        clocks = pulsed_clock(1000.0, 0.12)
+        a = register_timing_for("a", "DLATCH", "pclk", clocks)
+        b = register_timing_for("b", "DLATCH", "pclk", clocks, hold=8.0)
+        gap = effective_hold_gap(1000.0, a, b)
+        # data launched at the pulse opening must outlast the whole pulse
+        assert gap == pytest.approx(-120.0)
+
+    def test_sta_reports_hold_violations(self, pulsed):
+        _, _, result = pulsed
+        report = analyze(result.module, result.clocks)
+        assert any(v.kind == "hold" for v in report.violations)
+
+    def test_hold_fix_pays_heavily(self, pulsed):
+        design, mapped, _ = pulsed
+        # fresh conversion so the fixture stays pristine
+        fresh = convert_to_pulsed_latch(mapped, FDSOI28, period=1000.0)
+        ff_copy = mapped.copy("ffh")
+        ff_fix = fix_holds(ff_copy, ClockSpec.single(1000.0), FDSOI28,
+                           clock_uncertainty=80.0)
+        pl_fix = fix_holds(fresh.module, fresh.clocks, FDSOI28,
+                           clock_uncertainty=80.0)
+        # the paper's point: pulsed latches need far more hold effort
+        assert pl_fix.buffers_added > 3 * max(1, ff_fix.buffers_added)
+
+    def test_functional_after_hold_fix(self, pulsed):
+        design, mapped, _ = pulsed
+        fresh = convert_to_pulsed_latch(mapped, FDSOI28, period=1000.0)
+        fix_holds(fresh.module, fresh.clocks, FDSOI28,
+                  clock_uncertainty=80.0)
+        check(fresh.module)
+        vectors = generate_vectors(design, 40, seed=5)
+        report = compare_streams(
+            design, ClockSpec.single(1000.0),
+            fresh.module, fresh.clocks, vectors, delay_model="cell",
+        )
+        assert report.equivalent, str(report)

@@ -1,0 +1,43 @@
+"""Pulsed-latch style through the full flow."""
+
+import pytest
+from dataclasses import replace
+
+from repro.circuits import build
+from repro.flow import FlowOptions, run_flow
+
+
+@pytest.fixture(scope="module")
+def results():
+    design = build("s1196")
+    base = FlowOptions(period=1000.0, sim_cycles=50)
+    return {
+        style: run_flow(design, replace(base, style=style))
+        for style in ("ff", "pulsed", "3p")
+    }
+
+
+def test_pulsed_keeps_register_floor(results):
+    assert results["pulsed"].stats.registers == results["ff"].stats.registers
+    assert results["pulsed"].stats.flip_flops == 0
+
+
+def test_pulsed_pays_hold_buffers(results):
+    pulsed = results["pulsed"].hold.buffers_added
+    p3 = results["3p"].hold.buffers_added
+    assert pulsed > p3
+
+
+def test_pulsed_clock_cheaper_than_ff(results):
+    assert (results["pulsed"].power.clock.total
+            < results["ff"].power.clock.total)
+
+
+def test_pulsed_timing_met(results):
+    assert results["pulsed"].timing.ok, str(results["pulsed"].timing)
+
+
+def test_pulsed_clock_spec(results):
+    clocks = results["pulsed"].clocks
+    assert clocks.phase_names == ("pclk",)
+    assert clocks.phase("pclk").width < clocks.period / 4

@@ -1,0 +1,66 @@
+"""Additional branch-and-bound coverage: degenerate and stress shapes."""
+
+import pytest
+
+from repro.ilp import branch_bound, scipy_backend
+from repro.ilp.model import IlpModel, Sense, SolveStatus
+
+
+def test_all_variables_forced_one():
+    model = IlpModel()
+    xs = [model.add_var(f"x{i}") for i in range(6)]
+    for x in xs:
+        model.add_constraint({x: 1.0}, Sense.GE, 1.0)
+    model.set_objective({x: 1.0 for x in xs})
+    solution = branch_bound.solve(model)
+    assert solution.values == [1] * 6
+    assert solution.objective == pytest.approx(6.0)
+
+
+def test_unconstrained_minimizes_to_zero():
+    model = IlpModel()
+    xs = [model.add_var(f"x{i}") for i in range(5)]
+    model.set_objective({x: 3.0 for x in xs})
+    solution = branch_bound.solve(model)
+    assert solution.objective == pytest.approx(0.0)
+
+
+def test_negative_objective_coefficients():
+    # minimization with negative weights: variable wants to be 1
+    model = IlpModel()
+    x, y = model.add_var("x"), model.add_var("y")
+    model.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 1.0)  # at most one
+    model.set_objective({x: -2.0, y: -5.0})
+    ours = branch_bound.solve(model)
+    highs = scipy_backend.solve(model)
+    assert ours.objective == pytest.approx(-5.0)
+    assert highs.objective == pytest.approx(-5.0)
+    assert ours.values == [0, 1]
+
+
+def test_fractional_objective_no_ceil_strengthening():
+    model = IlpModel()
+    x, y = model.add_var("x"), model.add_var("y")
+    model.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 1.0)
+    model.set_objective({x: 0.5, y: 0.7})
+    solution = branch_bound.solve(model)
+    assert solution.objective == pytest.approx(0.5)
+
+
+def test_conflicting_equalities_infeasible():
+    model = IlpModel()
+    x = model.add_var("x")
+    model.add_constraint({x: 1.0}, Sense.EQ, 1.0)
+    model.add_constraint({x: 1.0}, Sense.EQ, 0.0)
+    model.set_objective({x: 1.0})
+    assert branch_bound.solve(model).status is SolveStatus.INFEASIBLE
+    assert scipy_backend.solve(model).status is SolveStatus.INFEASIBLE
+
+
+def test_duplicate_coefficients_fold():
+    model = IlpModel()
+    x = model.add_var("x")
+    # 2x >= 2 via folded duplicate keys
+    model.add_constraint({x: 2.0}, Sense.GE, 2.0)
+    model.set_objective({x: 1.0})
+    assert branch_bound.solve(model).values == [1]

@@ -1,0 +1,71 @@
+"""IlpModel construction and checking tests."""
+
+import math
+
+import pytest
+
+from repro.ilp.model import IlpModel, Sense, Solution, SolveStatus
+
+
+def test_variables_indexed_in_order():
+    m = IlpModel()
+    assert m.add_var("x") == 0
+    assert m.add_var("y") == 1
+    assert m.var("y") == 1
+    assert m.num_vars == 2
+
+
+def test_duplicate_variable_rejected():
+    m = IlpModel()
+    m.add_var("x")
+    with pytest.raises(ValueError, match="duplicate"):
+        m.add_var("x")
+
+
+def test_constraint_coefficients_folded():
+    m = IlpModel()
+    x = m.add_var("x")
+    m.add_constraint({x: 1.0}, Sense.GE, 1.0)
+    m.constraints[0].evaluate([1])
+    # duplicate indexes folded via dict keying happens upstream; check range
+    with pytest.raises(IndexError):
+        m.add_constraint({5: 1.0}, Sense.LE, 0.0)
+
+
+def test_feasibility_and_objective():
+    m = IlpModel()
+    x, y = m.add_var("x"), m.add_var("y")
+    m.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 1.0)
+    m.add_constraint({x: 1.0, y: 1.0}, Sense.LE, 1.0)
+    m.set_objective({x: 2.0, y: 3.0})
+    assert m.is_feasible([1, 0])
+    assert m.is_feasible([0, 1])
+    assert not m.is_feasible([1, 1])
+    assert not m.is_feasible([0, 0])
+    assert not m.is_feasible([2, 0])
+    assert not m.is_feasible([1])
+    assert m.objective_value([0, 1]) == pytest.approx(3.0)
+
+
+def test_eq_sense():
+    m = IlpModel()
+    x, y = m.add_var("x"), m.add_var("y")
+    m.add_constraint({x: 1.0, y: 1.0}, Sense.EQ, 1.0)
+    assert m.is_feasible([1, 0])
+    assert not m.is_feasible([1, 1])
+
+
+def test_check_solution_catches_lies():
+    m = IlpModel()
+    x = m.add_var("x")
+    m.add_constraint({x: 1.0}, Sense.GE, 1.0)
+    m.set_objective({x: 1.0})
+    bogus = Solution(SolveStatus.OPTIMAL, [0], 0.0)
+    with pytest.raises(AssertionError, match="infeasible"):
+        m.check_solution(bogus)
+    wrong_obj = Solution(SolveStatus.OPTIMAL, [1], 5.0)
+    with pytest.raises(AssertionError, match="objective mismatch"):
+        m.check_solution(wrong_obj)
+    m.check_solution(Solution(SolveStatus.OPTIMAL, [1], 1.0))
+    # non-ok solutions are not checked
+    m.check_solution(Solution(SolveStatus.INFEASIBLE, [], math.inf))

@@ -1,0 +1,117 @@
+"""Branch-and-bound vs HiGHS backend: both must be exact and agree.
+
+Property tests generate random set-covering-style 0-1 programs (the same
+family the paper's ILP belongs to) and brute-force small instances.
+"""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import branch_bound, scipy_backend
+from repro.ilp.model import IlpModel, Sense, SolveStatus
+
+
+def brute_force(model: IlpModel) -> float:
+    best = math.inf
+    for values in itertools.product((0, 1), repeat=model.num_vars):
+        values = list(values)
+        if model.is_feasible(values):
+            best = min(best, model.objective_value(values))
+    return best
+
+
+def random_covering_model(rng: random.Random, n_vars: int, n_cons: int) -> IlpModel:
+    model = IlpModel("cover")
+    for i in range(n_vars):
+        model.add_var(f"x{i}")
+    for _ in range(n_cons):
+        size = rng.randint(1, min(4, n_vars))
+        members = rng.sample(range(n_vars), size)
+        model.add_constraint({i: 1.0 for i in members}, Sense.GE, 1.0)
+    model.set_objective({i: float(rng.randint(1, 5)) for i in range(n_vars)})
+    return model
+
+
+class TestBranchBound:
+    def test_trivial_empty_model(self):
+        solution = branch_bound.solve(IlpModel())
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == 0.0
+
+    def test_simple_cover(self):
+        model = IlpModel()
+        x, y, z = (model.add_var(n) for n in "xyz")
+        model.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 1.0)
+        model.add_constraint({y: 1.0, z: 1.0}, Sense.GE, 1.0)
+        model.set_objective({x: 1.0, y: 1.0, z: 1.0})
+        solution = branch_bound.solve(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(1.0)  # pick y
+        model.check_solution(solution)
+
+    def test_infeasible_detected(self):
+        model = IlpModel()
+        x = model.add_var("x")
+        model.add_constraint({x: 1.0}, Sense.GE, 1.0)
+        model.add_constraint({x: 1.0}, Sense.LE, 0.0)
+        model.set_objective({x: 1.0})
+        assert branch_bound.solve(model).status is SolveStatus.INFEASIBLE
+
+    def test_equality_constraints(self):
+        model = IlpModel()
+        x, y = model.add_var("x"), model.add_var("y")
+        model.add_constraint({x: 1.0, y: 1.0}, Sense.EQ, 1.0)
+        model.set_objective({x: 1.0, y: 2.0})
+        solution = branch_bound.solve(model)
+        assert solution.values == [1, 0]
+
+    def test_warm_start_accepted(self):
+        model = IlpModel()
+        x, y = model.add_var("x"), model.add_var("y")
+        model.add_constraint({x: 1.0, y: 1.0}, Sense.GE, 1.0)
+        model.set_objective({x: 1.0, y: 1.0})
+        solution = branch_bound.solve(model, warm_start=[1, 1])
+        assert solution.objective == pytest.approx(1.0)
+
+    def test_node_limit_returns_incumbent(self):
+        rng = random.Random(5)
+        model = random_covering_model(rng, 20, 30)
+        solution = branch_bound.solve(model, node_limit=3)
+        assert solution.status in (SolveStatus.FEASIBLE, SolveStatus.OPTIMAL)
+        if solution.ok:
+            assert model.is_feasible(solution.values)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        model = random_covering_model(rng, rng.randint(3, 9), rng.randint(2, 8))
+        solution = branch_bound.solve(model)
+        assert solution.status is SolveStatus.OPTIMAL
+        assert solution.objective == pytest.approx(brute_force(model))
+        model.check_solution(solution)
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bb_matches_scipy(self, seed):
+        rng = random.Random(100 + seed)
+        model = random_covering_model(rng, rng.randint(5, 16), rng.randint(4, 20))
+        ours = branch_bound.solve(model)
+        highs = scipy_backend.solve(model)
+        assert ours.status is SolveStatus.OPTIMAL
+        assert highs.status is SolveStatus.OPTIMAL
+        assert ours.objective == pytest.approx(highs.objective)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_bb_matches_scipy_property(self, seed):
+        rng = random.Random(seed)
+        model = random_covering_model(rng, rng.randint(3, 12), rng.randint(2, 12))
+        ours = branch_bound.solve(model)
+        highs = scipy_backend.solve(model)
+        assert ours.objective == pytest.approx(highs.objective)

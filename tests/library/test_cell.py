@@ -1,0 +1,110 @@
+"""Tests for the cell/library model."""
+
+import pytest
+
+from repro.library.cell import (
+    Cell,
+    CellKind,
+    Library,
+    PinDirection,
+    PinSpec,
+    comb_pins,
+    dff_pins,
+    icg_pins,
+    latch_pins,
+)
+
+
+def make_and2() -> Cell:
+    return Cell(name="AND2_T", op="AND", pins=comb_pins(2), drive=1)
+
+
+class TestCell:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown cell op"):
+            Cell(name="BAD", op="FROB", pins=comb_pins(2))
+
+    def test_duplicate_pins_rejected(self):
+        pins = (
+            PinSpec("A", PinDirection.INPUT),
+            PinSpec("A", PinDirection.INPUT),
+            PinSpec("Y", PinDirection.OUTPUT),
+        )
+        with pytest.raises(ValueError, match="duplicate pin"):
+            Cell(name="DUP", op="AND", pins=pins)
+
+    def test_pin_roles_comb(self):
+        cell = make_and2()
+        assert cell.kind is CellKind.COMB
+        assert not cell.is_sequential
+        assert cell.input_pins == ("A", "B")
+        assert cell.output_pin == "Y"
+        assert cell.clock_pin is None
+        assert cell.data_pins == ("A", "B")
+
+    def test_pin_roles_dff(self):
+        cell = Cell(name="DFF_T", op="DFF", pins=dff_pins(1.0, 1.2))
+        assert cell.kind is CellKind.DFF
+        assert cell.is_sequential
+        assert cell.clock_pin == "CK"
+        assert cell.data_pins == ("D",)
+        assert cell.pin_capacitance("CK") == pytest.approx(1.2)
+
+    def test_pin_roles_latch(self):
+        cell = Cell(name="LAT_T", op="DLATCH", pins=latch_pins(0.9, 0.6))
+        assert cell.kind is CellKind.LATCH
+        assert cell.clock_pin == "G"
+
+    def test_icg_kinds(self):
+        plain = Cell(name="ICG_T", op="ICG", pins=icg_pins(1.0, 1.0))
+        m1 = Cell(name="ICG_M1_T", op="ICG_M1", pins=icg_pins(1.0, 1.0, with_pb=True))
+        assert plain.kind is CellKind.ICG
+        assert not plain.is_sequential
+        assert "PB" in m1.input_pins
+        assert plain.output_pin == "GCK"
+
+    def test_missing_pin_raises(self):
+        with pytest.raises(KeyError):
+            make_and2().pin("Z")
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        lib = Library("t")
+        cell = lib.add(make_and2())
+        assert lib["AND2_T"] is cell
+        assert "AND2_T" in lib
+
+    def test_duplicate_rejected(self):
+        lib = Library("t")
+        lib.add(make_and2())
+        with pytest.raises(ValueError, match="duplicate cell"):
+            lib.add(make_and2())
+
+    def test_cells_for_op_sorted_by_drive(self):
+        lib = Library("t")
+        for drive in (4, 1, 2):
+            lib.add(Cell(name=f"AND2_X{drive}", op="AND",
+                         pins=comb_pins(2), drive=drive))
+        drives = [c.drive for c in lib.cells_for_op("AND", 2)]
+        assert drives == [1, 2, 4]
+
+    def test_cell_for_op_picks_closest_drive(self):
+        lib = Library("t")
+        for drive in (1, 4):
+            lib.add(Cell(name=f"AND2_X{drive}", op="AND",
+                         pins=comb_pins(2), drive=drive))
+        assert lib.cell_for_op("AND", 2, drive=2).drive == 1
+        assert lib.cell_for_op("AND", 2, drive=3).drive == 4
+
+    def test_cell_for_op_missing_raises(self):
+        lib = Library("t")
+        with pytest.raises(KeyError, match="no cell for op"):
+            lib.cell_for_op("XOR", 2)
+
+    def test_arity_filter(self):
+        lib = Library("t")
+        lib.add(Cell(name="AND2", op="AND", pins=comb_pins(2)))
+        lib.add(Cell(name="AND3", op="AND", pins=comb_pins(3)))
+        assert lib.cell_for_op("AND", 3).name == "AND3"
+        assert [c.name for c in lib.cells_for_op("AND")] == ["AND2", "AND3"]

@@ -1,0 +1,74 @@
+"""Calibration invariants of the synthetic 28-nm FDSOI library.
+
+These ratios carry the paper's conclusions, so they are pinned by test.
+"""
+
+import pytest
+
+from repro.library.fdsoi28 import FDSOI28, build_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return FDSOI28
+
+
+class TestLatchVsFlipFlop:
+    def test_latch_area_is_roughly_half_a_dff(self, lib):
+        ratio = lib["DLATCH_X1"].area / lib["DFF_X1"].area
+        assert 0.45 <= ratio <= 0.65
+
+    def test_latch_clock_pin_cap_is_roughly_half(self, lib):
+        ratio = (lib["DLATCH_X1"].pin_capacitance("G")
+                 / lib["DFF_X1"].pin_capacitance("CK"))
+        assert 0.4 <= ratio <= 0.6
+
+    def test_latch_clock_energy_lower(self, lib):
+        assert lib["DLATCH_X1"].clock_energy < lib["DFF_X1"].clock_energy
+
+    def test_two_latches_beat_one_dff_never(self, lib):
+        # Master-slave pairs must cost MORE than one FF (else the paper's
+        # M-S area comparisons make no sense).
+        assert 2 * lib["DLATCH_X1"].area > lib["DFF_X1"].area
+
+
+class TestIcgFamily:
+    def test_m1_cheaper_than_conventional(self, lib):
+        assert lib["ICG_M1_X2"].area < lib["ICG_X2"].area
+        assert lib["ICG_M1_X2"].clock_energy < lib["ICG_X2"].clock_energy
+
+    def test_m2_is_cheapest(self, lib):
+        assert lib["ICG_AND_X2"].area < lib["ICG_M1_X2"].area
+        assert lib["ICG_AND_X2"].clock_energy < lib["ICG_M1_X2"].clock_energy
+
+    def test_m1_has_external_inverted_clock_pin(self, lib):
+        assert "PB" in lib["ICG_M1_X2"].input_pins
+        assert "PB" not in lib["ICG_X2"].input_pins
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("op", ["AND", "OR", "NAND", "NOR"])
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_gate_arity_coverage(self, lib, op, n):
+        drives = sorted(c.drive for c in lib.cells_for_op(op, n))
+        assert drives == [1, 2, 4]
+
+    def test_higher_drive_is_faster_per_load_but_larger(self, lib):
+        x1 = lib["NAND2_X1"]
+        x4 = lib["NAND2_X4"]
+        assert x4.delay_per_ff < x1.delay_per_ff
+        assert x4.area > x1.area
+        assert x4.pin_capacitance("A") > x1.pin_capacitance("A")
+
+    def test_clock_buffers_exist(self, lib):
+        assert "CLKBUF_X4" in lib
+        assert lib["CLKBUF_X4"].op == "BUF"
+
+    def test_tie_cells(self, lib):
+        assert lib["TIE0"].op == "TIE0"
+        assert lib["TIE1"].output_pin == "Y"
+
+    def test_build_is_reproducible(self):
+        fresh = build_library()
+        assert fresh.cells.keys() == FDSOI28.cells.keys()
+        assert fresh.voltage == FDSOI28.voltage

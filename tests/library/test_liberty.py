@@ -1,0 +1,77 @@
+"""Liberty-lite serialization tests."""
+
+import pytest
+
+from repro.library import liberty
+from repro.library.fdsoi28 import FDSOI28
+from repro.library.generic import GENERIC
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("lib", [FDSOI28, GENERIC], ids=["fdsoi28", "generic"])
+    def test_full_roundtrip(self, lib):
+        reloaded = liberty.loads(liberty.dumps(lib))
+        assert reloaded.name == lib.name
+        assert reloaded.voltage == pytest.approx(lib.voltage)
+        assert reloaded.wire_cap_per_um == pytest.approx(lib.wire_cap_per_um)
+        assert reloaded.cells.keys() == lib.cells.keys()
+        for name, cell in lib.cells.items():
+            other = reloaded[name]
+            assert other.op == cell.op
+            assert other.area == pytest.approx(cell.area)
+            assert other.drive == cell.drive
+            assert other.setup == pytest.approx(cell.setup)
+            assert [p.name for p in other.pins] == [p.name for p in cell.pins]
+            for mine, theirs in zip(cell.pins, other.pins):
+                assert mine.direction == theirs.direction
+                assert mine.is_clock == theirs.is_clock
+                assert theirs.capacitance == pytest.approx(mine.capacitance)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "lib.lib"
+        liberty.dump(FDSOI28, str(path))
+        assert liberty.load(str(path)).cells.keys() == FDSOI28.cells.keys()
+
+
+class TestParser:
+    def test_comments_ignored(self):
+        text = """
+        // header comment
+        library(mini) {
+          voltage : 1.1; // trailing
+          cell(INV) {
+            op : INV;
+            pin(A) { direction : input; capacitance : 0.5; }
+            pin(Y) { direction : output; }
+          }
+        }
+        """
+        lib = liberty.loads(text)
+        assert lib.voltage == pytest.approx(1.1)
+        assert lib["INV"].pin_capacitance("A") == pytest.approx(0.5)
+
+    def test_clock_attribute(self):
+        text = """
+        library(mini) {
+          cell(DFF) {
+            op : DFF;
+            pin(D) { direction : input; capacitance : 1.0; }
+            pin(CK) { direction : input; capacitance : 1.0; clock : true; }
+            pin(Q) { direction : output; }
+          }
+        }
+        """
+        assert liberty.loads(text)["DFF"].clock_pin == "CK"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "library(x) {",  # unterminated
+            "cell(x) { }",  # not a library
+            "library(x) { voltage 1.0; }",  # missing colon
+            "library(x) { voltage : ; }",  # missing value
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(liberty.LibertyError):
+            liberty.loads(text)

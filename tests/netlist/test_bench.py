@@ -1,0 +1,105 @@
+"""ISCAS89 .bench reader/writer tests."""
+
+import pytest
+
+from repro.netlist import bench, check
+from repro.netlist.validate import find_issues
+
+
+class TestLoads:
+    def test_s27_parses(self, s27):
+        check(s27)
+        assert len(s27.flip_flops()) == 3
+        assert "clk" in s27.clock_ports
+        assert set(s27.data_input_ports()) == {"G0", "G1", "G2", "G3"}
+        assert s27.output_ports() == ["G17"]
+
+    def test_forward_references_ok(self):
+        text = "INPUT(a)\nOUTPUT(z)\nz = NOT(y)\ny = NOT(a)\n"
+        m = bench.loads(text, "fwd")
+        check(m)
+
+    def test_comments_and_blank_lines(self):
+        text = "# hello\n\nINPUT(a)\nOUTPUT(z)\nz = BUFF(a)  # inline\n"
+        m = bench.loads(text, "c")
+        check(m)
+
+    def test_wide_gate_decomposed(self):
+        inputs = "\n".join(f"INPUT(i{k})" for k in range(9))
+        text = f"{inputs}\nOUTPUT(z)\nz = AND({', '.join(f'i{k}' for k in range(9))})\n"
+        m = bench.loads(text, "wide")
+        check(m)
+        assert all(len(i.cell.data_pins) <= 4 for i in m.instances.values())
+
+    def test_wide_inverting_gate_preserves_function(self):
+        inputs = "\n".join(f"INPUT(i{k})" for k in range(6))
+        text = f"{inputs}\nOUTPUT(z)\nz = NAND({', '.join(f'i{k}' for k in range(6))})\n"
+        m = bench.loads(text, "widenand")
+        check(m)
+        from repro.sim import Simulator
+
+        for pattern in (0b111111, 0b011111, 0):
+            sim = Simulator(m, None, delay_model="unit")
+            for k in range(6):
+                sim.set_input(f"i{k}", (pattern >> k) & 1, 0.0)
+            sim.run_until(100.0)
+            expected = 0 if pattern == 0b111111 else 1
+            assert sim.value("z") == expected, bin(pattern)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "garbage line\n",
+            "z = FROB(a)\n",
+            "z = AND(a\n",
+            "OUTPUT(missing)\n",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(bench.BenchError):
+            bench.loads("INPUT(a)\n" + text, "bad")
+
+    def test_dff_single_input_enforced(self):
+        with pytest.raises(bench.BenchError, match="exactly one input"):
+            bench.loads("INPUT(a)\nINPUT(b)\nOUTPUT(q)\nq = DFF(a, b)\n", "bad")
+
+
+class TestDumps:
+    def test_roundtrip(self, s27):
+        text = bench.dumps(s27)
+        again = bench.loads(text, "s27rt")
+        check(again)
+        assert len(again.flip_flops()) == len(s27.flip_flops())
+        assert again.count_ops() == s27.count_ops()
+        assert sorted(again.data_input_ports()) == sorted(s27.data_input_ports())
+
+    def test_mux_decomposed(self, s27):
+        from repro.library.generic import GENERIC
+
+        m = s27.copy()
+        m.add_net("mx")
+        m.add_instance(
+            "mux", GENERIC["MUX2"], {"A": "G0", "B": "G1", "S": "G2", "Y": "mx"}
+        )
+        m.add_output("mx_out", net_name="mx")
+        text = bench.dumps(m)
+        assert "mx = OR(mx_mxa, mx_mxb)" in text
+        again = bench.loads(text, "rt")
+        check(again)
+
+    def test_unexpressible_op_rejected(self, s27):
+        from repro.library.generic import GENERIC
+
+        m = s27.copy()
+        m.add_net("gck")
+        m.add_instance(
+            "icg", GENERIC["ICG"], {"CK": "clk", "EN": "G0", "GCK": "gck"}
+        )
+        with pytest.raises(bench.BenchError, match="not expressible"):
+            bench.dumps(m)
+
+    def test_file_roundtrip(self, s27, tmp_path):
+        path = tmp_path / "s27.bench"
+        bench.dump(s27, str(path))
+        again = bench.load(str(path))
+        assert len(again.flip_flops()) == 3

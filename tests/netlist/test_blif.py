@@ -1,0 +1,107 @@
+"""BLIF reader/writer tests."""
+
+import pytest
+
+from repro.circuits import random_sequential_circuit
+from repro.convert import ClockSpec
+from repro.netlist import blif, check
+from repro.sim import check_equivalent
+
+
+SAMPLE = """
+# a tiny sequential BLIF
+.model counter
+.inputs en
+.outputs q1
+.names en q0 d0
+11 1
+.names q0 inv_q0
+0 1
+.latch d0 q0 re clk 0
+.latch inv_q0 q1 re clk 1
+.end
+"""
+
+
+class TestLoads:
+    def test_sample_parses(self):
+        m = blif.loads(SAMPLE)
+        check(m)
+        assert m.name == "counter"
+        assert len(m.flip_flops()) == 2
+        assert {f.attrs["init"] for f in m.flip_flops()} == {0, 1}
+        assert m.data_input_ports() == ["en"]
+
+    def test_gate_recognition(self):
+        text = (".model g\n.inputs a b\n.outputs y\n"
+                ".names a b y\n0- 1\n-0 1\n.end\n")  # NAND via on-set
+        m = blif.loads(text)
+        assert m.count_ops().get("NAND") == 1
+
+    def test_off_set_cover(self):
+        text = (".model g\n.inputs a b\n.outputs y\n"
+                ".names a b y\n11 0\n.end\n")  # NAND via off-set
+        m = blif.loads(text)
+        assert m.count_ops().get("NAND") == 1
+
+    def test_constants(self):
+        text = ".model c\n.inputs a\n.outputs y z\n.names y\n1\n.names z\n.end\n"
+        m = blif.loads(text)
+        ops = m.count_ops()
+        assert ops.get("TIE1") == 1
+        assert ops.get("TIE0") == 1
+
+    def test_continuation_lines(self):
+        text = (".model c\n.inputs a \\\nb\n.outputs y\n"
+                ".names a b y\n11 1\n.end\n")
+        m = blif.loads(text)
+        assert sorted(m.data_input_ports()) == ["a", "b"]
+
+    def test_non_gate_table_rejected(self):
+        text = (".model g\n.inputs a b c\n.outputs y\n"
+                ".names a b c y\n101 1\n.end\n")
+        with pytest.raises(blif.BlifError, match="not a standard gate"):
+            blif.loads(text)
+
+    def test_wide_table_rejected(self):
+        text = (".model g\n.inputs a b c d e\n.outputs y\n"
+                ".names a b c d e y\n11111 1\n.end\n")
+        with pytest.raises(blif.BlifError, match="at most 4 inputs"):
+            blif.loads(text)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(blif.BlifError, match="unsupported"):
+            blif.loads(".model x\n.subckt foo a=b\n.end\n")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_circuit_roundtrip(self, seed):
+        original = random_sequential_circuit(seed + 40, n_ffs=6, n_gates=25)
+        text = blif.dumps(original)
+        again = blif.loads(text, clock="clk")
+        check(again)
+        assert len(again.flip_flops()) == len(original.flip_flops())
+        clocks = ClockSpec.single(1000.0)
+        report = check_equivalent(original, clocks, again, clocks,
+                                  n_cycles=40)
+        assert report.equivalent, str(report)
+
+    def test_mux_expressed_as_table(self):
+        original = random_sequential_circuit(7, n_ffs=6, n_gates=20,
+                                             enable_fraction=0.5)
+        assert any(i.cell.op == "MUX2" for i in original.instances.values())
+        text = blif.dumps(original)
+        again = blif.loads(text)
+        check(again)
+        clocks = ClockSpec.single(1000.0)
+        report = check_equivalent(original, clocks, again, clocks,
+                                  n_cycles=40)
+        assert report.equivalent, str(report)
+
+    def test_file_roundtrip(self, tmp_path, s27):
+        path = tmp_path / "s27.blif"
+        blif.dump(s27, str(path))
+        again = blif.load(str(path))
+        check(again)
+        assert len(again.flip_flops()) == 3

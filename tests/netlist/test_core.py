@@ -1,0 +1,162 @@
+"""Tests for the netlist data model and its rewriting primitives."""
+
+import pytest
+
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module, NetlistError, Pin, PortDirection, PortRef
+
+
+def tiny() -> Module:
+    """in -> INV -> mid -> INV -> out"""
+    m = Module("tiny")
+    m.add_input("a")
+    m.add_net("mid")
+    m.add_net("y")
+    m.add_instance("i1", GENERIC["INV"], {"A": "a", "Y": "mid"})
+    m.add_instance("i2", GENERIC["INV"], {"A": "mid", "Y": "y"})
+    m.add_output("z", net_name="y")
+    return m
+
+
+class TestConstruction:
+    def test_ports_and_nets(self):
+        m = tiny()
+        assert m.ports["a"] is PortDirection.INPUT
+        assert m.ports["z"] is PortDirection.OUTPUT
+        assert m.nets["a"].driver == PortRef("a")
+        assert PortRef("z") in m.nets["y"].loads
+
+    def test_driver_and_loads_indexed(self):
+        m = tiny()
+        assert m.nets["mid"].driver == Pin("i1", "Y")
+        assert Pin("i2", "A") in m.nets["mid"].loads
+
+    def test_duplicate_net_rejected(self):
+        m = tiny()
+        with pytest.raises(NetlistError, match="duplicate net"):
+            m.add_net("mid")
+
+    def test_duplicate_instance_rejected(self):
+        m = tiny()
+        with pytest.raises(NetlistError, match="duplicate instance"):
+            m.add_instance("i1", GENERIC["INV"], {})
+
+    def test_double_drive_rejected(self):
+        m = tiny()
+        with pytest.raises(NetlistError, match="already driven"):
+            m.add_instance("i3", GENERIC["INV"], {"A": "a", "Y": "mid"})
+
+    def test_connect_unknown_net_rejected(self):
+        m = tiny()
+        m.add_instance("i3", GENERIC["INV"], {})
+        with pytest.raises(NetlistError, match="unknown net"):
+            m.connect("i3", "A", "nope")
+
+    def test_connect_unknown_pin_rejected(self):
+        m = tiny()
+        m.add_instance("i3", GENERIC["INV"], {})
+        with pytest.raises(KeyError):
+            m.connect("i3", "Z", "a")
+
+    def test_clock_port_tracking(self):
+        m = Module("clk")
+        m.add_input("clk", is_clock=True)
+        m.add_input("d")
+        assert m.data_input_ports() == ["d"]
+        assert "clk" in m.clock_ports
+
+
+class TestRewiring:
+    def test_disconnect_and_reconnect(self):
+        m = tiny()
+        m.disconnect("i2", "A")
+        assert Pin("i2", "A") not in m.nets["mid"].loads
+        m.connect("i2", "A", "a")
+        assert Pin("i2", "A") in m.nets["a"].loads
+
+    def test_move_loads(self):
+        m = tiny()
+        m.add_net("new")
+        m.move_loads("mid", "new")
+        assert not m.nets["mid"].loads
+        assert m.instances["i2"].conns["A"] == "new"
+
+    def test_move_loads_moves_port_refs(self):
+        m = tiny()
+        m.add_net("new")
+        m.move_loads("y", "new")
+        assert PortRef("z") in m.nets["new"].loads
+        assert m.net_of_port("z").name == "new"
+
+    def test_move_loads_exclude(self):
+        m = tiny()
+        m.add_net("new")
+        m.move_loads("mid", "new", exclude=[Pin("i2", "A")])
+        assert m.instances["i2"].conns["A"] == "mid"
+
+    def test_insert_cell_after(self):
+        m = tiny()
+        inst = m.insert_cell_after("mid", GENERIC["BUF"], "A", "Y")
+        assert m.instances["i2"].conns["A"] == inst.conns["Y"]
+        assert inst.conns["A"] == "mid"
+        assert m.nets[inst.conns["Y"]].driver == Pin(inst.name, "Y")
+
+    def test_replace_cell_with_pin_map(self):
+        m = Module("ff")
+        m.add_input("clk", is_clock=True)
+        m.add_input("d")
+        m.add_net("q")
+        m.add_instance("f", GENERIC["DFF"], {"D": "d", "CK": "clk", "Q": "q"})
+        m.add_output("z", net_name="q")
+        new = m.replace_cell("f", GENERIC["DLATCH"], pin_map={"CK": "G"})
+        assert new.cell.op == "DLATCH"
+        assert new.conns == {"D": "d", "G": "clk", "Q": "q"}
+        assert m.nets["q"].driver == Pin("f", "Q")
+
+    def test_remove_instance_cleans_indexes(self):
+        m = tiny()
+        m.remove_instance("i2")
+        assert not m.nets["mid"].loads
+        assert m.nets["y"].driver is None
+
+    def test_remove_connected_net_rejected(self):
+        m = tiny()
+        with pytest.raises(NetlistError, match="still connected"):
+            m.remove_net("mid")
+
+    def test_remove_port(self):
+        m = Module("p")
+        m.add_input("unused")
+        m.remove_port("unused")
+        assert "unused" not in m.ports
+        assert "unused" not in m.nets
+
+    def test_remove_loaded_input_port_rejected(self):
+        m = tiny()
+        with pytest.raises(NetlistError, match="still has loads"):
+            m.remove_port("a")
+
+
+class TestQueriesAndCopy:
+    def test_fresh_name_unique(self):
+        m = tiny()
+        names = {m.fresh_name("u") for _ in range(10)}
+        assert len(names) == 10
+        assert all(n not in m.instances and n not in m.nets for n in names)
+
+    def test_copy_is_deep(self):
+        m = tiny()
+        dup = m.copy("dup")
+        dup.remove_instance("i2")
+        assert "i2" in m.instances
+        assert m.nets["mid"].loads  # original untouched
+
+    def test_count_ops_and_area(self):
+        m = tiny()
+        assert m.count_ops() == {"INV": 2}
+        assert m.total_area() == pytest.approx(2 * GENERIC["INV"].area)
+
+    def test_sequential_queries(self, s27):
+        assert len(s27.flip_flops()) == 3
+        assert s27.latches() == []
+        assert all(i.cell.op == "DFF" for i in s27.sequential_instances())

@@ -1,0 +1,46 @@
+"""GraphViz export tests."""
+
+from repro.convert import assign_phases, convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import ff_fanout_map
+from repro.netlist.dot import dump, ff_graph_dot, netlist_dot
+from repro.synth import synthesize
+
+
+def test_netlist_dot_structure(s27, tmp_path):
+    text = netlist_dot(s27)
+    assert text.startswith('digraph "s27"')
+    for ff in s27.flip_flops():
+        assert ff.name in text
+    # clock edges hidden by default
+    assert "style=dashed" not in text
+    with_clocks = netlist_dot(s27, include_clocks=True)
+    assert "style=dashed" in with_clocks
+    dump(text, str(tmp_path / "s27.dot"))
+    assert (tmp_path / "s27.dot").read_text() == text
+
+
+def test_phase_colors_in_converted(s27):
+    mapped = synthesize(s27, FDSOI28).module
+    result = convert_to_three_phase(mapped, FDSOI28, period=1000.0)
+    text = netlist_dot(result.module)
+    assert "#8ecae6" in text or "#90be6d" in text  # p1/p3 colors
+    assert "#ffd166" in text  # p2 followers
+
+
+def test_ff_graph_dot_with_assignment(s27):
+    graph = ff_fanout_map(s27)
+    assignment = assign_phases(s27)
+    text = ff_graph_dot(graph, assignment)
+    assert "digraph ffgraph" in text
+    # s27's FFs all have self loops: double peripheries
+    assert "peripheries=2" in text
+    # and all are PI-fed: highlighted
+    assert "#e63946" in text
+    for ff in graph.ffs:
+        assert ff in text
+
+
+def test_ff_graph_dot_without_assignment(s27):
+    text = ff_graph_dot(ff_fanout_map(s27))
+    assert "single" not in text

@@ -1,0 +1,40 @@
+"""Netlist statistics tests."""
+
+import pytest
+
+from repro.circuits import build
+from repro.convert import convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import collect_stats
+from repro.synth import synthesize
+
+
+def test_ff_design_stats(s27):
+    stats = collect_stats(s27)
+    assert stats.flip_flops == 3
+    assert stats.latches == 0
+    assert stats.registers == 3
+    assert stats.icgs == 0
+    assert stats.total_cells == len(s27.instances)
+    assert stats.comb_cells == stats.total_cells - 3
+    assert stats.nets == len(s27.nets)
+    assert stats.total_area == pytest.approx(s27.total_area())
+
+
+def test_converted_design_stats(s27):
+    mapped = synthesize(s27, FDSOI28).module
+    result = convert_to_three_phase(mapped, FDSOI28, period=1000.0)
+    stats = collect_stats(result.module)
+    assert stats.flip_flops == 0
+    assert stats.registers == stats.latches
+    assert sum(stats.latch_phase_counts.values()) == stats.latches
+    assert set(stats.latch_phase_counts) <= {"p1", "p2", "p3"}
+
+
+def test_gated_design_counts_icgs():
+    module = build("des3")
+    gated = synthesize(module, FDSOI28, clock_gating_style="gated").module
+    stats = collect_stats(gated)
+    assert stats.icgs > 0
+    # ICGs are not registers in the paper's counting
+    assert stats.registers == stats.flip_flops

@@ -1,0 +1,53 @@
+"""Dead-logic sweep tests."""
+
+from repro.library.generic import GENERIC
+from repro.netlist import check
+from repro.netlist.core import Module
+from repro.netlist.sweep import sweep_unloaded, sweep_unloaded_nets
+
+
+def chained_dead_logic() -> Module:
+    m = Module("dead")
+    m.add_input("a")
+    m.add_net("d1")
+    m.add_net("d2")
+    m.add_net("live")
+    m.add_instance("g1", GENERIC["INV"], {"A": "a", "Y": "d1"})
+    m.add_instance("g2", GENERIC["INV"], {"A": "d1", "Y": "d2"})  # unloaded
+    m.add_instance("keep", GENERIC["BUF"], {"A": "a", "Y": "live"})
+    m.add_output("z", net_name="live")
+    return m
+
+
+def test_sweeps_chains_iteratively():
+    m = chained_dead_logic()
+    removed = sweep_unloaded(m)
+    # g2's removal unloads d1, which makes g1 dead too.
+    assert removed == 2
+    assert set(m.instances) == {"keep"}
+    check(m)
+
+
+def test_protected_instances_survive():
+    m = chained_dead_logic()
+    removed = sweep_unloaded(m, protect={"g2"})
+    assert removed == 0
+    assert "g2" in m.instances
+
+
+def test_sequential_kept_by_default():
+    m = Module("seq")
+    m.add_input("clk", is_clock=True)
+    m.add_input("d")
+    m.add_net("q")
+    m.add_instance("ff", GENERIC["DFF"], {"D": "d", "CK": "clk", "Q": "q"})
+    assert sweep_unloaded(m) == 0
+    assert sweep_unloaded(m, remove_sequential=True) == 1
+    assert not m.instances
+
+
+def test_sweep_unloaded_nets():
+    m = Module("nets")
+    m.add_net("floating")
+    assert sweep_unloaded_nets(m) == 1
+    assert not m.nets

@@ -1,0 +1,68 @@
+"""Netlist validation tests."""
+
+import pytest
+
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module
+from repro.netlist.validate import ValidationError, check, find_issues
+
+
+def test_clean_netlist_passes(s27):
+    check(s27)
+
+
+def test_unconnected_pin_detected():
+    m = Module("m")
+    m.add_input("a")
+    m.add_net("y")
+    m.add_instance("g", GENERIC["AND2"], {"A": "a", "Y": "y"})  # B missing
+    kinds = {i.kind for i in find_issues(m)}
+    assert "unconnected-pin" in kinds
+
+
+def test_undriven_net_detected():
+    m = Module("m")
+    m.add_net("float")
+    m.add_net("y")
+    m.add_instance("g", GENERIC["INV"], {"A": "float", "Y": "y"})
+    kinds = {i.kind for i in find_issues(m)}
+    assert "undriven-net" in kinds
+
+
+def test_dangling_net_flagged_only_when_strict(s27):
+    m = s27.copy()
+    m.add_net("extra")
+    m.add_instance("g", GENERIC["INV"], {"A": "G0", "Y": "extra"})
+    assert not [i for i in find_issues(m) if i.kind == "dangling-net"]
+    strict = find_issues(m, allow_dangling_nets=False)
+    assert any(i.kind == "dangling-net" for i in strict)
+
+
+def test_comb_cycle_detected():
+    m = Module("m")
+    m.add_net("a")
+    m.add_net("b")
+    m.add_instance("g1", GENERIC["INV"], {"A": "a", "Y": "b"})
+    m.add_instance("g2", GENERIC["INV"], {"A": "b", "Y": "a"})
+    assert any(i.kind == "comb-cycle" for i in find_issues(m))
+    with pytest.raises(ValidationError):
+        check(m)
+
+
+def test_cycle_through_ff_is_fine():
+    m = Module("m")
+    m.add_input("clk", is_clock=True)
+    m.add_net("q")
+    m.add_net("d")
+    m.add_instance("g", GENERIC["INV"], {"A": "q", "Y": "d"})
+    m.add_instance("f", GENERIC["DFF"], {"D": "d", "CK": "clk", "Q": "q"})
+    check(m)
+
+
+def test_validation_error_message_lists_issues():
+    m = Module("m")
+    m.add_net("x")
+    m.add_net("y")
+    m.add_instance("g", GENERIC["INV"], {"A": "x", "Y": "y"})
+    with pytest.raises(ValidationError, match="undriven-net"):
+        check(m)

@@ -1,0 +1,80 @@
+"""Structural Verilog writer/reader tests."""
+
+import pytest
+
+from repro.library.fdsoi28 import FDSOI28
+from repro.library.generic import GENERIC
+from repro.netlist import check, verilog
+from repro.netlist.core import Module
+from repro.synth import synthesize
+
+
+class TestRoundTrip:
+    def test_generic_roundtrip(self, s27):
+        text = verilog.dumps(s27)
+        again = verilog.loads(text, GENERIC)
+        check(again)
+        assert again.count_ops() == s27.count_ops()
+        assert sorted(again.ports) == sorted(s27.ports)
+
+    def test_mapped_roundtrip(self, s27):
+        mapped = synthesize(s27, FDSOI28).module
+        again = verilog.loads(verilog.dumps(mapped), FDSOI28)
+        check(again)
+        assert again.total_area() == pytest.approx(mapped.total_area())
+
+    def test_sanitizes_awkward_names(self):
+        m = Module("weird")
+        m.add_input("a")
+        m.add_net("mid[3].x")
+        m.add_instance("u$1", GENERIC["INV"], {"A": "a", "Y": "mid[3].x"})
+        m.add_output("z", net_name="mid[3].x")
+        text = verilog.dumps(m)
+        assert "[3]" not in text.replace("// ", "")
+        again = verilog.loads(text, GENERIC)
+        check(again)
+        assert again.count_ops() == {"INV": 1}
+
+    def test_output_alias_assign(self):
+        m = Module("alias")
+        m.add_input("a")
+        m.add_net("y")
+        m.add_instance("g", GENERIC["BUF"], {"A": "a", "Y": "y"})
+        m.add_output("z", net_name="y")
+        text = verilog.dumps(m)
+        assert "assign z = y;" in text
+        again = verilog.loads(text, GENERIC)
+        assert again.net_of_port("z").name == "y"
+
+
+class TestParser:
+    def test_unknown_cell_rejected(self):
+        text = "module m (input a, output z);\n  FROB g (.A(a), .Y(z));\nendmodule\n"
+        with pytest.raises(verilog.VerilogError, match="unknown cell"):
+            verilog.loads(text, GENERIC)
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(verilog.VerilogError, match="endmodule"):
+            verilog.loads("module m (input a);\n", GENERIC)
+
+    def test_no_header_rejected(self):
+        with pytest.raises(verilog.VerilogError, match="header"):
+            verilog.loads("wire x;\n", GENERIC)
+
+    def test_clock_port_recognition(self):
+        text = (
+            "module m (input clk, input p2, input d, output q);\n"
+            "  DFF f (.CK(clk), .D(d), .Q(q));\nendmodule\n"
+        )
+        m = verilog.loads(text, GENERIC)
+        assert m.clock_ports == {"clk", "p2"}
+        explicit = verilog.loads(text, GENERIC, clock_ports={"clk"})
+        assert explicit.clock_ports == {"clk"}
+
+    def test_comments_stripped(self):
+        text = (
+            "// top\nmodule m (input a, /* inline */ output z);\n"
+            "  INV g (.A(a), .Y(z)); // gate\nendmodule\n"
+        )
+        m = verilog.loads(text, GENERIC)
+        check(m)

@@ -1,0 +1,114 @@
+"""Hierarchical Verilog flattening tests."""
+
+import pytest
+
+from repro.convert import ClockSpec
+from repro.library.generic import GENERIC
+from repro.netlist import check
+from repro.netlist.verilog import VerilogError, loads_hierarchical
+from repro.sim import Simulator
+
+HIER = """
+module half_adder (input a, input b, output s, output c);
+  XOR2 x (.A(a), .B(b), .Y(s));
+  AND2 g (.A(a), .B(b), .Y(c));
+endmodule
+
+module top (input clk, input x, input y, output q_s, output q_c);
+  wire s; wire c; wire qs; wire qc;
+  half_adder ha (.a(x), .b(y), .s(s), .c(c));
+  (* init = 0 *) DFF fs (.D(s), .CK(clk), .Q(qs));
+  (* init = 0 *) DFF fc (.D(c), .CK(clk), .Q(qc));
+  assign q_s = qs;
+  assign q_c = qc;
+endmodule
+"""
+
+
+class TestFlattening:
+    def test_flattens_and_validates(self):
+        m = loads_hierarchical(HIER, GENERIC)
+        check(m)
+        assert m.name == "top"
+        ops = m.count_ops()
+        assert ops == {"XOR": 1, "AND": 1, "DFF": 2, "BUF": 2}
+        # submodule internals are prefixed
+        assert "ha.x" in m.instances
+        assert m.instances["fs"].attrs["init"] == 0
+
+    def test_functional(self):
+        m = loads_hierarchical(HIER, GENERIC)
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("x", 1, 0.0)
+        sim.set_input("y", 1, 0.0)
+        sim.run_until(150.0)  # edge at 100 captures s=0, c=1
+        assert sim.port_value("q_s") == 0
+        assert sim.port_value("q_c") == 1
+
+    def test_two_levels(self):
+        text = HIER + """
+module wrapper (input clk, input p, input q, output o1, output o2);
+  top t (.clk(clk), .x(p), .y(q), .q_s(o1), .q_c(o2));
+endmodule
+"""
+        m = loads_hierarchical(text, GENERIC)
+        check(m)
+        assert m.name == "wrapper"
+        assert "t.ha.x" in m.instances
+        assert "t.fs" in m.instances
+
+    def test_explicit_top(self):
+        m = loads_hierarchical(HIER, GENERIC, top="half_adder")
+        assert m.name == "half_adder"
+        assert len(m.instances) == 2
+
+    def test_ambiguous_top_rejected(self):
+        text = """
+module a (input x, output y);
+  INV g (.A(x), .Y(y));
+endmodule
+module b (input x, output y);
+  BUF g (.A(x), .Y(y));
+endmodule
+"""
+        with pytest.raises(VerilogError, match="cannot infer top"):
+            loads_hierarchical(text, GENERIC)
+
+    def test_recursion_rejected(self):
+        text = """
+module loop (input x, output y);
+  loop inner (.x(x), .y(y));
+endmodule
+"""
+        with pytest.raises(VerilogError, match="recursive"):
+            loads_hierarchical(text, GENERIC, top="loop")
+
+    def test_unconnected_submodule_port_rejected(self):
+        text = """
+module leaf (input a, output y);
+  INV g (.A(a), .Y(y));
+endmodule
+module top2 (input x, output z);
+  wire w;
+  leaf l (.a(x));
+  INV g (.A(x), .Y(z));
+endmodule
+"""
+        with pytest.raises(VerilogError, match="unconnected"):
+            loads_hierarchical(text, GENERIC)
+
+    def test_unknown_module_rejected(self):
+        text = "module t (input a, output y);\n  mystery m (.A(a), .Y(y));\nendmodule\n"
+        with pytest.raises(VerilogError, match="unknown cell or module"):
+            loads_hierarchical(text, GENERIC)
+
+    def test_flattened_design_converts(self):
+        from repro.convert import convert_to_three_phase
+        from repro.library import FDSOI28
+        from repro.synth import synthesize
+
+        m = loads_hierarchical(HIER, GENERIC)
+        mapped = synthesize(m, FDSOI28).module
+        result = convert_to_three_phase(mapped, FDSOI28, period=1000.0)
+        check(result.module)
+        assert len(result.module.latches()) >= 2

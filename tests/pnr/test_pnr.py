@@ -1,0 +1,142 @@
+"""Place-and-route-lite tests: placement, routing estimate, CTS."""
+
+import pytest
+
+from repro.circuits.linear import linear_pipeline
+from repro.convert import convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import check
+from repro.pnr import (
+    estimate_routing,
+    hpwl,
+    place,
+    place_and_route,
+    synthesize_clock_trees,
+)
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    return synthesize(linear_pipeline(8, width=6, logic_depth=4, seed=8),
+                      FDSOI28).module
+
+
+class TestPlacement:
+    def test_all_instances_placed_on_die(self, mapped):
+        placement = place(mapped)
+        assert set(placement.positions) == set(mapped.instances)
+        for x, y in placement.positions.values():
+            assert -1e-6 <= x <= placement.width + 1e-6
+            assert -1e-6 <= y <= placement.height + 1e-6
+
+    def test_ports_on_boundary(self, mapped):
+        placement = place(mapped)
+        for x, y in placement.port_positions.values():
+            on_edge = (
+                abs(x) < 1e-6 or abs(x - placement.width) < 1e-6
+                or abs(y) < 1e-6 or abs(y - placement.height) < 1e-6
+            )
+            assert on_edge
+
+    def test_die_fits_cells(self, mapped):
+        placement = place(mapped)
+        assert placement.width * placement.height >= mapped.total_area()
+
+
+class TestRouting:
+    def test_hpwl(self):
+        assert hpwl([(0, 0), (3, 4)]) == pytest.approx(7.0)
+        assert hpwl([(1, 1)]) == 0.0
+        assert hpwl([]) == 0.0
+
+    def test_estimate_covers_all_nets(self, mapped):
+        placement = place(mapped)
+        routing = estimate_routing(mapped, placement, FDSOI28)
+        assert set(routing.wire_caps) == set(mapped.nets)
+        assert routing.total_wire_length > 0
+        for net, cap in routing.wire_caps.items():
+            assert cap == pytest.approx(
+                routing.wire_lengths[net] * FDSOI28.wire_cap_per_um
+            )
+
+
+class TestCts:
+    def test_large_fanout_net_gets_buffers(self, mapped):
+        work = mapped.copy()
+        placement = place(work)
+        result = synthesize_clock_trees(work, FDSOI28, placement,
+                                        max_fanout=8)
+        check(work)
+        clk_tree = next(t for t in result.trees if t.root == "clk")
+        assert clk_tree.sinks > 8
+        assert clk_tree.buffers > 0
+        assert clk_tree.levels >= 1
+        # root now drives at most max_fanout loads
+        assert len(work.nets["clk"].loads) <= 8
+        # buffers are placed and tagged
+        for name, inst in work.instances.items():
+            if inst.attrs.get("clock_buffer"):
+                assert name in placement.positions
+
+    def test_small_fanout_left_alone(self, mapped):
+        work = mapped.copy()
+        placement = place(work)
+        result = synthesize_clock_trees(work, FDSOI28, placement,
+                                        max_fanout=10_000)
+        assert result.total_buffers == 0
+
+    def test_three_phase_has_three_trees(self, mapped):
+        result = convert_to_three_phase(mapped, FDSOI28, period=1000.0)
+        work = result.module
+        placement = place(work)
+        cts = synthesize_clock_trees(work, FDSOI28, placement, max_fanout=8)
+        roots = {t.root for t in cts.trees}
+        assert {"p1", "p2", "p3"} <= roots
+        # and the combined effort exceeds the single-tree FF design's
+        ff = mapped.copy()
+        ff_cts = synthesize_clock_trees(ff, FDSOI28, place(ff), max_fanout=8)
+        assert cts.total_effort > ff_cts.total_effort
+
+
+class TestFullFlow:
+    def test_place_and_route(self, mapped):
+        work = mapped.copy()
+        physical = place_and_route(work, FDSOI28)
+        check(work)
+        assert set(physical.runtime) == {"place", "cts", "route"}
+        assert physical.wire_caps
+        # CTS buffers exist in the wire model too
+        for name, inst in work.instances.items():
+            if inst.attrs.get("clock_buffer"):
+                out = inst.net_of("Y")
+                assert out in physical.wire_caps
+                break
+
+
+class TestPlacementEdgeCases:
+    def test_disconnected_logic_still_placed(self):
+        from repro.library.generic import GENERIC
+        from repro.netlist import Module
+
+        m = Module("islands")
+        m.add_input("a")
+        m.add_net("y")
+        m.add_instance("live", GENERIC["INV"], {"A": "a", "Y": "y"})
+        m.add_output("z", net_name="y")
+        # an island: driven by a tie cell, unreachable from any port
+        m.add_net("c1")
+        m.add_net("c2")
+        m.add_instance("tie", GENERIC["TIE1"], {"Y": "c1"})
+        m.add_instance("island", GENERIC["INV"], {"A": "c1", "Y": "c2"})
+        placement = place(m)
+        assert set(placement.positions) == set(m.instances)
+
+    def test_empty_module(self):
+        from repro.netlist import Module
+
+        m = Module("empty")
+        m.add_input("a")
+        m.add_output("z", net_name="a")
+        placement = place(m)
+        assert placement.width > 0

@@ -1,0 +1,108 @@
+"""Power model tests: groups, gating effects, savings."""
+
+import pytest
+
+from repro.convert import ClockSpec, convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.library.generic import GENERIC
+from repro.netlist import Module
+from repro.power import PowerReport, clock_nets_of, measure_power, savings
+from repro.circuits.linear import linear_pipeline
+from repro.sim import generate_vectors, run_testbench
+from repro.synth import synthesize
+
+
+def measured(module, clocks, cycles=50, profile="random", wire_caps=None):
+    vectors = generate_vectors(module, cycles, profile=profile)
+    bench = run_testbench(module, clocks, vectors, delay_model="unit",
+                          activity_warmup=5)
+    return measure_power(module, FDSOI28, bench.simulator.toggles,
+                         cycles=cycles - 5, period=clocks.period,
+                         wire_caps=wire_caps)
+
+
+@pytest.fixture(scope="module")
+def pipe():
+    return synthesize(linear_pipeline(4, width=3, logic_depth=4, seed=2),
+                      FDSOI28).module
+
+
+class TestGrouping:
+    def test_clock_nets_identified(self, pipe):
+        nets = clock_nets_of(pipe)
+        assert "clk" in nets
+
+    def test_groups_sum_to_total(self, pipe):
+        report = measured(pipe, ClockSpec.single(1000.0))
+        assert report.total == pytest.approx(
+            report.clock.total + report.seq.total + report.comb.total
+        )
+        row = report.as_row()
+        assert row["total"] == pytest.approx(report.total)
+
+    def test_leakage_always_positive(self, pipe):
+        # Even a dead-quiet design leaks.
+        report = measure_power(pipe, FDSOI28,
+                               dict.fromkeys(pipe.nets, 0),
+                               cycles=10, period=1000.0)
+        assert report.clock.switching == 0
+        assert report.total > 0
+        assert report.comb.leakage > 0
+
+    def test_bad_window_rejected(self, pipe):
+        with pytest.raises(ValueError):
+            measure_power(pipe, FDSOI28, {}, cycles=0, period=1000.0)
+
+    def test_clock_energy_scales_with_registers(self):
+        small = synthesize(linear_pipeline(2, width=2, logic_depth=2),
+                           FDSOI28).module
+        big = synthesize(linear_pipeline(8, width=4, logic_depth=2),
+                         FDSOI28).module
+        p_small = measured(small, ClockSpec.single(1000.0))
+        p_big = measured(big, ClockSpec.single(1000.0))
+        assert p_big.clock.total > p_small.clock.total
+
+
+class TestPhysicalEffects:
+    def test_wire_caps_increase_power(self, pipe):
+        base = measured(pipe, ClockSpec.single(1000.0))
+        loaded = measured(pipe, ClockSpec.single(1000.0),
+                          wire_caps={n: 20.0 for n in pipe.nets})
+        assert loaded.total > base.total
+
+    def test_higher_frequency_higher_power(self, pipe):
+        slow = measured(pipe, ClockSpec.single(2000.0))
+        fast = measured(pipe, ClockSpec.single(1000.0))
+        assert fast.total > slow.total
+
+    def test_three_phase_saves_clock_power(self, pipe):
+        ff_power = measured(pipe, ClockSpec.single(1000.0))
+        result = convert_to_three_phase(pipe, FDSOI28, period=1000.0)
+        p3_power = measured(result.module, result.clocks)
+        # The headline mechanism: fewer/lighter clock sinks.
+        assert p3_power.clock.total < ff_power.clock.total
+
+
+class TestSavings:
+    def test_savings_math(self):
+        base = PowerReport("a")
+        base.clock.switching = 1.0
+        base.seq.switching = 0.5
+        base.comb.switching = 0.5
+        improved = PowerReport("b")
+        improved.clock.switching = 0.5
+        improved.seq.switching = 0.5
+        improved.comb.switching = 1.0
+        result = savings(base, improved)
+        assert result["clock"] == pytest.approx(50.0)
+        assert result["seq"] == pytest.approx(0.0)
+        assert result["comb"] == pytest.approx(-100.0)
+        assert result["total"] == pytest.approx(0.0)
+
+    def test_zero_base_handled(self):
+        result = savings(PowerReport("a"), PowerReport("b"))
+        assert result["total"] == 0.0
+
+    def test_str_rendering(self, pipe):
+        report = measured(pipe, ClockSpec.single(1000.0))
+        assert "mW" in str(report)

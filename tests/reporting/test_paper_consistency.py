@@ -1,0 +1,49 @@
+"""Consistency between the transcribed paper data and the calibrated
+benchmark registry (the derivations DESIGN.md describes)."""
+
+import pytest
+
+from repro.circuits import BENCHMARKS, names, spec
+from repro.reporting.paper_data import TABLE1, TABLE2
+
+
+def test_registry_single_targets_derive_from_table1():
+    """n_single = 2*FF - 3P for every design (the calibration recipe)."""
+    for name in names():
+        structure = spec(name).structure
+        paper = TABLE1[name]
+        assert structure.n_ffs == paper.regs_ff, name
+        assert structure.n_single == 2 * paper.regs_ff - paper.regs_3p, name
+
+
+def test_paper_power_rows_internally_consistent():
+    """Clock+Seq+Comb ≈ Total in the transcription (rounding tolerance)."""
+    for name, row in TABLE2.items():
+        for power in (row.ff, row.ms, row.three_phase):
+            assert power.total == pytest.approx(
+                power.clock + power.seq + power.comb, rel=0.08, abs=0.03
+            ), name
+
+
+def test_paper_operating_points():
+    assert spec("s1196").period == 1000.0  # 1 GHz
+    assert spec("aes").period == 2000.0  # 500 MHz
+    assert spec("plasma").period == 2000.0
+    assert spec("riscv").period == 3000.0  # 333 MHz
+    assert spec("armm0").period == 3000.0
+
+
+def test_workload_mapping():
+    assert spec("plasma").workload == "pi"
+    assert spec("riscv").workload == "rv32ui"
+    assert spec("armm0").workload == "hello"
+    for name in ("des3", "sha256", "md5"):
+        assert spec(name).workload == "self-check"
+    for name in names("iscas"):
+        assert spec(name).workload == "random"
+
+
+def test_control_dominated_designs_have_full_feedback():
+    # the paper singles out s1488 as re-synthesized from a controller
+    assert spec("s1488").structure.self_loop_fraction == 1.0
+    assert spec("s1488").structure.n_single == 0

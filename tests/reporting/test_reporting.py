@@ -1,0 +1,104 @@
+"""Reporting/regeneration tests (small designs only; full runs are in
+benchmarks/)."""
+
+import pytest
+
+from repro.reporting import (
+    format_fig4,
+    format_runtime,
+    format_table1,
+    format_table2,
+    run_benchmark,
+    run_suite,
+    summarize_runtime,
+)
+from repro.reporting.fig4 import Fig4Cell, Fig4Result
+from repro.reporting.paper_data import HEADLINE, TABLE1, TABLE2
+
+
+class TestPaperData:
+    def test_all_benchmarks_covered(self):
+        from repro.circuits import names
+
+        assert set(TABLE1) == set(names())
+        assert set(TABLE2) == set(names())
+
+    def test_reg_savings_consistent_with_counts(self):
+        # spot-check the derivation used to calibrate the generators:
+        # save_2ff = (2*FF - 3P) / (2*FF)
+        for name in ("s1196", "des3", "plasma"):
+            row = TABLE1[name]
+            derived = 100.0 * (2 * row.regs_ff - row.regs_3p) / (2 * row.regs_ff)
+            assert derived == pytest.approx(row.reg_save_2ff, abs=0.3)
+
+    def test_headline_values(self):
+        assert HEADLINE["total_power_save_vs_ff"] == pytest.approx(15.47)
+        assert HEADLINE["total_power_save_vs_ms"] == pytest.approx(18.49)
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    return run_suite(designs=["s1196", "s1238"], sim_cycles=40)
+
+
+class TestTableFormatting:
+    def test_run_benchmark(self):
+        cmp = run_benchmark("s1488", sim_cycles=30)
+        assert cmp.name == "s1488"
+        # the paper's control-dominated case: no latch saving vs 2xFF
+        assert cmp.reg_counts["3p"] == 12
+
+    def test_table1_renders(self, tiny_results):
+        text = format_table1(tiny_results)
+        assert "TABLE I" in text
+        assert "s1196" in text and "s1238" in text
+        assert "Average" in text
+
+    def test_table2_renders(self, tiny_results):
+        text = format_table2(tiny_results)
+        assert "TABLE II" in text
+        assert "paper 15.5%" in text
+        for style in (" ff ", " ms ", " 3p "):
+            assert style in text
+
+    def test_progress_callback(self):
+        messages = []
+        run_suite(designs=["s1488"], sim_cycles=20,
+                  progress=messages.append)
+        assert any("s1488" in m for m in messages)
+
+
+class TestRuntime:
+    def test_summary(self, tiny_results):
+        summary = summarize_runtime(tiny_results)
+        assert summary.ilp_share < 0.5
+        assert summary.ilp_max_seconds >= 0
+        assert set(summary.per_design) == {"s1196", "s1238"}
+        text = format_runtime(summary)
+        assert "ILP share" in text
+        assert "CTS ratio" in text
+
+
+class TestFig4Formatting:
+    def test_cell_lookup_and_render(self):
+        result = Fig4Result(cells=[
+            Fig4Cell("riscv", "dhrystone", "ff", 0.5, 0.1, 0.3),
+            Fig4Cell("riscv", "dhrystone", "3p", 0.3, 0.1, 0.3),
+        ])
+        assert result.cell("riscv", "dhrystone", "ff").total == pytest.approx(0.9)
+        with pytest.raises(KeyError):
+            result.cell("armm0", "coremark", "ff")
+
+    def test_format_contains_bars(self):
+        result = Fig4Result(cells=[
+            Fig4Cell("riscv", "dhrystone", "ff", 0.5, 0.1, 0.3),
+            Fig4Cell("riscv", "dhrystone", "3p", 0.3, 0.1, 0.2),
+        ])
+        text = format_fig4(result)
+        assert "Fig. 4" in text
+        assert "riscv" in text
+        assert "|" in text  # the stacked bars
+        # the taller bar belongs to the FF style
+        ff_line = next(l for l in text.splitlines() if " ff " in l)
+        p3_line = next(l for l in text.splitlines() if " 3p " in l)
+        assert len(ff_line.split("|")[1]) > len(p3_line.split("|")[1])

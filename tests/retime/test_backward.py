@@ -1,0 +1,102 @@
+"""Backward retiming move tests."""
+
+import pytest
+
+from repro.convert import ClockSpec
+from repro.convert.clocks import Phase
+from repro.library.generic import GENERIC
+from repro.netlist import Module, check
+from repro.retime.backward import (
+    move_backward,
+    retime_backward_pass,
+    unique_preimage,
+)
+from repro.sim import Simulator
+
+
+class TestUniquePreimage:
+    def test_inverter_always_unique(self):
+        assert unique_preimage("INV", 1, 0) == (1,)
+        assert unique_preimage("INV", 1, 1) == (0,)
+        assert unique_preimage("BUF", 1, 1) == (1,)
+
+    def test_and_or_partial(self):
+        assert unique_preimage("AND", 2, 1) == (1, 1)
+        assert unique_preimage("AND", 2, 0) is None  # three preimages
+        assert unique_preimage("OR", 2, 0) == (0, 0)
+        assert unique_preimage("OR", 2, 1) is None
+
+    def test_xor_never_unique(self):
+        assert unique_preimage("XOR", 2, 0) is None
+        assert unique_preimage("XOR", 2, 1) is None
+
+
+def latch_after_inv(init=1) -> Module:
+    """in -> INV -> latch(p2) -> out, plus a tap before the latch."""
+    m = Module("bk")
+    m.add_input("p2", is_clock=True)
+    m.add_input("a")
+    m.add_net("n1")
+    m.add_net("q")
+    m.add_instance("inv", GENERIC["INV"], {"A": "a", "Y": "n1"})
+    m.add_instance("lat", GENERIC["DLATCH"], {"D": "n1", "G": "p2", "Q": "q"},
+                   attrs={"phase": "p2", "init": init})
+    m.add_output("z", net_name="q")
+    return m
+
+
+class TestMoveBackward:
+    def test_inverter_move(self):
+        m = latch_after_inv(init=1)
+        moved, _ = move_backward(m, "lat", GENERIC)
+        assert moved
+        check(m)
+        # the new latch sits before the inverter with the inverted init
+        latches = m.latches()
+        assert len(latches) == 1
+        assert latches[0].net_of("D") == "a"
+        assert latches[0].attrs["init"] == 0  # INV preimage of 1
+
+    def test_behaviour_preserved(self):
+        clocks = ClockSpec(100.0, (Phase("p2", 30.0, 60.0),))
+        reference = latch_after_inv(init=1)
+        moved_design = latch_after_inv(init=1)
+        move_backward(moved_design, "lat", GENERIC)
+
+        for design in (reference, moved_design):
+            design_sim = Simulator(design, clocks, delay_model="unit")
+            design_sim.set_input("a", 0, 0.0)
+            design_sim.run_until(20.0)
+            assert design_sim.port_value("z") == 1  # init visible
+            design_sim.run_until(80.0)  # window [30,60) captured INV(0)=1
+            assert design_sim.port_value("z") == 1
+            design_sim.set_input("a", 1, 90.0)
+            design_sim.run_until(170.0)  # next window captures INV(1)=0
+            assert design_sim.port_value("z") == 0
+
+    def test_ambiguous_init_blocked(self):
+        m = Module("amb")
+        m.add_input("p2", is_clock=True)
+        m.add_input("a")
+        m.add_input("b")
+        m.add_net("n1")
+        m.add_net("q")
+        m.add_instance("g", GENERIC["AND2"], {"A": "a", "B": "b", "Y": "n1"})
+        m.add_instance("lat", GENERIC["DLATCH"],
+                       {"D": "n1", "G": "p2", "Q": "q"},
+                       attrs={"phase": "p2", "init": 0})
+        m.add_output("z", net_name="q")
+        moved, reason = move_backward(m, "lat", GENERIC)
+        assert not moved and reason == "ambiguous-init"
+
+    def test_shared_gate_output_blocked(self):
+        m = latch_after_inv()
+        m.add_output("tap", net_name="n1")  # second consumer of the gate
+        moved, reason = move_backward(m, "lat", GENERIC)
+        assert not moved and reason == "structural"
+
+    def test_pass_reports(self):
+        m = latch_after_inv(init=0)
+        report = retime_backward_pass(m, GENERIC, movable_phase="p2")
+        assert report.moves == 1
+        check(m)

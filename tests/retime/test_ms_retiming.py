@@ -1,0 +1,73 @@
+"""Master-slave slave-latch retiming (the paper's Table I discussion:
+"Master-slave designs have more slave latches that can be moved around
+thus possibly better retiming results")."""
+
+import pytest
+
+from repro.convert import ClockSpec, convert_to_master_slave
+from repro.flow import FlowOptions, run_flow
+from repro.library.fdsoi28 import FDSOI28
+from repro.library.generic import GENERIC
+from repro.netlist import Module, check, collect_stats
+from repro.retime import retime_forward
+from repro.sim import check_equivalent
+
+
+def reduction_front() -> Module:
+    """8 FFs whose outputs immediately merge pairwise: slave latches can
+    retime forward through the AND gates, halving the front rank."""
+    m = Module("red")
+    m.add_input("clk", is_clock=True)
+    level = []
+    for i in range(8):
+        m.add_input(f"d{i}")
+        q = m.add_net(f"q{i}")
+        m.add_instance(f"ff{i}", GENERIC["DFF"],
+                       {"D": f"d{i}", "CK": "clk", "Q": q.name},
+                       attrs={"init": i % 2})
+        level.append(q.name)
+    outs = []
+    for i in range(0, 8, 2):
+        y = m.add_net(f"and{i}")
+        m.add_instance(f"g{i}", GENERIC["AND2"],
+                       {"A": level[i], "B": level[i + 1], "Y": y.name})
+        outs.append(y.name)
+    for k, net in enumerate(outs):
+        m.add_output(f"po{k}", net_name=net)
+    return m
+
+
+def test_area_pass_merges_slaves():
+    design = reduction_front()
+    ms = convert_to_master_slave(design, GENERIC, period=1000.0)
+    before = collect_stats(ms.module).latches
+    assert before == 16
+    rr = retime_forward(ms.module, ms.clocks, GENERIC, movable_phase="clk")
+    check(ms.module)
+    after = collect_stats(ms.module).latches
+    # each AND2 merge consumes 2 slaves and creates 1: -4 latches total
+    assert after == before - 4
+    assert rr.area_moves == 4
+    report = check_equivalent(design, ClockSpec.single(1000.0),
+                              ms.module, ms.clocks, n_cycles=40)
+    assert report.equivalent, str(report)
+
+
+def test_flow_option_off_by_default():
+    design = reduction_front()
+    plain = run_flow(design, FlowOptions(period=1000.0, style="ms",
+                                         sim_cycles=20))
+    assert plain.stats.latches == 16
+    retimed = run_flow(design, FlowOptions(period=1000.0, style="ms",
+                                           retime_ms=True, sim_cycles=20))
+    assert retimed.stats.latches == 12
+    assert retimed.retime is not None
+
+
+def test_masters_never_move():
+    design = reduction_front()
+    ms = convert_to_master_slave(design, GENERIC, period=1000.0)
+    retime_forward(ms.module, ms.clocks, GENERIC, movable_phase="clk")
+    masters = [i for i in ms.module.latches()
+               if i.attrs.get("role") == "master"]
+    assert len(masters) == 8  # untouched

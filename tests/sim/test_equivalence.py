@@ -1,0 +1,121 @@
+"""End-to-end conversion equivalence: the paper's validation methodology.
+
+"We validated both master-slave and 3-phase latch-based circuits by
+streaming inputs to the FF-based and latch-based designs and comparing
+output streams."  These property tests do that over random circuits,
+including ones with feedback, self-loops, enables, and clock gating.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.random_logic import random_sequential_circuit
+from repro.convert import ClockSpec, convert_to_master_slave, convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.library.generic import GENERIC
+from repro.sim import check_equivalent, compare_streams, generate_vectors
+from repro.sim.equivalence import EquivalenceReport, Mismatch
+from repro.synth import synthesize
+
+PERIOD = 1000.0
+FF_CLOCKS = ClockSpec.single(PERIOD)
+
+
+class TestThreePhaseEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_circuits(self, seed):
+        module = random_sequential_circuit(
+            seed, n_ffs=10, n_gates=40, feedback=0.35
+        )
+        result = convert_to_three_phase(module, GENERIC, period=PERIOD)
+        report = check_equivalent(module, FF_CLOCKS, result.module,
+                                  result.clocks, n_cycles=60, seed=seed)
+        assert report.equivalent, f"seed {seed}: {report}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_clock_gating(self, seed):
+        module = random_sequential_circuit(
+            seed + 200, n_ffs=16, n_gates=50, enable_fraction=0.7
+        )
+        mapped = synthesize(module, FDSOI28, clock_gating_style="gated").module
+        result = convert_to_three_phase(mapped, FDSOI28, period=PERIOD)
+        report = check_equivalent(module, FF_CLOCKS, result.module,
+                                  result.clocks, n_cycles=70, seed=seed)
+        assert report.equivalent, f"seed {seed}: {report}"
+
+    @given(st.integers(min_value=0, max_value=20_000))
+    @settings(max_examples=10, deadline=None)
+    def test_equivalence_property(self, seed):
+        module = random_sequential_circuit(
+            seed, n_ffs=7, n_gates=25, feedback=0.5
+        )
+        result = convert_to_three_phase(module, GENERIC, period=PERIOD)
+        report = check_equivalent(module, FF_CLOCKS, result.module,
+                                  result.clocks, n_cycles=40, seed=seed)
+        assert report.equivalent, f"seed {seed}: {report}"
+
+    def test_greedy_assignment_also_equivalent(self):
+        module = random_sequential_circuit(9, n_ffs=12, n_gates=45)
+        result = convert_to_three_phase(module, GENERIC, period=PERIOD,
+                                        method="greedy")
+        report = check_equivalent(module, FF_CLOCKS, result.module,
+                                  result.clocks, n_cycles=50)
+        assert report.equivalent, str(report)
+
+
+class TestMasterSlaveEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_circuits(self, seed):
+        module = random_sequential_circuit(
+            seed + 100, n_ffs=9, n_gates=35, feedback=0.4
+        )
+        result = convert_to_master_slave(module, GENERIC, period=PERIOD)
+        report = check_equivalent(module, FF_CLOCKS, result.module,
+                                  result.clocks, n_cycles=60)
+        assert report.equivalent, f"seed {seed}: {report}"
+
+
+class TestHarness:
+    def test_mismatch_reported(self, s27):
+        broken = s27.copy("broken")
+        # invert the output: swap the final NOT for a BUF
+        inst = next(
+            i for i in broken.instances.values()
+            if i.cell.op == "INV" and i.net_of("Y") == "G17"
+        )
+        broken.replace_cell(inst.name, GENERIC["BUF"])
+        report = check_equivalent(s27, FF_CLOCKS, broken, FF_CLOCKS,
+                                  n_cycles=30)
+        assert not report.equivalent
+        assert report.mismatches
+        assert "mismatch" in str(report)
+
+    def test_differing_port_sets_rejected(self, s27):
+        other = s27.copy("other")
+        other.add_net("extra_net")
+        other.add_instance("buf", GENERIC["BUF"],
+                           {"A": "G17", "Y": "extra_net"})
+        other.add_output("extra", net_name="extra_net")
+        vectors = generate_vectors(s27, 10)
+        with pytest.raises(ValueError, match="port sets differ"):
+            compare_streams(s27, FF_CLOCKS, other, FF_CLOCKS, vectors)
+
+    def test_report_str_forms(self):
+        ok = EquivalenceReport(cycles=5)
+        assert "equivalent" in str(ok)
+        bad = EquivalenceReport(cycles=5,
+                                mismatches=[Mismatch(1, "z", 0, 1)])
+        assert not bad.equivalent
+
+    def test_cell_delay_model_also_equivalent(self, s27):
+        # At a relaxed period, real cell delays must give the same streams.
+        result = convert_to_three_phase(
+            synthesize(s27, FDSOI28).module, FDSOI28, period=4000.0
+        )
+        vectors = generate_vectors(s27, 40, seed=3)
+        report = compare_streams(
+            s27, ClockSpec.single(4000.0), result.module, result.clocks,
+            vectors, delay_model="cell",
+        )
+        assert report.equivalent, str(report)

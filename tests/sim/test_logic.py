@@ -1,0 +1,82 @@
+"""Three-valued logic evaluation tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.logic import X, eval_op
+
+values = st.sampled_from([0, 1, X])
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize(
+        "op,table",
+        [
+            ("AND", {(0, 0): 0, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+            ("OR", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 1}),
+            ("NAND", {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            ("NOR", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 0}),
+            ("XOR", {(0, 0): 0, (0, 1): 1, (1, 0): 1, (1, 1): 0}),
+            ("XNOR", {(0, 0): 1, (0, 1): 0, (1, 0): 0, (1, 1): 1}),
+        ],
+    )
+    def test_binary_ops(self, op, table):
+        for inputs, expected in table.items():
+            assert eval_op(op, list(inputs)) == expected
+
+    def test_unary(self):
+        assert eval_op("INV", [0]) == 1
+        assert eval_op("INV", [1]) == 0
+        assert eval_op("BUF", [1]) == 1
+
+    def test_wide_gates(self):
+        assert eval_op("AND", [1, 1, 1, 1]) == 1
+        assert eval_op("AND", [1, 1, 0, 1]) == 0
+        assert eval_op("XOR", [1, 1, 1]) == 1
+
+    def test_mux2(self):
+        assert eval_op("MUX2", [0, 1, 0]) == 0  # S=0 -> A
+        assert eval_op("MUX2", [0, 1, 1]) == 1  # S=1 -> B
+        assert eval_op("TIE0", []) == 0
+        assert eval_op("TIE1", []) == 1
+
+
+class TestXPropagation:
+    def test_controlling_values_beat_x(self):
+        assert eval_op("AND", [0, X]) == 0
+        assert eval_op("OR", [1, X]) == 1
+        assert eval_op("NAND", [0, X]) == 1
+        assert eval_op("NOR", [1, X]) == 0
+
+    def test_non_controlling_x_propagates(self):
+        assert eval_op("AND", [1, X]) == X
+        assert eval_op("OR", [0, X]) == X
+        assert eval_op("XOR", [1, X]) == X
+        assert eval_op("INV", [X]) == X
+
+    def test_mux_x_select(self):
+        assert eval_op("MUX2", [1, 1, X]) == 1  # both sides agree
+        assert eval_op("MUX2", [0, 1, X]) == X
+        assert eval_op("MUX2", [X, X, X]) == X
+
+    @given(st.lists(values, min_size=2, max_size=4))
+    def test_nand_is_not_and(self, inputs):
+        a = eval_op("AND", inputs)
+        n = eval_op("NAND", inputs)
+        if a == X:
+            assert n == X
+        else:
+            assert n == 1 - a
+
+    @given(st.lists(values, min_size=2, max_size=4))
+    def test_demorgan(self, inputs):
+        inverted = [eval_op("INV", [v]) for v in inputs]
+        assert eval_op("NOR", inputs) == eval_op("AND", inverted)
+
+    @given(st.lists(st.sampled_from([0, 1]), min_size=2, max_size=4))
+    def test_binary_inputs_never_yield_x(self, inputs):
+        for op in ("AND", "OR", "NAND", "NOR", "XOR", "XNOR"):
+            assert eval_op(op, inputs) in (0, 1)

@@ -1,0 +1,68 @@
+"""SAIF-lite activity interchange tests."""
+
+import pytest
+
+from repro.circuits import build
+from repro.convert import ClockSpec
+from repro.library.fdsoi28 import FDSOI28
+from repro.power import measure_power
+from repro.sim import generate_vectors, run_testbench
+from repro.sim import saif
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    module = synthesize(build("s1488"), FDSOI28).module
+    clocks = ClockSpec.single(1000.0)
+    vectors = generate_vectors(module, 40, seed=2)
+    bench = run_testbench(module, clocks, vectors, delay_model="unit",
+                          activity_warmup=8)
+    return module, bench.simulator.toggles, 32 * 1000.0, 1000.0
+
+
+class TestRoundTrip:
+    def test_text_roundtrip(self, recorded):
+        module, toggles, duration, period = recorded
+        text = saif.dumps(module, toggles, duration, period)
+        record = saif.loads(text)
+        assert record.design == module.name
+        assert record.duration == pytest.approx(duration)
+        assert record.cycles == 32
+        for net, count in toggles.items():
+            assert record.toggles.get(net, 0) == count
+
+    def test_file_roundtrip(self, recorded, tmp_path):
+        module, toggles, duration, period = recorded
+        path = tmp_path / "act.saif"
+        saif.dump(module, toggles, duration, period, str(path))
+        record = saif.load(str(path))
+        assert sum(record.toggles.values()) == sum(toggles.values())
+
+    def test_power_from_saif_matches_direct(self, recorded):
+        module, toggles, duration, period = recorded
+        direct = measure_power(module, FDSOI28, toggles, cycles=32,
+                               period=period)
+        record = saif.loads(saif.dumps(module, toggles, duration, period))
+        replayed = measure_power(module, FDSOI28, record.toggles,
+                                 cycles=record.cycles, period=record.period)
+        assert replayed.total == pytest.approx(direct.total)
+        assert replayed.clock.total == pytest.approx(direct.clock.total)
+
+
+class TestParser:
+    def test_quoted_names(self):
+        text = ('(SAIFILE (DESIGN "d") (DURATION 100) (CLOCK_PERIOD 10)\n'
+                '  (INSTANCE d\n'
+                '    (NET ("weird net!" (TC 7)))\n'
+                '  )\n)')
+        record = saif.loads(text)
+        assert record.toggles["weird net!"] == 7
+
+    def test_not_saif_rejected(self):
+        with pytest.raises(saif.SaifError, match="SAIFILE"):
+            saif.loads("hello")
+
+    def test_missing_duration_rejected(self):
+        with pytest.raises(saif.SaifError, match="DURATION"):
+            saif.loads("(SAIFILE )")

@@ -1,0 +1,204 @@
+"""Event-driven simulator behaviour tests."""
+
+import pytest
+
+from repro.convert.clocks import ClockSpec, Phase
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module
+from repro.sim.logic import X
+from repro.sim.simulator import SimulationError, Simulator
+
+
+def latch_design() -> Module:
+    m = Module("latch")
+    m.add_input("g", is_clock=True)
+    m.add_input("d")
+    m.add_net("q")
+    m.add_instance("lat", GENERIC["DLATCH"], {"D": "d", "G": "g", "Q": "q"},
+                   attrs={"init": 0})
+    m.add_output("z", net_name="q")
+    return m
+
+
+def dff_design() -> Module:
+    m = Module("dff")
+    m.add_input("clk", is_clock=True)
+    m.add_input("d")
+    m.add_net("q")
+    m.add_instance("ff", GENERIC["DFF"], {"D": "d", "CK": "clk", "Q": "q"},
+                   attrs={"init": 0})
+    m.add_output("z", net_name="q")
+    return m
+
+
+class TestLatch:
+    def test_transparent_follows_d(self):
+        m = latch_design()
+        clocks = ClockSpec(100.0, (Phase("g", 0.0, 50.0),))
+        sim = Simulator(m, clocks, delay_model="unit")
+        sim.set_input("d", 1, 110.0)  # g high in [100, 150)
+        sim.run_until(120.0)
+        assert sim.value("q") == 1
+        sim.set_input("d", 0, 130.0)
+        sim.run_until(140.0)
+        assert sim.value("q") == 0
+
+    def test_opaque_holds(self):
+        m = latch_design()
+        clocks = ClockSpec(100.0, (Phase("g", 0.0, 50.0),))
+        sim = Simulator(m, clocks, delay_model="unit")
+        sim.set_input("d", 1, 60.0)  # g low in [50, 100)
+        sim.run_until(95.0)
+        assert sim.value("q") == 0  # held at init
+        sim.run_until(110.0)  # g rises at 100, captures d=1
+        assert sim.value("q") == 1
+
+    def test_initial_value_applied(self):
+        m = latch_design()
+        m.instances["lat"].attrs["init"] = 1
+        clocks = ClockSpec(100.0, (Phase("g", 0.0, 50.0, skip_first=True),))
+        sim = Simulator(m, clocks, delay_model="unit")
+        sim.run_until(10.0)
+        assert sim.value("q") == 1
+
+    def test_skip_first_suppresses_first_window(self):
+        m = latch_design()
+        clocks = ClockSpec(100.0, (Phase("g", 0.0, 50.0, skip_first=True),))
+        sim = Simulator(m, clocks, delay_model="unit")
+        sim.set_input("d", 1, 5.0)
+        sim.run_until(90.0)
+        assert sim.value("q") == 0  # window [0,50) suppressed
+        sim.run_until(110.0)
+        assert sim.value("q") == 1  # second window is live
+
+
+class TestDff:
+    def test_captures_on_rising_edge_only(self):
+        m = dff_design()
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("d", 1, 20.0)
+        sim.run_until(99.0)
+        assert sim.value("q") == 0
+        sim.run_until(105.0)  # rising edge at t=100
+        assert sim.value("q") == 1
+        sim.set_input("d", 0, 120.0)
+        sim.run_until(160.0)  # falling edge at 150 must not capture
+        assert sim.value("q") == 1
+
+    def test_no_capture_at_time_zero(self):
+        m = dff_design()
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("d", 1, 0.0)
+        sim.run_until(50.0)
+        assert sim.value("q") == 0  # init, not captured
+
+
+class TestIcg:
+    def _gated(self, icg_op):
+        m = Module("icg")
+        m.add_input("clk", is_clock=True)
+        m.add_input("en")
+        m.add_input("d")
+        m.add_net("gck")
+        m.add_net("q")
+        conns = {"CK": "clk", "EN": "en", "GCK": "gck"}
+        if icg_op == "ICG_M1":
+            m.add_input("pb", is_clock=True)
+            conns["PB"] = "pb"
+        m.add_instance("icg", GENERIC[icg_op], conns)
+        m.add_instance("ff", GENERIC["DFF"], {"D": "d", "CK": "gck", "Q": "q"},
+                       attrs={"init": 0})
+        m.add_output("z", net_name="q")
+        return m
+
+    def test_conventional_icg_gates_edges(self):
+        m = self._gated("ICG")
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("en", 0, 0.0)
+        sim.set_input("d", 1, 10.0)
+        sim.run_until(250.0)
+        assert sim.value("q") == 0  # no gated edges delivered
+        sim.set_input("en", 1, 260.0)  # latched during clk-low [250,300)
+        sim.run_until(320.0)  # edge at 300 passes
+        assert sim.value("q") == 1
+
+    def test_icg_blocks_mid_cycle_enable_glitch(self):
+        # EN rising while CK is high must not create an edge (that is the
+        # whole point of the internal latch).
+        m = self._gated("ICG")
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("en", 0, 0.0)
+        sim.set_input("d", 1, 10.0)
+        sim.set_input("en", 1, 110.0)  # CK high in [100,150)
+        sim.run_until(130.0)
+        assert sim.value("gck") == 0
+        sim.run_until(220.0)  # next edge at 200 is enabled
+        assert sim.value("q") == 1
+
+    def test_icg_and_passes_enable_directly(self):
+        m = self._gated("ICG_AND")
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("en", 1, 110.0)  # CK high: AND opens immediately
+        sim.run_until(130.0)
+        assert sim.value("gck") == 1
+
+    def test_icg_m1_latches_on_pb(self):
+        m = self._gated("ICG_M1")
+        clocks = ClockSpec(
+            1000.0,
+            (Phase("clk", 375.0, 625.0), Phase("pb", 750.0, 1000.0)),
+        )
+        sim = Simulator(m, clocks, delay_model="unit")
+        sim.set_input("en", 0, 0.0)
+        sim.set_input("d", 1, 10.0)
+        # EN rises while PB low: must not take effect this cycle.
+        sim.set_input("en", 1, 100.0)
+        sim.run_until(700.0)
+        assert sim.value("q") == 0
+        # PB window [750,1000) latches EN=1; clk pulse [1375,1625) passes.
+        sim.run_until(1700.0)
+        assert sim.value("q") == 1
+
+
+class TestBookkeeping:
+    def test_toggle_counting_ignores_x(self):
+        m = dff_design()
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("d", 0, 0.0)  # X -> 0: not a counted toggle
+        sim.set_input("d", 1, 20.0)
+        sim.set_input("d", 0, 220.0)
+        sim.run_until(400.0)
+        assert sim.toggles["d"] == 2  # 0->1 and 1->0; the X->0 is free
+        assert sim.toggles["q"] == 2  # 0->1 at ~100, 1->0 at ~300
+
+    def test_reset_activity(self):
+        m = dff_design()
+        sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+        sim.set_input("d", 1, 20.0)
+        sim.run_until(150.0)
+        sim.reset_activity()
+        assert sim.toggles["d"] == 0
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulator(dff_design(), ClockSpec.single(100.0))
+        sim.run_until(500.0)
+        with pytest.raises(SimulationError, match="past"):
+            sim.set_input("d", 1, 100.0)
+
+    def test_run_cycles_requires_clockspec(self):
+        sim = Simulator(dff_design(), None)
+        with pytest.raises(SimulationError):
+            sim.run_cycles(3)
+
+    def test_x_before_init_propagation(self):
+        m = Module("xprop")
+        m.add_input("a")
+        m.add_net("y")
+        m.add_instance("g", GENERIC["INV"], {"A": "a", "Y": "y"})
+        m.add_output("z", net_name="y")
+        sim = Simulator(m, None, delay_model="unit")
+        sim.run_until(10.0)
+        assert sim.value("y") == X
+        sim.set_input("a", 0, 20.0)
+        sim.run_until(30.0)
+        assert sim.value("y") == 1

@@ -1,0 +1,105 @@
+"""Testbench harness and stimulus tests."""
+
+import pytest
+
+from repro.convert import ClockSpec
+from repro.circuits import build
+from repro.library.generic import GENERIC
+from repro.netlist import Module
+from repro.sim.stimulus import PROFILES, classify_port, generate_vectors
+from repro.sim.testbench import (
+    INPUT_TIME_FRACTION,
+    SAMPLE_GUARD_FRACTION,
+    run_testbench,
+)
+
+
+class TestClassifyPort:
+    @pytest.mark.parametrize("port,cls", [
+        ("rst", "reset"), ("reset_n", "reset"),
+        ("en0", "enable"), ("write_en", "enable"),
+        ("data0", "data"), ("pi3", "data"),
+    ])
+    def test_classes(self, port, cls):
+        assert classify_port(port) == cls
+
+
+class TestGenerateVectors:
+    def _module(self):
+        m = Module("tb")
+        m.add_input("clk", is_clock=True)
+        m.add_input("rst")
+        m.add_input("en0")
+        m.add_input("d0")
+        m.add_net("q")
+        m.add_instance("ff", GENERIC["DFF"],
+                       {"D": "d0", "CK": "clk", "Q": "q"}, attrs={"init": 0})
+        m.add_output("z", net_name="q")
+        return m
+
+    def test_reset_asserted_then_released(self):
+        vectors = generate_vectors(self._module(), 12, reset_cycles=4)
+        assert all(v["rst"] == 1 for v in vectors[:4])
+        assert all(v["rst"] == 0 for v in vectors[4:])
+        assert all(v["d0"] == 0 for v in vectors[:4])
+
+    def test_deterministic_per_seed(self):
+        m = self._module()
+        a = generate_vectors(m, 30, seed=5)
+        b = generate_vectors(m, 30, seed=5)
+        c = generate_vectors(m, 30, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_profile_duty_controls_enables(self):
+        m = self._module()
+        busy = generate_vectors(m, 400, profile="coremark")
+        idle = generate_vectors(m, 400, profile="idle-burst")
+        busy_duty = sum(v["en0"] for v in busy) / len(busy)
+        idle_duty = sum(v["en0"] for v in idle) / len(idle)
+        assert busy_duty > idle_duty
+
+    def test_data_rate_follows_profile(self):
+        m = self._module()
+        hot = generate_vectors(m, 400, profile="random")
+        cold = generate_vectors(m, 400, profile="hello")
+        def rate(vectors):
+            flips = sum(
+                vectors[i]["d0"] != vectors[i - 1]["d0"]
+                for i in range(1, len(vectors))
+            )
+            return flips / len(vectors)
+        assert rate(hot) > rate(cold)
+
+    def test_all_profiles_usable(self):
+        m = self._module()
+        for name in PROFILES:
+            vectors = generate_vectors(m, 10, profile=name)
+            assert len(vectors) == 10
+
+
+class TestRunTestbench:
+    def test_timing_convention_constants(self):
+        # must stay after the 3-phase p1 close and before the M-S master
+        # opening (see the module docstring derivation)
+        assert 0.25 < INPUT_TIME_FRACTION < 0.5
+        assert 0 < SAMPLE_GUARD_FRACTION < 0.1
+
+    def test_samples_one_per_cycle(self):
+        design = build("s1488")
+        clocks = ClockSpec.single(1000.0)
+        vectors = generate_vectors(design, 15)
+        result = run_testbench(design, clocks, vectors, delay_model="unit")
+        assert len(result.samples) == 15
+        streams = {p: result.stream(p) for p in design.output_ports()}
+        assert all(len(s) == 15 for s in streams.values())
+
+    def test_activity_warmup_resets_counts(self):
+        design = build("s1488")
+        clocks = ClockSpec.single(1000.0)
+        vectors = generate_vectors(design, 20)
+        warm = run_testbench(design, clocks, vectors, delay_model="unit",
+                             activity_warmup=10)
+        cold = run_testbench(design, clocks, vectors, delay_model="unit")
+        assert (sum(warm.simulator.toggles.values())
+                < sum(cold.simulator.toggles.values()))

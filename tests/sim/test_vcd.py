@@ -1,0 +1,73 @@
+"""VCD recorder tests."""
+
+import pytest
+
+from repro.convert.clocks import ClockSpec
+from repro.library.generic import GENERIC
+from repro.netlist.core import Module
+from repro.sim.simulator import Simulator
+from repro.sim.vcd import VcdRecorder, _identifier
+
+
+def toggle_design():
+    m = Module("tog")
+    m.add_input("clk", is_clock=True)
+    m.add_net("q")
+    m.add_net("d")
+    m.add_instance("inv", GENERIC["INV"], {"A": "q", "Y": "d"})
+    m.add_instance("ff", GENERIC["DFF"], {"D": "d", "CK": "clk", "Q": "q"},
+                   attrs={"init": 0})
+    m.add_output("z", net_name="q")
+    return m
+
+
+def test_identifiers_unique():
+    ids = {_identifier(i) for i in range(5000)}
+    assert len(ids) == 5000
+
+
+def test_records_and_dumps(tmp_path):
+    m = toggle_design()
+    sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+    recorder = VcdRecorder(sim, nets=["clk", "q"])
+    sim.run_until(450.0)
+    path = tmp_path / "trace.vcd"
+    recorder.dump(str(path))
+    text = path.read_text()
+    assert "$timescale 1ps $end" in text
+    assert "$var wire 1 ! clk $end" in text
+    assert '$var wire 1 " q $end' in text
+    assert "$dumpvars" in text
+    # q toggles on each rising edge (100, 200, ...): expect changes
+    assert text.count('"') > 4
+    # timestamps monotone
+    stamps = [int(line[1:]) for line in text.splitlines()
+              if line.startswith("#")]
+    assert stamps == sorted(stamps)
+
+
+def test_watch_all_nets_by_default(tmp_path):
+    m = toggle_design()
+    sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+    recorder = VcdRecorder(sim)
+    assert set(recorder.nets) == set(m.nets)
+    sim.run_until(150.0)
+    recorder.dump(str(tmp_path / "all.vcd"))
+
+
+def test_unknown_net_rejected():
+    m = toggle_design()
+    sim = Simulator(m, ClockSpec.single(100.0))
+    with pytest.raises(ValueError, match="unknown nets"):
+        VcdRecorder(sim, nets=["nope"])
+
+
+def test_x_rendered(tmp_path):
+    m = toggle_design()
+    del m.instances["ff"].attrs["init"]  # q starts X
+    sim = Simulator(m, ClockSpec.single(100.0), delay_model="unit")
+    recorder = VcdRecorder(sim, nets=["q"])
+    sim.run_until(10.0)
+    path = tmp_path / "x.vcd"
+    recorder.dump(str(path))
+    assert "x!" in path.read_text()

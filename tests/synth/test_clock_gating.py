@@ -1,0 +1,123 @@
+"""Clock-gating inference tests (Fig. 2 styles)."""
+
+import pytest
+
+from repro.circuits.random_logic import random_sequential_circuit
+from repro.convert import ClockSpec
+from repro.library.fdsoi28 import FDSOI28
+from repro.library.generic import GENERIC
+from repro.netlist import Module, check, ff_fanout_map
+from repro.sim import check_equivalent
+from repro.synth.clock_gating import find_candidates, infer_clock_gating
+
+
+def mux_ff_design(active_high=True) -> Module:
+    m = Module("one")
+    m.add_input("clk", is_clock=True)
+    m.add_input("en")
+    m.add_input("d")
+    m.add_net("q")
+    m.add_net("dm")
+    conns = (
+        {"A": "q", "B": "d", "S": "en", "Y": "dm"}
+        if active_high
+        else {"A": "d", "B": "q", "S": "en", "Y": "dm"}
+    )
+    m.add_instance("mux", GENERIC["MUX2"], conns)
+    m.add_instance("ff", GENERIC["DFF"], {"D": "dm", "CK": "clk", "Q": "q"},
+                   attrs={"init": 0})
+    m.add_output("z", net_name="q")
+    return m
+
+
+class TestCandidateDetection:
+    def test_active_high_detected(self):
+        cands = find_candidates(mux_ff_design(True))
+        assert len(cands) == 1
+        assert cands[0].active_high
+        assert cands[0].data_net == "d"
+
+    def test_active_low_detected(self):
+        cands = find_candidates(mux_ff_design(False))
+        assert len(cands) == 1
+        assert not cands[0].active_high
+
+    def test_shared_mux_not_gated(self):
+        m = mux_ff_design()
+        m.add_output("peek", net_name="dm")  # mux output observed elsewhere
+        assert find_candidates(m) == []
+
+    def test_plain_ff_not_candidate(self, s27):
+        assert find_candidates(s27) == []
+
+
+class TestInference:
+    def test_gated_style_inserts_icg(self):
+        m = mux_ff_design()
+        report = infer_clock_gating(m, GENERIC, style="gated", min_group=1)
+        check(m)
+        assert report.gated_ffs == 1
+        assert report.icgs_added == 1
+        assert "mux" not in m.instances  # swept
+        graph = ff_fanout_map(m)
+        assert not any(graph.self_loop(f) for f in graph.ffs)
+
+    def test_active_low_gets_inverter(self):
+        m = mux_ff_design(False)
+        infer_clock_gating(m, GENERIC, style="gated", min_group=1)
+        check(m)
+        assert any(i.cell.op == "INV" for i in m.instances.values())
+
+    def test_enabled_style_is_noop(self):
+        m = mux_ff_design()
+        before = set(m.instances)
+        report = infer_clock_gating(m, GENERIC, style="enabled")
+        assert set(m.instances) == before
+        assert report.gated_ffs == 0
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError, match="unknown clock gating style"):
+            infer_clock_gating(mux_ff_design(), GENERIC, style="frobbed")
+
+    def test_min_group_skips_small_groups(self):
+        m = mux_ff_design()
+        report = infer_clock_gating(m, GENERIC, style="gated", min_group=2)
+        assert report.gated_ffs == 0
+        assert report.candidates_skipped == 1
+
+    def test_max_fanout_splits_groups(self):
+        module = random_sequential_circuit(
+            3, n_ffs=24, n_gates=30, enable_fraction=1.0
+        )
+        report = infer_clock_gating(module, GENERIC, style="gated",
+                                    max_fanout=8, min_group=1)
+        check(module)
+        for (clock, enable, high), ffs in report.groups.items():
+            icgs_for_group = (len(ffs) + 7) // 8
+            assert icgs_for_group >= 1
+        assert report.icgs_added >= report.gated_ffs / 8
+
+    @pytest.mark.parametrize("active_high", [True, False])
+    def test_gating_preserves_behaviour(self, active_high):
+        original = mux_ff_design(active_high)
+        gated = original.copy("gated")
+        infer_clock_gating(gated, GENERIC, style="gated", min_group=1)
+        report = check_equivalent(
+            original, ClockSpec.single(1000.0),
+            gated, ClockSpec.single(1000.0), n_cycles=60,
+        )
+        assert report.equivalent, str(report)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_circuits_preserved(self, seed):
+        original = random_sequential_circuit(
+            seed, n_ffs=12, n_gates=40, enable_fraction=0.6
+        )
+        gated = original.copy("gated")
+        infer_clock_gating(gated, GENERIC, style="gated", min_group=1)
+        check(gated)
+        report = check_equivalent(
+            original, ClockSpec.single(1000.0),
+            gated, ClockSpec.single(1000.0), n_cycles=50,
+        )
+        assert report.equivalent, str(report)

@@ -1,0 +1,62 @@
+"""Technology mapping tests."""
+
+import pytest
+
+from repro.circuits.random_logic import random_sequential_circuit
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import check
+from repro.synth.mapping import drive_for_load, map_to_library
+
+
+def test_drive_bins():
+    assert drive_for_load(0.0) == 1
+    assert drive_for_load(4.0) == 1
+    assert drive_for_load(7.0) == 2
+    assert drive_for_load(25.0) == 4
+
+
+def test_all_cells_mapped(s27):
+    report = map_to_library(s27, FDSOI28)
+    check(report.module)
+    for inst in report.module.instances.values():
+        assert inst.cell.name in FDSOI28.cells
+    assert report.area == pytest.approx(report.module.total_area())
+
+
+def test_ops_preserved(s27):
+    mapped = map_to_library(s27, FDSOI28).module
+    assert mapped.count_ops() == s27.count_ops()
+
+
+def test_high_fanout_gets_stronger_drive():
+    module = random_sequential_circuit(1, n_ffs=4, n_gates=10)
+    # give one gate a big fanout by fanning its output to many sinks
+    from repro.library.generic import GENERIC
+
+    src = module.instances["g0"]
+    out = src.net_of("Y")
+    for k in range(12):
+        net = module.add_net(f"fan{k}")
+        module.add_instance(f"sink{k}", GENERIC["INV"], {"A": out, "Y": net.name})
+    mapped = map_to_library(module, FDSOI28).module
+    assert mapped.instances["g0"].cell.drive >= 2
+
+
+def test_mapping_is_idempotent(s27):
+    once = map_to_library(s27, FDSOI28).module
+    twice = map_to_library(once, FDSOI28).module
+    assert {n: i.cell.name for n, i in once.instances.items()} == {
+        n: i.cell.name for n, i in twice.instances.items()
+    }
+
+
+def test_functional_equivalence_after_mapping(s27):
+    from repro.convert import ClockSpec
+    from repro.sim import check_equivalent
+
+    mapped = map_to_library(s27, FDSOI28).module
+    report = check_equivalent(
+        s27, ClockSpec.single(1000.0), mapped, ClockSpec.single(1000.0),
+        n_cycles=50,
+    )
+    assert report.equivalent, str(report)

@@ -1,0 +1,84 @@
+"""Gate-sizing pass tests."""
+
+import pytest
+
+from repro.circuits.linear import linear_pipeline
+from repro.convert import ClockSpec, convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import check
+from repro.sim import check_equivalent
+from repro.synth import synthesize
+from repro.synth.sizing import downsize_gates
+from repro.timing import analyze
+
+
+@pytest.fixture
+def relaxed_design():
+    """A design with slack and deliberately oversized gates (as a pushy
+    synthesis run or pre-retiming timing pressure would leave behind)."""
+    module = linear_pipeline(5, width=4, logic_depth=3, seed=6)
+    mapped = synthesize(module, FDSOI28).module
+    upsized = 0
+    for name in list(mapped.instances):
+        inst = mapped.instances[name]
+        if inst.cell.kind.value == "comb" and upsized < 20:
+            stronger = FDSOI28.cell_for_op(
+                inst.cell.op, len(inst.cell.data_pins), drive=4)
+            if stronger.drive > inst.cell.drive:
+                mapped.replace_cell(name, stronger)
+                upsized += 1
+    assert upsized > 0
+    return module, mapped
+
+
+class TestDownsizing:
+    def test_saves_area_and_keeps_timing(self, relaxed_design):
+        _, mapped = relaxed_design
+        clocks = ClockSpec.single(4000.0)
+        report = downsize_gates(mapped, clocks, FDSOI28)
+        check(mapped)
+        assert report.downsized > 0
+        assert report.area_saved > 0
+        assert report.area_after == pytest.approx(mapped.total_area())
+        assert analyze(mapped, clocks).ok
+
+    def test_behaviour_preserved(self, relaxed_design):
+        original, mapped = relaxed_design
+        clocks = ClockSpec.single(4000.0)
+        downsize_gates(mapped, clocks, FDSOI28)
+        report = check_equivalent(original, clocks, mapped, clocks,
+                                  n_cycles=40)
+        assert report.equivalent, str(report)
+
+    def test_tight_timing_blocks_downsizing(self):
+        from repro.timing import minimum_period
+
+        module = linear_pipeline(4, width=3, logic_depth=8, seed=2)
+        mapped = synthesize(module, FDSOI28).module
+        pmin = minimum_period(mapped, ClockSpec.single, 50, 8000)
+        clocks = ClockSpec.single(pmin * 1.01)
+        before = mapped.total_area()
+        report = downsize_gates(mapped, clocks, FDSOI28)
+        # whatever happened, timing still holds
+        assert analyze(mapped, clocks).ok
+        assert mapped.total_area() <= before
+
+    def test_three_phase_design(self, relaxed_design):
+        original, mapped = relaxed_design
+        result = convert_to_three_phase(mapped, FDSOI28, period=4000.0)
+        report = downsize_gates(result.module, result.clocks, FDSOI28)
+        check(result.module)
+        assert analyze(result.module, result.clocks).ok
+        rep = check_equivalent(
+            original, ClockSpec.single(4000.0),
+            result.module, result.clocks, n_cycles=40,
+        )
+        assert rep.equivalent, str(rep)
+
+    def test_x1_gates_untouched(self, relaxed_design):
+        _, mapped = relaxed_design
+        x1_before = {n for n, i in mapped.instances.items()
+                     if i.cell.drive == 1}
+        downsize_gates(mapped, ClockSpec.single(4000.0), FDSOI28)
+        for name in x1_before:
+            assert mapped.instances[name].cell.drive == 1

@@ -1,0 +1,58 @@
+"""End-to-end synthesize() front-end tests."""
+
+import pytest
+
+from repro.circuits import random_sequential_circuit
+from repro.convert import ClockSpec
+from repro.library.fdsoi28 import FDSOI28
+from repro.netlist import check
+from repro.sim import check_equivalent
+from repro.synth import synthesize
+
+
+@pytest.fixture(scope="module")
+def enable_rich():
+    return random_sequential_circuit(123, n_ffs=16, n_gates=60,
+                                     enable_fraction=0.6)
+
+
+def test_leaves_source_untouched(enable_rich):
+    before_ops = enable_rich.count_ops()
+    synthesize(enable_rich, FDSOI28)
+    assert enable_rich.count_ops() == before_ops
+
+
+def test_gated_style_wires_icgs(enable_rich):
+    result = synthesize(enable_rich, FDSOI28, clock_gating_style="gated",
+                        min_gating_group=1)
+    check(result.module)
+    assert result.gating.gated_ffs > 0
+    assert result.gating.icgs_added > 0
+    assert result.mapping.area == pytest.approx(result.module.total_area())
+
+
+def test_min_group_threshold(enable_rich):
+    greedy = synthesize(enable_rich, FDSOI28, clock_gating_style="gated",
+                        min_gating_group=1)
+    picky = synthesize(enable_rich, FDSOI28, clock_gating_style="gated",
+                       min_gating_group=100)
+    assert picky.gating.gated_ffs < greedy.gating.gated_ffs
+
+
+def test_max_icg_fanout(enable_rich):
+    narrow = synthesize(enable_rich, FDSOI28, clock_gating_style="gated",
+                        max_icg_fanout=2, min_gating_group=1)
+    for inst in narrow.module.instances.values():
+        if inst.cell.kind.value == "icg":
+            gck = inst.net_of("GCK")
+            assert len(narrow.module.nets[gck].loads) <= 2
+
+
+def test_all_styles_functionally_equal(enable_rich):
+    clocks = ClockSpec.single(1000.0)
+    for style in ("none", "enabled", "gated"):
+        result = synthesize(enable_rich, FDSOI28, clock_gating_style=style,
+                            min_gating_group=1)
+        report = check_equivalent(enable_rich, clocks, result.module, clocks,
+                                  n_cycles=50)
+        assert report.equivalent, f"{style}: {report}"

@@ -1,0 +1,55 @@
+"""Command-line interface tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["list"],
+            ["run", "s1196"],
+            ["table1", "--suite", "iscas"],
+            ["table2", "--designs", "s1196", "des3"],
+            ["fig4", "--cycles", "40"],
+            ["runtime"],
+            ["convert", "--bench", "x.bench", "--out", "y.v"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "s1196" in out and "armm0" in out
+
+    def test_run_small_design(self, capsys):
+        assert main(["run", "s1488", "--cycles", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "registers" in out
+        assert "3-P total power saving" in out
+
+    def test_table1_one_design(self, capsys):
+        assert main(["table1", "--designs", "s1488", "--cycles", "20"]) == 0
+        assert "TABLE I" in capsys.readouterr().out
+
+    def test_convert_roundtrip(self, tmp_path, capsys):
+        bench_file = tmp_path / "c.bench"
+        bench_file.write_text(
+            "INPUT(a)\nOUTPUT(q2)\nq1 = DFF(a)\nn1 = NOT(q1)\nq2 = DFF(n1)\n"
+        )
+        out_file = tmp_path / "c_3p.v"
+        assert main(["convert", "--bench", str(bench_file),
+                     "--out", str(out_file), "--period", "1000"]) == 0
+        text = out_file.read_text()
+        assert "DLATCH" in text
+        assert "p2" in text
+        assert "converted" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""CLI tests for the schedule/report/BLIF-convert commands."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_schedule_command(capsys):
+    assert main(["schedule", "s1488"]) == 0
+    out = capsys.readouterr().out
+    assert "SMO-optimized schedule" in out
+    assert "default schedule minimum period" in out
+
+
+def test_convert_blif(tmp_path, capsys):
+    blif_file = tmp_path / "c.blif"
+    blif_file.write_text(
+        ".model c\n.inputs a\n.outputs z\n"
+        ".names q z\n0 1\n"
+        ".names a q_next\n1 1\n"
+        ".latch q_next q re clk 0\n.end\n"
+    )
+    out_file = tmp_path / "c_3p.v"
+    assert main(["convert", "--blif", str(blif_file),
+                 "--out", str(out_file)]) == 0
+    assert "DLATCH" in out_file.read_text()
+
+
+def test_convert_requires_one_source(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["convert", "--out", str(tmp_path / "x.v")])
+
+
+def test_report_command(tmp_path, capsys):
+    (tmp_path / "table1_demo.txt").write_text("TABLE I demo\n")
+    assert main(["report", "--dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "table1_demo.txt" in out
+    assert "TABLE I demo" in out
+
+
+def test_report_missing_dir(tmp_path, capsys):
+    assert main(["report", "--dir", str(tmp_path / "nope")]) == 1

@@ -1,0 +1,45 @@
+"""Golden-number regression: pins the calibrated headline results.
+
+These bands guard the paper-facing calibration against silent drift from
+library, generator, or flow changes.  They intentionally allow slack
+around the measured values (simulation is seeded but flows evolve) while
+staying tight enough that a regression toward "no saving" or an absurd
+overshoot fails loudly.
+"""
+
+import pytest
+
+from repro.circuits import build, spec
+from repro.flow import FlowOptions, compare_styles
+from repro.reporting.paper_data import TABLE1
+
+#: design -> (reg counts must be exact, total-saving band vs FF, vs M-S)
+GOLDEN = {
+    "s1196": ((18, 36, 26), (8.0, 32.0), (10.0, 35.0)),
+    "s1488": ((6, 12, 12), (-6.0, 8.0), (-5.0, 15.0)),
+    "des3": ((436, 872, 573), (10.0, 30.0), (20.0, 45.0)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_bands(name):
+    bench = spec(name)
+    cmp = compare_styles(
+        build(name),
+        FlowOptions(period=bench.period, profile=bench.workload,
+                    sim_cycles=bench.sim_cycles),
+    )
+    (regs, ff_band, ms_band) = GOLDEN[name]
+
+    # register counts: exact, including the paper's Table I 3-P value
+    assert cmp.reg_counts["ff"] == regs[0] == TABLE1[name].regs_ff
+    assert cmp.reg_counts["ms"] == regs[1]
+    assert cmp.reg_counts["3p"] == regs[2] == TABLE1[name].regs_3p
+
+    save_ff = cmp.power_saving_vs("ff")["total"]
+    save_ms = cmp.power_saving_vs("ms")["total"]
+    assert ff_band[0] <= save_ff <= ff_band[1], f"{name}: vs FF {save_ff}"
+    assert ms_band[0] <= save_ms <= ms_band[1], f"{name}: vs M-S {save_ms}"
+
+    # the clock group always wins for the 3-phase design
+    assert cmp.power_saving_vs("ff")["clock"] > 0

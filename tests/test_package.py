@@ -1,0 +1,43 @@
+"""Package-level sanity: public API surface and documentation."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro.netlist", "repro.library", "repro.synth", "repro.ilp",
+    "repro.convert", "repro.timing", "repro.retime", "repro.cg",
+    "repro.sim", "repro.power", "repro.pnr", "repro.circuits",
+    "repro.flow", "repro.reporting",
+]
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_subpackage_importable_and_documented(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a docstring"
+
+
+def test_every_module_has_docstring():
+    undocumented = []
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for info in pkgutil.iter_modules(pkg.__path__):
+            sub = importlib.import_module(f"{pkg_name}.{info.name}")
+            if not sub.__doc__:
+                undocumented.append(sub.__name__)
+    assert not undocumented, undocumented
+
+
+def test_all_exports_resolve():
+    for pkg_name in PACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        for symbol in getattr(pkg, "__all__", []):
+            assert hasattr(pkg, symbol), f"{pkg_name}.{symbol}"

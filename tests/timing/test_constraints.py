@@ -1,0 +1,73 @@
+"""C1-C3 conversion constraint checker tests."""
+
+import pytest
+
+from repro.circuits.linear import linear_pipeline
+from repro.circuits.random_logic import random_sequential_circuit
+from repro.convert import ClockSpec, convert_to_three_phase
+from repro.convert.clocks import Phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.synth import synthesize
+from repro.timing import check_conversion_constraints
+
+
+@pytest.fixture(scope="module")
+def pipe_conversion():
+    mapped = synthesize(linear_pipeline(4, width=2, logic_depth=4, seed=7),
+                        FDSOI28).module
+    return mapped, convert_to_three_phase(mapped, FDSOI28, period=2000.0)
+
+
+def test_valid_conversion_passes(pipe_conversion):
+    mapped, result = pipe_conversion
+    report = check_conversion_constraints(mapped, result.module, result.clocks)
+    assert report.ok, str(report)
+    assert report.c1_ok and report.c2_ok and report.c3_ok
+
+
+def test_c1_detects_missing_latch(pipe_conversion):
+    mapped, result = pipe_conversion
+    broken = result.module.copy()
+    victim = mapped.flip_flops()[0].name
+    # Disconnect the latch's loads and delete it: C1 violated.
+    q_net = broken.instances[victim].net_of("Q")
+    d_net = broken.instances[victim].net_of("D")
+    broken.remove_instance(victim)
+    broken.move_loads(q_net, d_net)
+    report = check_conversion_constraints(mapped, broken, result.clocks)
+    assert not report.c1_ok
+    assert victim in report.c1_missing
+
+
+def test_c2_detects_overlapping_phases(pipe_conversion):
+    mapped, result = pipe_conversion
+    # A schedule where p1 and p3 are simultaneously transparent: p1->p3
+    # connections violate C2.
+    bad = ClockSpec(
+        2000.0,
+        (
+            Phase("p1", 0.0, 1000.0, skip_first=True),
+            Phase("p2", 1000.0, 1500.0),
+            Phase("p3", 500.0, 1000.0),
+        ),
+    )
+    report = check_conversion_constraints(mapped, result.module, bad)
+    assert not report.c2_ok
+    assert report.c2_overlaps
+
+
+def test_c3_detects_too_fast_clock(pipe_conversion):
+    mapped, result = pipe_conversion
+    tight = ClockSpec.default_three_phase(80.0)
+    report = check_conversion_constraints(mapped, result.module, tight)
+    assert not report.c3_ok
+    assert "C3" in str(report)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_random_conversions_satisfy_constraints(seed):
+    module = random_sequential_circuit(seed + 700, n_ffs=10, n_gates=35)
+    mapped = synthesize(module, FDSOI28).module
+    result = convert_to_three_phase(mapped, FDSOI28, period=4000.0)
+    report = check_conversion_constraints(mapped, result.module, result.clocks)
+    assert report.ok, str(report)

@@ -1,0 +1,76 @@
+"""PVT-variation analysis tests."""
+
+import pytest
+
+from repro.circuits.linear import linear_pipeline
+from repro.convert import ClockSpec, convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.retime import retime_forward
+from repro.synth import synthesize
+from repro.timing import extract_timing_graph
+from repro.timing.corners import (
+    STANDARD_CORNERS,
+    Corner,
+    derate_graph,
+    variation_study,
+)
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    return synthesize(linear_pipeline(5, width=3, logic_depth=8, seed=12),
+                      FDSOI28).module
+
+
+class TestDerating:
+    def test_global_derate_scales_max_delays(self, mapped):
+        base = extract_timing_graph(mapped)
+        slow = derate_graph(base, Corner("s", 1.25, 0.0))
+        for b, s in zip(base.edges, slow.edges):
+            assert s.max_delay == pytest.approx(b.max_delay * 1.25)
+
+    def test_local_sigma_spreads_delays(self, mapped):
+        base = extract_timing_graph(mapped)
+        varied = derate_graph(base, Corner("v", 1.0, 0.15, seed=3))
+        ratios = {round(v.max_delay / b.max_delay, 3)
+                  for b, v in zip(base.edges, varied.edges)
+                  if b.max_delay > 0}
+        assert len(ratios) > 3  # genuinely per-edge
+
+    def test_typical_is_identity(self, mapped):
+        base = extract_timing_graph(mapped)
+        typ = derate_graph(base, Corner("typ", 1.0, 0.0))
+        for b, t in zip(base.edges, typ.edges):
+            assert t.max_delay == pytest.approx(b.max_delay)
+            assert t.min_delay == pytest.approx(b.min_delay)
+
+
+class TestVariationStudy:
+    def test_slow_corner_needs_longer_period(self, mapped):
+        study = variation_study(mapped, ClockSpec.single)
+        assert study.min_period("slow") > study.min_period("typical")
+        assert study.min_period("fast") < study.min_period("typical")
+        assert study.margin_percent > 0
+        assert "margin" in str(study)
+
+    def test_latch_design_absorbs_variation_better(self, mapped):
+        """The paper's robustness motivation: at a fixed operating period,
+        time borrowing lets the (slack-balanced) latch design tolerate
+        more local variation than the FF design."""
+        from repro.timing import minimum_period
+        from repro.timing.corners import sigma_tolerance
+
+        pmin = minimum_period(mapped, ClockSpec.single, 50, 8000)
+        period = pmin * 1.15
+        ff_tol = sigma_tolerance(mapped, ClockSpec.single(period),
+                                 samples=3)
+        converted = convert_to_three_phase(mapped, FDSOI28, period=period)
+        retime_forward(converted.module, converted.clocks, FDSOI28,
+                       area_pass=False, balance=True)
+        latch_tol = sigma_tolerance(converted.module, converted.clocks,
+                                    samples=3)
+        assert latch_tol > ff_tol
+
+    def test_unreachable_period_raises(self, mapped):
+        with pytest.raises(ValueError):
+            variation_study(mapped, ClockSpec.single, hi=60.0)

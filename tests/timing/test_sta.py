@@ -1,0 +1,101 @@
+"""Multi-phase STA tests: graph extraction, borrowing, violations."""
+
+import pytest
+
+from repro.circuits.linear import linear_pipeline
+from repro.convert import ClockSpec, convert_to_master_slave, convert_to_three_phase
+from repro.library.fdsoi28 import FDSOI28
+from repro.synth import synthesize
+from repro.timing import (
+    PI_SOURCE,
+    PO_SINK,
+    analyze,
+    extract_timing_graph,
+    minimum_period,
+)
+
+
+@pytest.fixture(scope="module")
+def mapped_pipe():
+    return synthesize(linear_pipeline(5, width=3, logic_depth=6, seed=9),
+                      FDSOI28).module
+
+
+class TestTimingGraph:
+    def test_edges_have_ordered_delays(self, mapped_pipe):
+        graph = extract_timing_graph(mapped_pipe)
+        assert graph.edges
+        for edge in graph.edges:
+            assert 0 <= edge.min_delay <= edge.max_delay
+
+    def test_pi_and_po_pseudo_nodes(self, mapped_pipe):
+        graph = extract_timing_graph(mapped_pipe)
+        assert any(e.src == PI_SOURCE for e in graph.edges)
+        assert any(e.dst == PO_SINK for e in graph.edges)
+        no_ports = extract_timing_graph(mapped_pipe, include_ports=False)
+        assert not any(e.src == PI_SOURCE or e.dst == PO_SINK
+                       for e in no_ports.edges)
+
+    def test_pipeline_edges_follow_ranks(self, mapped_pipe):
+        graph = extract_timing_graph(mapped_pipe, include_ports=False)
+        for edge in graph.edges:
+            # rank i feeds rank i+1 only
+            src_rank = int(edge.src.split("_")[1][1:])
+            dst_rank = int(edge.dst.split("_")[1][1:])
+            assert dst_rank == src_rank + 1
+
+    def test_launch_delay_includes_clk_to_q(self, mapped_pipe):
+        graph = extract_timing_graph(mapped_pipe, include_ports=False)
+        dff = FDSOI28["DFF_X1"]
+        assert all(e.min_delay >= dff.intrinsic_delay for e in graph.edges)
+
+    def test_wire_caps_increase_delays(self, mapped_pipe):
+        bare = extract_timing_graph(mapped_pipe, include_ports=False)
+        heavy = extract_timing_graph(
+            mapped_pipe,
+            wire_caps={n: 50.0 for n in mapped_pipe.nets},
+            include_ports=False,
+        )
+        assert max(e.max_delay for e in heavy.edges) > max(
+            e.max_delay for e in bare.edges
+        )
+
+
+class TestAnalyze:
+    def test_ff_design_meets_relaxed_period(self, mapped_pipe):
+        report = analyze(mapped_pipe, ClockSpec.single(4000.0))
+        assert report.ok
+        assert report.worst_setup_slack > 0
+        assert report.max_borrowed == 0.0  # FFs cannot borrow
+
+    def test_ff_design_fails_tight_period(self, mapped_pipe):
+        report = analyze(mapped_pipe, ClockSpec.single(100.0))
+        assert not report.ok
+        assert any(v.kind == "setup" for v in report.violations)
+        assert "VIOLATIONS" in str(report)
+
+    def test_latch_design_borrows(self, mapped_pipe):
+        result = convert_to_three_phase(mapped_pipe, FDSOI28, period=4000.0)
+        pmin_ff = minimum_period(mapped_pipe, ClockSpec.single, 100, 4000)
+        # Slightly above the FF minimum the un-retimed 3-phase design leans
+        # on time borrowing.
+        clocks = ClockSpec.default_three_phase(pmin_ff * 1.3)
+        report = analyze(result.module, clocks)
+        assert report.total_borrowed >= 0.0
+
+    def test_master_slave_same_min_period_as_ff(self, mapped_pipe):
+        ms = convert_to_master_slave(mapped_pipe, FDSOI28, period=4000.0)
+        pmin_ff = minimum_period(mapped_pipe, ClockSpec.single, 100, 8000)
+        pmin_ms = minimum_period(ms.module, ClockSpec.master_slave, 100, 8000)
+        # Master-slave can borrow, so it is never worse than the FF design
+        # (latch overhead aside: allow 25%).
+        assert pmin_ms <= pmin_ff * 1.25
+
+    def test_minimum_period_unreachable_raises(self, mapped_pipe):
+        with pytest.raises(ValueError, match="fails even at"):
+            minimum_period(mapped_pipe, ClockSpec.single, 10, 50)
+
+    def test_hold_independent_of_period(self, mapped_pipe):
+        fast = analyze(mapped_pipe, ClockSpec.single(2000.0))
+        slow = analyze(mapped_pipe, ClockSpec.single(8000.0))
+        assert fast.worst_hold_slack == pytest.approx(slow.worst_hold_slack)
