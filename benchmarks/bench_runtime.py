@@ -8,7 +8,8 @@ the same way (per-step timers in the flow).
 
 import pytest
 
-from conftest import cycles_override, emit, run_once, selected_designs
+from conftest import (cycles_override, emit, jobs_override, run_once,
+                      selected_designs)
 from repro.reporting import format_runtime, run_suite, summarize_runtime
 
 #: a representative mid-size subset (full-suite timings come free with
@@ -21,7 +22,8 @@ def test_runtime_comparison(benchmark, out_dir):
     results = run_once(
         benchmark,
         lambda: run_suite(designs=designs,
-                          sim_cycles=cycles_override() or 60),
+                          sim_cycles=cycles_override() or 60,
+                          jobs=jobs_override()),
     )
     summary = summarize_runtime(results)
     emit(out_dir, "runtime.txt", format_runtime(summary))

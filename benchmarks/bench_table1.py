@@ -8,7 +8,8 @@ conversion reproduces the published latch counts through our ILP.
 
 import pytest
 
-from conftest import cycles_override, emit, run_once, selected_designs
+from conftest import (cycles_override, emit, jobs_override, run_once,
+                      selected_designs)
 from repro.reporting import format_table1, run_suite
 from repro.reporting.paper_data import TABLE1
 
@@ -22,7 +23,8 @@ def test_table1_suite(benchmark, suite, out_dir):
         pytest.skip(f"no designs selected for suite {suite}")
 
     results = run_once(
-        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES)
+        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES,
+                              jobs=jobs_override())
     )
     emit(out_dir, f"table1_{suite}.txt", format_table1(results))
 
@@ -43,7 +45,8 @@ def test_table1_shape_overall(benchmark, out_dir):
     """Cross-suite shape assertions on a small subset."""
     designs = ["s1488", "s1196", "des3"]
     results = run_once(
-        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES)
+        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES,
+                              jobs=jobs_override())
     )
     # s1488 (control-dominated): no saving vs 2xFF -- the paper's callout.
     assert results["s1488"].reg_saving_vs_2ff == pytest.approx(0.0, abs=0.5)

@@ -10,7 +10,8 @@ assertions check what the paper's conclusions rest on, not absolute mW:
 
 import pytest
 
-from conftest import cycles_override, emit, run_once, selected_designs
+from conftest import (cycles_override, emit, jobs_override, run_once,
+                      selected_designs)
 from repro.reporting import format_table2, run_suite
 
 _CYCLES = cycles_override()
@@ -23,7 +24,8 @@ def test_table2_suite(benchmark, suite, out_dir):
         pytest.skip(f"no designs selected for suite {suite}")
 
     results = run_once(
-        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES)
+        benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES,
+                              jobs=jobs_override())
     )
     emit(out_dir, f"table2_{suite}.txt", format_table2(results))
 

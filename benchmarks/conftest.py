@@ -6,6 +6,8 @@ Environment knobs:
   full 18-design evaluation of the paper);
 * ``REPRO_BENCH_CYCLES`` -- override measurement cycles (smaller = faster,
   noisier power);
+* ``REPRO_BENCH_JOBS`` -- run up to N style flows per design concurrently
+  (default 1: sequential; results are identical either way);
 * ``REPRO_BENCH_OUT`` -- directory for regenerated table/figure text
   (default ``benchmarks/out``).
 
@@ -35,6 +37,11 @@ def selected_designs(suite: str | None = None) -> list[str]:
 def cycles_override() -> int | None:
     env = os.environ.get("REPRO_BENCH_CYCLES")
     return int(env) if env else None
+
+
+def jobs_override() -> int:
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    return int(env) if env else 1
 
 
 @pytest.fixture(scope="session")

@@ -33,6 +33,12 @@ def _progress(message: str) -> None:
     print(message, file=sys.stderr, flush=True)
 
 
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run up to N style flows concurrently "
+                             "(default 1: sequential)")
+
+
 def _add_selection_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--suite", choices=("iscas", "cep", "cpu"),
                         help="limit to one benchmark suite")
@@ -40,6 +46,7 @@ def _add_selection_args(parser: argparse.ArgumentParser) -> None:
                         help="explicit design list")
     parser.add_argument("--cycles", type=int, default=None,
                         help="override measurement cycles (smaller = faster)")
+    _add_jobs_arg(parser)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -58,7 +65,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         profile=bench.workload,
         sim_cycles=args.cycles or bench.sim_cycles,
     )
-    comparison = compare_styles(module, options)
+    comparison = compare_styles(module, options, jobs=args.jobs)
     row = comparison.table_row()
     print(f"design {args.design} ({bench.suite}) @ {bench.period:.0f} ps")
     print(f"  registers: {row['regs']}  "
@@ -83,6 +90,7 @@ def _run_selected(args: argparse.Namespace):
         designs=args.designs,
         sim_cycles=args.cycles,
         progress=_progress,
+        jobs=args.jobs,
     )
 
 
@@ -188,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one design in all three styles")
     run.add_argument("design")
     run.add_argument("--cycles", type=int, default=None)
+    _add_jobs_arg(run)
     run.set_defaults(func=_cmd_run)
 
     for cmd, func, help_text in (

@@ -2,6 +2,16 @@
 
 from repro.flow.compare import StyleComparison, compare_styles
 from repro.flow.design_flow import STYLES, DesignResult, FlowOptions, run_flow
+from repro.flow.pipeline import (
+    ArtifactCache,
+    Pipeline,
+    Stage,
+    StageContext,
+    StageRecord,
+    build_pipeline,
+    build_stages,
+    module_digest,
+)
 
 __all__ = [
     "StyleComparison",
@@ -10,4 +20,12 @@ __all__ = [
     "DesignResult",
     "FlowOptions",
     "run_flow",
+    "ArtifactCache",
+    "Pipeline",
+    "Stage",
+    "StageContext",
+    "StageRecord",
+    "build_pipeline",
+    "build_stages",
+    "module_digest",
 ]

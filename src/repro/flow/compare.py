@@ -1,10 +1,17 @@
-"""Style comparison: run FF / M-S / 3-phase flows and tabulate savings."""
+"""Style comparison: run FF / M-S / 3-phase flows and tabulate savings.
+
+The three style runs share one :class:`ArtifactCache`, so the design is
+synthesized once and the ff/ms/3p pipelines reuse the mapped netlist;
+with ``jobs > 1`` the (independent) style runs execute concurrently.
+"""
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro.flow.design_flow import DesignResult, FlowOptions, run_flow
+from repro.flow.pipeline import ArtifactCache
 from repro.netlist.core import Module
 from repro.power.model import savings
 
@@ -85,13 +92,34 @@ class StyleComparison:
 def compare_styles(
     design: Module,
     options: FlowOptions | None = None,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
     **overrides,
 ) -> StyleComparison:
-    """Run all three flows on ``design`` with shared options."""
+    """Run all three flows on ``design`` with shared options.
+
+    ``jobs`` style runs execute concurrently (default 1: sequential,
+    deterministic ordering of any progress output); the shared ``cache``
+    means exactly one synthesis feeds all three styles either way, and
+    the results are identical bit for bit regardless of ``jobs``.
+    """
     base = options if options is not None else FlowOptions(**overrides)
-    results = {}
-    for style in ("ff", "ms", "3p"):
-        results[style] = run_flow(design, replace(base, style=style))
+    if cache is None:
+        cache = ArtifactCache()
+    styles = ("ff", "ms", "3p")
+    if jobs > 1:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(styles))) as pool:
+            futures = {
+                style: pool.submit(
+                    run_flow, design, replace(base, style=style), cache)
+                for style in styles
+            }
+            results = {style: fut.result() for style, fut in futures.items()}
+    else:
+        results = {
+            style: run_flow(design, replace(base, style=style), cache)
+            for style in styles
+        }
     return StyleComparison(
         name=design.name,
         ff=results["ff"],

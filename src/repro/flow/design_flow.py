@@ -10,32 +10,30 @@ clock-gated, power-measured implementation in one of four styles:
   DDCG + M2), then P&R;
 * ``"pulsed"`` -- the Sec. I alternative, for the hold-cost ablation.
 
-Every step's wall-clock time is recorded for the Sec. V runtime
-comparison (ILP share, CTS ratio, ...).
+The heavy lifting lives in :mod:`repro.flow.pipeline`: each style is a
+chain of :class:`~repro.flow.pipeline.Stage` objects run by a
+:class:`~repro.flow.pipeline.Pipeline`, which records a
+:class:`~repro.flow.pipeline.StageRecord` (wall time, artifact digests,
+cache hit/miss) per step — the source of the Sec. V runtime comparison
+(ILP share, CTS ratio, ...).  ``run_flow`` is the compatibility wrapper
+that assembles the pipeline's artifacts into a :class:`DesignResult`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.cg import CgOptions, CgReport, apply_p2_clock_gating
-from repro.convert import (
-    ClockSpec,
-    PhaseAssignment,
-    convert_to_master_slave,
-    convert_to_three_phase,
-)
+from repro.cg import CgOptions, CgReport
+from repro.convert import ClockSpec, PhaseAssignment
+from repro.flow.pipeline import ArtifactCache, StageRecord, build_pipeline
 from repro.library.cell import Library
 from repro.library.fdsoi28 import FDSOI28
 from repro.netlist.core import Module
 from repro.netlist.stats import NetlistStats, collect_stats
-from repro.pnr import PhysicalDesign, place_and_route
-from repro.power import PowerReport, measure_power
-from repro.retime import RetimeResult, retime_forward
-from repro.sim import generate_vectors, run_testbench
-from repro.synth import synthesize
-from repro.timing import TimingReport, analyze
+from repro.pnr import PhysicalDesign
+from repro.power import PowerReport
+from repro.retime import RetimeResult
+from repro.timing import TimingReport
 from repro.timing.hold_fix import HoldFixReport
 
 STYLES = ("ff", "ms", "3p", "pulsed")
@@ -93,6 +91,8 @@ class DesignResult:
     equivalence: "object | None" = None
     hold: "HoldFixReport | None" = None
     physical: PhysicalDesign | None = None
+    #: per-stage pipeline telemetry (empty for hand-built results).
+    stages: list[StageRecord] = field(default_factory=list)
 
     @property
     def registers(self) -> int:
@@ -102,170 +102,65 @@ class DesignResult:
     def total_runtime(self) -> float:
         return sum(self.runtime.values())
 
+    def stage_record(self, name: str) -> StageRecord | None:
+        """The telemetry record of stage ``name``, if it ran."""
+        for record in self.stages:
+            if record.stage == name:
+                return record
+        return None
+
+    def stage_seconds(self, key: str) -> float:
+        """Seconds charged to legacy runtime key ``key``.
+
+        Prefers the pipeline's :class:`StageRecord` telemetry; falls
+        back to the ``runtime`` dict for results built without one.
+        """
+        if self.stages:
+            return sum(
+                record.runtime_keys.get(key, 0.0) for record in self.stages
+            )
+        return self.runtime.get(key, 0.0)
+
 
 def run_flow(
     design: Module,
     options: FlowOptions | None = None,
+    cache: ArtifactCache | None = None,
     **overrides,
 ) -> DesignResult:
-    """Implement ``design`` per ``options`` and measure area/power/timing."""
+    """Implement ``design`` per ``options`` and measure area/power/timing.
+
+    Compatibility wrapper over the staged pipeline: builds the style's
+    stage chain, runs it (against ``cache`` if given, so repeated runs
+    share e.g. the synthesis artifact), and packs the context into the
+    same :class:`DesignResult` the monolithic flow used to return.
+    """
     if options is None:
         options = FlowOptions(**overrides)
     elif overrides:
         raise ValueError("pass either options or keyword overrides, not both")
     if options.style not in STYLES:
         raise ValueError(f"unknown style {options.style!r}")
-    library = options.library
-    runtime: dict[str, float] = {}
 
-    t = time.monotonic()
-    synth = synthesize(
-        design, library, clock_gating_style=options.clock_gating_style
-    )
-    module = synth.module
-    runtime["synth"] = time.monotonic() - t
+    ctx = build_pipeline(options.style).run(design, options, cache=cache)
 
-    assignment = None
-    retime_result = None
-    cg_report = None
-
-    if options.style == "ff":
-        clocks = ClockSpec.single(options.period)
-    elif options.style == "ms":
-        t = time.monotonic()
-        ms = convert_to_master_slave(module, library, options.period)
-        module, clocks = ms.module, ms.clocks
-        runtime["convert"] = time.monotonic() - t
-        if options.retime_ms:
-            t = time.monotonic()
-            retime_result = retime_forward(module, clocks, library,
-                                           movable_phase="clk")
-            runtime["retime"] = time.monotonic() - t
-    elif options.style == "pulsed":
-        t = time.monotonic()
-        from repro.convert.pulsed import convert_to_pulsed_latch
-
-        pulsed = convert_to_pulsed_latch(module, library, options.period)
-        module, clocks = pulsed.module, pulsed.clocks
-        runtime["convert"] = time.monotonic() - t
-    else:
-        t = time.monotonic()
-        from repro.convert.phase_ilp import assign_phases
-
-        assignment = assign_phases(module, method=options.assign_method)
-        runtime["ilp"] = time.monotonic() - t
-
-        t = time.monotonic()
-        converted = convert_to_three_phase(
-            module, library, assignment=assignment, period=options.period
-        )
-        module, clocks = converted.module, converted.clocks
-        runtime["convert"] = time.monotonic() - t
-
-        if options.retime:
-            t = time.monotonic()
-            retime_result = retime_forward(module, clocks, library)
-            runtime["retime"] = time.monotonic() - t
-
-        t = time.monotonic()
-        activity, cycles = _profile_activity(module, clocks, options)
-        cg_report = apply_p2_clock_gating(
-            module, library, activity=activity, cycles=cycles,
-            options=options.cg,
-        )
-        runtime["cg"] = time.monotonic() - t
-
-    if options.resize:
-        t = time.monotonic()
-        from repro.synth.sizing import downsize_gates
-
-        downsize_gates(module, clocks, library)
-        runtime["resize"] = time.monotonic() - t
-
-    hold_report = None
-    if options.clock_uncertainty > 0:
-        t = time.monotonic()
-        from repro.timing.hold_fix import fix_holds
-
-        hold_report = fix_holds(
-            module, clocks, library,
-            clock_uncertainty=options.clock_uncertainty,
-        )
-        runtime["hold_fix"] = time.monotonic() - t
-
-    t = time.monotonic()
-    physical = place_and_route(module, library)
-    runtime.update(physical.runtime)
-
-    t = time.monotonic()
-    timing = analyze(module, clocks, wire_caps=physical.wire_caps)
-    runtime["sta"] = time.monotonic() - t
-
-    equivalence = None
-    if options.verify:
-        t = time.monotonic()
-        from repro.sim import check_equivalent
-
-        equivalence = check_equivalent(
-            design, ClockSpec.single(options.period), module, clocks,
-            n_cycles=min(48, options.sim_cycles),
-            seed=options.seed,
-        )
-        runtime["verify"] = time.monotonic() - t
-
-    t = time.monotonic()
-    vectors = generate_vectors(
-        design, options.sim_cycles, profile=options.profile, seed=options.seed
-    )
-    bench = run_testbench(
-        module, clocks, vectors,
-        delay_model=options.sim_delay_model,
-        activity_warmup=options.warmup_cycles,
-    )
-    runtime["sim"] = time.monotonic() - t
-
-    measured_cycles = options.sim_cycles - options.warmup_cycles
-    power = measure_power(
-        module,
-        library,
-        bench.simulator.toggles,
-        cycles=measured_cycles,
-        period=options.period,
-        wire_caps=physical.wire_caps,
-        design_name=f"{design.name}/{options.style}",
-    )
-
+    module = ctx.module
+    physical = ctx.artifacts["physical"]
     return DesignResult(
         name=design.name,
         style=options.style,
         module=module,
-        clocks=clocks,
+        clocks=ctx.clocks,
         stats=collect_stats(module),
         area=module.total_area(),
-        power=power,
-        timing=timing,
-        runtime=runtime,
-        assignment=assignment,
-        retime=retime_result,
-        cg=cg_report,
-        equivalence=equivalence,
-        hold=hold_report,
+        power=ctx.artifacts["power"],
+        timing=ctx.artifacts["timing"],
+        runtime=ctx.runtime,
+        assignment=ctx.artifacts.get("assignment"),
+        retime=ctx.artifacts.get("retime"),
+        cg=ctx.artifacts.get("cg"),
+        equivalence=ctx.artifacts.get("equivalence"),
+        hold=ctx.artifacts.get("hold"),
         physical=physical,
+        stages=ctx.records,
     )
-
-
-def _profile_activity(
-    module: Module, clocks: ClockSpec, options: FlowOptions
-) -> tuple[dict[str, int], int]:
-    """Short functional run collecting toggle activity for DDCG decisions.
-
-    The paper: "these gate-level simulations were also used to determine
-    signal activity that drove data-driven clock gating"."""
-    vectors = generate_vectors(
-        module, options.profile_cycles, profile=options.profile,
-        seed=options.seed,
-    )
-    bench = run_testbench(module, clocks, vectors, delay_model="unit",
-                          activity_warmup=min(8, options.profile_cycles // 4))
-    cycles = options.profile_cycles - min(8, options.profile_cycles // 4)
-    return bench.simulator.toggles, cycles

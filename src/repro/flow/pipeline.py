@@ -1,0 +1,678 @@
+"""Staged pipeline runner for the Sec. IV-B design flow.
+
+The flow — synthesize → phase-ILP → convert → retime → p2 clock gating
+→ hold fix → P&R → STA → simulate → power — is expressed as a per-style
+chain of :class:`Stage` objects executed by a :class:`Pipeline`.  The
+runner owns the cross-cutting concerns the old monolithic ``run_flow``
+hand-rolled per step:
+
+* **telemetry** -- every executed stage emits a :class:`StageRecord`
+  (wall time, input/output netlist digests, cache hit/miss, per-stage
+  summary), the raw material of the Sec. V runtime comparison;
+* **caching** -- stages that declare an options key are memoized in a
+  content-addressed :class:`ArtifactCache` keyed on (stage, library,
+  input-netlist digest, options), so ``compare_styles`` synthesizes a
+  design once and the ff/ms/3p runs share the result;
+* **compatibility** -- each stage maps its measured time onto the legacy
+  ``DesignResult.runtime`` keys, so existing reports and tests see the
+  same dict they always did.
+
+Stage chains are linear per style (a degenerate DAG); ``inputs`` /
+``produces`` declare the artifact flow so the runner can check wiring
+and a future scheduler could overlap independent stages.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Hashable, Mapping
+
+from repro.convert import ClockSpec
+from repro.netlist.core import Module
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with design_flow
+    from repro.flow.design_flow import FlowOptions
+    from repro.library.cell import Library
+
+
+# ---------------------------------------------------------------------------
+# digests
+
+
+def module_digest(module: Module) -> str:
+    """Content digest of a netlist's structure (ports, cells, wiring).
+
+    Stable across :meth:`Module.copy` and independent of dict insertion
+    order; used both as the artifact-cache key and as the provenance
+    recorded in :class:`StageRecord`.
+    """
+    h = hashlib.sha256()
+    h.update(module.name.encode())
+    for port in sorted(module.ports):
+        clk = "c" if port in module.clock_ports else "d"
+        h.update(f"|P:{port}:{module.ports[port].name}:{clk}".encode())
+    for name in sorted(module.instances):
+        inst = module.instances[name]
+        conns = ",".join(f"{p}={n}" for p, n in sorted(inst.conns.items()))
+        attrs = ",".join(f"{k}={v!r}" for k, v in sorted(inst.attrs.items()))
+        h.update(f"|I:{name}:{inst.cell.name}:{conns}:{attrs}".encode())
+    return h.hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# telemetry
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Telemetry for one executed pipeline stage."""
+
+    stage: str
+    #: total wall-clock seconds the stage took (cache lookups included).
+    wall_time: float
+    #: digest of the working netlist before / after the stage ran.
+    input_digest: str
+    output_digest: str
+    #: True when the stage's artifact came out of the cache.
+    cache_hit: bool = False
+    #: the stage's contribution to the legacy ``DesignResult.runtime``
+    #: dict (e.g. the P&R stage reports ``place``/``cts``/``route``).
+    runtime_keys: Mapping[str, float] = field(default_factory=dict)
+    #: stage-specific facts (solver used, latches added, ...).
+    summary: Mapping[str, object] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# artifact cache
+
+
+class ArtifactCache:
+    """Thread-safe, content-addressed memo of stage artifacts.
+
+    Keys are ``(stage name, library name, input digest, options key)``;
+    values are whatever the stage's ``snapshot`` captured (typically a
+    pristine netlist copy).  Lookups are single-flight: concurrent
+    misses on one key run the producer exactly once, which is what lets
+    a parallel ``compare_styles`` still synthesize only once.
+    """
+
+    def __init__(self) -> None:
+        self._data: dict[Hashable, object] = {}
+        self._key_locks: dict[Hashable, threading.Lock] = {}
+        self._lock = threading.Lock()
+        self._hits: dict[str, int] = {}
+        self._misses: dict[str, int] = {}
+
+    def get_or_run(
+        self, key: tuple, producer: Callable[[], object]
+    ) -> tuple[object, bool]:
+        """Return ``(artifact, was_hit)``, producing on first miss."""
+        stage = key[0]
+        with self._lock:
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            if key in self._data:
+                with self._lock:
+                    self._hits[stage] = self._hits.get(stage, 0) + 1
+                return self._data[key], True
+            value = producer()
+            with self._lock:
+                self._data[key] = value
+                self._misses[stage] = self._misses.get(stage, 0) + 1
+            return value, False
+
+    # -- introspection ------------------------------------------------------
+
+    def hits(self, stage: str | None = None) -> int:
+        src = self._hits
+        return src.get(stage, 0) if stage else sum(src.values())
+
+    def misses(self, stage: str | None = None) -> int:
+        src = self._misses
+        return src.get(stage, 0) if stage else sum(src.values())
+
+    def runs(self, stage: str) -> int:
+        """How many times ``stage``'s producer actually executed."""
+        return self._misses.get(stage, 0)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def stats(self) -> dict[str, dict[str, int]]:
+        return {"hits": dict(self._hits), "misses": dict(self._misses)}
+
+
+# ---------------------------------------------------------------------------
+# stage protocol
+
+#: sentinel: "this stage's legacy runtime key is its stage name".
+_SAME_AS_NAME = "<stage-name>"
+
+
+@dataclass
+class StageContext:
+    """Mutable state threaded through one pipeline run."""
+
+    design: Module  # the source design; read-only from here on
+    module: Module  # the working netlist, rewritten stage by stage
+    options: "FlowOptions"
+    library: "Library"
+    clocks: ClockSpec | None = None
+    cache: ArtifactCache | None = None
+    #: named artifacts produced by stages (assignment, retime, power...).
+    artifacts: dict[str, object] = field(default_factory=dict)
+    records: list[StageRecord] = field(default_factory=list)
+
+    @property
+    def runtime(self) -> dict[str, float]:
+        """Legacy per-step runtime dict assembled from the records."""
+        out: dict[str, float] = {}
+        for record in self.records:
+            for key, seconds in record.runtime_keys.items():
+                out[key] = out.get(key, 0.0) + seconds
+        return out
+
+
+class Stage:
+    """One pass of the flow.
+
+    Subclasses set ``name`` (also the default legacy runtime key),
+    declare the artifacts they consume/produce, and implement
+    :meth:`run`.  A stage becomes cacheable by returning a hashable
+    options signature from :meth:`options_key` and implementing
+    ``snapshot``/``restore`` (the default pair captures the working
+    netlist plus declared artifacts).
+    """
+
+    name: str = "stage"
+    #: artifact names consumed / produced (documentation + wiring check).
+    inputs: tuple[str, ...] = ()
+    produces: tuple[str, ...] = ()
+    #: key under which the stage's time lands in ``DesignResult.runtime``;
+    #: None keeps the stage out of the legacy dict (StageRecord only) and
+    #: the default sentinel resolves to the stage name.
+    runtime_key: str | None = _SAME_AS_NAME
+
+    def __init__(self) -> None:
+        if self.runtime_key == _SAME_AS_NAME:
+            self.runtime_key = self.name
+
+    def enabled(self, options: "FlowOptions") -> bool:
+        return True
+
+    def options_key(self, options: "FlowOptions") -> Hashable | None:
+        """Hashable options signature, or None if not cacheable."""
+        return None
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        """Execute the pass, mutating ``ctx``; returns the summary."""
+        raise NotImplementedError
+
+    # -- cache serialization -------------------------------------------------
+
+    def snapshot(self, ctx: StageContext, summary: dict) -> object:
+        """Capture the stage's output for the cache (pristine copies)."""
+        arts = {k: ctx.artifacts.get(k) for k in self.produces}
+        return (ctx.module.copy(), ctx.clocks, arts, dict(summary))
+
+    def restore(self, ctx: StageContext, payload: object) -> dict[str, object]:
+        """Install a cached artifact into ``ctx``; returns the summary."""
+        module, clocks, arts, summary = payload
+        ctx.module = module.copy()
+        if clocks is not None:
+            ctx.clocks = clocks
+        ctx.artifacts.update(arts)
+        return dict(summary)
+
+
+# ---------------------------------------------------------------------------
+# runner
+
+
+class Pipeline:
+    """Execute a stage chain, recording a StageRecord per step."""
+
+    def __init__(self, stages: list[Stage]):
+        self.stages = list(stages)
+        available: set[str] = set()
+        for stage in self.stages:
+            missing = set(stage.inputs) - available
+            if missing:
+                raise ValueError(
+                    f"stage {stage.name!r} needs {sorted(missing)} which no "
+                    f"earlier stage produces"
+                )
+            available.update(stage.produces)
+
+    def run(
+        self,
+        design: Module,
+        options: "FlowOptions",
+        cache: ArtifactCache | None = None,
+    ) -> StageContext:
+        ctx = StageContext(
+            design=design,
+            module=design,
+            options=options,
+            library=options.library,
+            cache=cache,
+        )
+        for stage in self.stages:
+            if not stage.enabled(options):
+                continue
+            self._run_stage(stage, ctx)
+        return ctx
+
+    def _run_stage(self, stage: Stage, ctx: StageContext) -> None:
+        t0 = time.monotonic()
+        input_digest = module_digest(ctx.module)
+        hit = False
+        okey = stage.options_key(ctx.options)
+        if ctx.cache is not None and okey is not None:
+            key = (stage.name, ctx.library.name, input_digest, okey)
+
+            def produce() -> object:
+                return stage.snapshot(ctx, stage.run(ctx))
+
+            payload, hit = ctx.cache.get_or_run(key, produce)
+            # Producer and hit paths both restore from the snapshot, so
+            # every run sees the identical artifact regardless of which
+            # thread happened to populate the cache.
+            summary = stage.restore(ctx, payload)
+        else:
+            summary = stage.run(ctx)
+        wall = time.monotonic() - t0
+        runtime_keys = ctx.artifacts.pop("_runtime_keys", None)
+        if runtime_keys is None:
+            runtime_keys = (
+                {stage.runtime_key: wall} if stage.runtime_key else {}
+            )
+        ctx.records.append(StageRecord(
+            stage=stage.name,
+            wall_time=wall,
+            input_digest=input_digest,
+            output_digest=module_digest(ctx.module),
+            cache_hit=hit,
+            runtime_keys=runtime_keys,
+            summary=summary,
+        ))
+
+
+# ---------------------------------------------------------------------------
+# the concrete stages of the paper's flow
+
+
+class SynthStage(Stage):
+    """Clock-gating inference + technology mapping (shared by all styles).
+
+    Cacheable: the result depends only on the source netlist, the
+    library, and the gating style — which is exactly the cache key — so
+    the three style runs of ``compare_styles`` synthesize once.
+    """
+
+    name = "synth"
+    produces = ("synth",)
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.clock_gating_style,)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.synth import synthesize
+
+        synth = synthesize(
+            ctx.module, ctx.library,
+            clock_gating_style=ctx.options.clock_gating_style,
+        )
+        ctx.module = synth.module
+        ctx.artifacts["synth"] = None  # reports are not carried downstream
+        return {
+            "cells": len(synth.module.instances),
+            "icgs_inferred": synth.gating.icgs_added,
+        }
+
+
+class SingleClockStage(Stage):
+    """The FF baseline keeps the source's single clock."""
+
+    name = "clocks"
+    produces = ("clocks",)
+    runtime_key = None  # trivial; keep the legacy runtime dict unchanged
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        ctx.clocks = ClockSpec.single(ctx.options.period)
+        ctx.artifacts["clocks"] = ctx.clocks
+        return {"phases": ctx.clocks.phase_names}
+
+
+class PhaseIlpStage(Stage):
+    """Sec. IV-A phase assignment (exact ILP / MIS / greedy)."""
+
+    name = "ilp"
+    produces = ("assignment",)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.convert.phase_ilp import assign_phases
+
+        assignment = assign_phases(
+            ctx.module, method=ctx.options.assign_method)
+        ctx.artifacts["assignment"] = assignment
+        return {
+            "solver": assignment.solver,
+            "ffs": assignment.num_ffs,
+            "latches": assignment.total_latches,
+        }
+
+
+class ConvertThreePhaseStage(Stage):
+    """Rewrite FFs into p1/p3 latches with p2 insertion (Sec. IV-B)."""
+
+    name = "convert"
+    inputs = ("assignment",)
+    produces = ("clocks",)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.convert import convert_to_three_phase
+
+        converted = convert_to_three_phase(
+            ctx.module, ctx.library,
+            assignment=ctx.artifacts["assignment"],
+            period=ctx.options.period,
+        )
+        ctx.module, ctx.clocks = converted.module, converted.clocks
+        ctx.artifacts["clocks"] = ctx.clocks
+        return {"phases": ctx.clocks.phase_names}
+
+
+class ConvertMasterSlaveStage(Stage):
+    """Baseline 2: split each FF into master + slave latches."""
+
+    name = "convert"
+    produces = ("clocks",)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.convert import convert_to_master_slave
+
+        ms = convert_to_master_slave(
+            ctx.module, ctx.library, ctx.options.period)
+        ctx.module, ctx.clocks = ms.module, ms.clocks
+        ctx.artifacts["clocks"] = ctx.clocks
+        return {"phases": ctx.clocks.phase_names}
+
+
+class ConvertPulsedStage(Stage):
+    """The Sec. I pulsed-latch alternative (hold-cost ablation)."""
+
+    name = "convert"
+    produces = ("clocks",)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.convert.pulsed import convert_to_pulsed_latch
+
+        pulsed = convert_to_pulsed_latch(
+            ctx.module, ctx.library, ctx.options.period)
+        ctx.module, ctx.clocks = pulsed.module, pulsed.clocks
+        ctx.artifacts["clocks"] = ctx.clocks
+        return {"phases": ctx.clocks.phase_names}
+
+
+class RetimeStage(Stage):
+    """Sec. IV-C modified retiming of the movable latch rank."""
+
+    name = "retime"
+    inputs = ("clocks",)
+    produces = ("retime",)
+
+    def __init__(self, movable_phase: str | None = None):
+        super().__init__()
+        self.movable_phase = movable_phase
+
+    def enabled(self, options: "FlowOptions") -> bool:
+        if options.style == "ms":
+            return options.retime_ms
+        return options.retime
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.retime import retime_forward
+
+        kwargs = {}
+        if self.movable_phase is not None:
+            kwargs["movable_phase"] = self.movable_phase
+        result = retime_forward(ctx.module, ctx.clocks, ctx.library, **kwargs)
+        ctx.artifacts["retime"] = result
+        return {"moves": result.moves, "latch_delta": result.latch_delta}
+
+
+class ClockGatingStage(Stage):
+    """Sec. IV-D p2 clock gating (common-enable M1 + DDCG + M2)."""
+
+    name = "cg"
+    inputs = ("clocks",)
+    produces = ("cg",)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.cg import apply_p2_clock_gating
+
+        activity, cycles = _profile_activity(
+            ctx.module, ctx.clocks, ctx.options)
+        report = apply_p2_clock_gating(
+            ctx.module, ctx.library, activity=activity, cycles=cycles,
+            options=ctx.options.cg,
+        )
+        ctx.artifacts["cg"] = report
+        return {"profile_cycles": cycles}
+
+
+class ResizeStage(Stage):
+    """Post-retiming gate downsizing (Sec. IV-C 'further optimization')."""
+
+    name = "resize"
+    inputs = ("clocks",)
+
+    def enabled(self, options: "FlowOptions") -> bool:
+        return options.resize
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.synth.sizing import downsize_gates
+
+        report = downsize_gates(ctx.module, ctx.clocks, ctx.library)
+        return {"downsized": report.downsized}
+
+
+class HoldFixStage(Stage):
+    """Min-delay buffering against clock uncertainty."""
+
+    name = "hold_fix"
+    inputs = ("clocks",)
+    produces = ("hold",)
+
+    def enabled(self, options: "FlowOptions") -> bool:
+        return options.clock_uncertainty > 0
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.timing.hold_fix import fix_holds
+
+        report = fix_holds(
+            ctx.module, ctx.clocks, ctx.library,
+            clock_uncertainty=ctx.options.clock_uncertainty,
+        )
+        ctx.artifacts["hold"] = report
+        return {"buffers": report.buffers_added}
+
+
+class PnrStage(Stage):
+    """Placement, per-phase CTS, and routing estimation.
+
+    The StageRecord's ``wall_time`` is the authoritative top-level P&R
+    time (the old flow started a timer here and never read it); the
+    legacy runtime keys come from the sub-step timers, with a ``pnr``
+    fallback if the physical flow ever reports none.
+    """
+
+    name = "pnr"
+    inputs = ("clocks",)
+    produces = ("physical",)
+    runtime_key = None  # legacy keys come from physical.runtime
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.pnr import place_and_route
+
+        t0 = time.monotonic()
+        physical = place_and_route(ctx.module, ctx.library)
+        wall = time.monotonic() - t0
+        ctx.artifacts["physical"] = physical
+        keys = dict(physical.runtime) or {"pnr": wall}
+        ctx.artifacts["_runtime_keys"] = keys
+        return {"steps": sorted(keys)}
+
+
+class StaStage(Stage):
+    """Borrowing-aware static timing analysis."""
+
+    name = "sta"
+    inputs = ("clocks", "physical")
+    produces = ("timing",)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.timing import analyze
+
+        physical = ctx.artifacts["physical"]
+        timing = analyze(
+            ctx.module, ctx.clocks, wire_caps=physical.wire_caps)
+        ctx.artifacts["timing"] = timing
+        return {"ok": timing.ok}
+
+
+class VerifyStage(Stage):
+    """Stream-compare the implementation against the source design."""
+
+    name = "verify"
+    inputs = ("clocks",)
+    produces = ("equivalence",)
+
+    def enabled(self, options: "FlowOptions") -> bool:
+        return options.verify
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.sim import check_equivalent
+
+        report = check_equivalent(
+            ctx.design, ClockSpec.single(ctx.options.period),
+            ctx.module, ctx.clocks,
+            n_cycles=min(48, ctx.options.sim_cycles),
+            seed=ctx.options.seed,
+        )
+        ctx.artifacts["equivalence"] = report
+        return {"equivalent": report.equivalent}
+
+
+class SimulateStage(Stage):
+    """Workload simulation collecting switching activity."""
+
+    name = "sim"
+    inputs = ("clocks",)
+    produces = ("bench",)
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.sim import generate_vectors, run_testbench
+
+        options = ctx.options
+        vectors = generate_vectors(
+            ctx.design, options.sim_cycles,
+            profile=options.profile, seed=options.seed,
+        )
+        bench = run_testbench(
+            ctx.module, ctx.clocks, vectors,
+            delay_model=options.sim_delay_model,
+            activity_warmup=options.warmup_cycles,
+        )
+        ctx.artifacts["bench"] = bench
+        return {"cycles": options.sim_cycles}
+
+
+class PowerStage(Stage):
+    """Activity-based power with the Clock/Seq/Comb decomposition."""
+
+    name = "power"
+    inputs = ("bench", "physical")
+    produces = ("power",)
+    runtime_key = None  # the legacy flow never timed power separately
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.power import measure_power
+
+        options = ctx.options
+        bench = ctx.artifacts["bench"]
+        physical = ctx.artifacts["physical"]
+        measured_cycles = options.sim_cycles - options.warmup_cycles
+        power = measure_power(
+            ctx.module, ctx.library, bench.simulator.toggles,
+            cycles=measured_cycles, period=options.period,
+            wire_caps=physical.wire_caps,
+            design_name=f"{ctx.design.name}/{options.style}",
+        )
+        ctx.artifacts["power"] = power
+        return {"total_mw": power.total}
+
+
+def _profile_activity(
+    module: Module, clocks: ClockSpec, options: "FlowOptions"
+) -> tuple[dict[str, int], int]:
+    """Short functional run collecting toggle activity for DDCG decisions.
+
+    The paper: "these gate-level simulations were also used to determine
+    signal activity that drove data-driven clock gating"."""
+    from repro.sim import generate_vectors, run_testbench
+
+    vectors = generate_vectors(
+        module, options.profile_cycles, profile=options.profile,
+        seed=options.seed,
+    )
+    warmup = min(8, options.profile_cycles // 4)
+    bench = run_testbench(module, clocks, vectors, delay_model="unit",
+                          activity_warmup=warmup)
+    return bench.simulator.toggles, options.profile_cycles - warmup
+
+
+# ---------------------------------------------------------------------------
+# per-style chains
+
+
+def build_stages(style: str) -> list[Stage]:
+    """The stage chain implementing one design style (Sec. IV-B order)."""
+    if style == "ff":
+        front: list[Stage] = [SynthStage(), SingleClockStage()]
+    elif style == "ms":
+        front = [
+            SynthStage(),
+            ConvertMasterSlaveStage(),
+            RetimeStage(movable_phase="clk"),
+        ]
+    elif style == "pulsed":
+        front = [SynthStage(), ConvertPulsedStage()]
+    elif style == "3p":
+        front = [
+            SynthStage(),
+            PhaseIlpStage(),
+            ConvertThreePhaseStage(),
+            RetimeStage(),
+            ClockGatingStage(),
+        ]
+    else:
+        raise ValueError(f"unknown style {style!r}")
+    return front + [
+        ResizeStage(),
+        HoldFixStage(),
+        PnrStage(),
+        StaStage(),
+        VerifyStage(),
+        SimulateStage(),
+        PowerStage(),
+    ]
+
+
+def build_pipeline(style: str) -> Pipeline:
+    return Pipeline(build_stages(style))

@@ -8,7 +8,7 @@ iteratively, the way a synthesis tool's ``sweep`` step would.
 
 from __future__ import annotations
 
-from repro.netlist.core import Module
+from repro.netlist.core import Module, Pin
 
 
 def sweep_unloaded(
@@ -21,32 +21,51 @@ def sweep_unloaded(
     Sequential cells are kept unless ``remove_sequential`` (an unloaded
     register is still dead logic, but sweeping it changes register counts,
     so the caller opts in).  Returns the number of removed instances.
+
+    Worklist-driven: removing an instance only re-examines the drivers of
+    its former inputs (the only instances whose load sets shrank), so the
+    sweep is linear in netlist size instead of one full rescan per wave
+    of removals.  The fixpoint is confluent — the removed set does not
+    depend on visit order.
     """
     protected = protect or set()
     removed = 0
-    changed = True
-    while changed:
-        changed = False
-        for name in list(module.instances):
-            if name in protected:
+    worklist = list(module.instances)
+    queued = set(worklist)
+    while worklist:
+        name = worklist.pop()
+        queued.discard(name)
+        inst = module.instances.get(name)
+        if inst is None or name in protected:
+            continue
+        if inst.is_sequential and not remove_sequential:
+            continue
+        outputs = [
+            inst.conns[pin]
+            for pin in inst.cell.output_pins
+            if pin in inst.conns
+        ]
+        if any(module.nets[net].loads for net in outputs):
+            continue
+        fanin_nets = [
+            inst.conns[pin]
+            for pin in inst.cell.input_pins
+            if pin in inst.conns
+        ]
+        module.remove_instance(name)
+        for net in outputs:
+            if net in module.nets and not module.nets[net].loads \
+                    and module.nets[net].driver is None:
+                module.remove_net(net)
+        removed += 1
+        for net_name in fanin_nets:
+            net = module.nets.get(net_name)
+            if net is None or not isinstance(net.driver, Pin):
                 continue
-            inst = module.instances[name]
-            if inst.is_sequential and not remove_sequential:
-                continue
-            outputs = [
-                inst.conns[pin]
-                for pin in inst.cell.output_pins
-                if pin in inst.conns
-            ]
-            if any(module.nets[net].loads for net in outputs):
-                continue
-            module.remove_instance(name)
-            for net in outputs:
-                if net in module.nets and not module.nets[net].loads \
-                        and module.nets[net].driver is None:
-                    module.remove_net(net)
-            removed += 1
-            changed = True
+            driver = net.driver.instance
+            if driver not in queued:
+                worklist.append(driver)
+                queued.add(driver)
     return removed
 
 

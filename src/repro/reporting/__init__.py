@@ -2,7 +2,12 @@
 
 from repro.reporting import paper_data
 from repro.reporting.fig4 import Fig4Result, format_fig4, run_fig4
-from repro.reporting.runtime import RuntimeSummary, format_runtime, summarize_runtime
+from repro.reporting.runtime import (
+    RuntimeSummary,
+    format_runtime,
+    format_stage_records,
+    summarize_runtime,
+)
 from repro.reporting.tables import (
     format_table1,
     format_table2,
@@ -17,6 +22,7 @@ __all__ = [
     "run_fig4",
     "RuntimeSummary",
     "format_runtime",
+    "format_stage_records",
     "summarize_runtime",
     "format_table1",
     "format_table2",

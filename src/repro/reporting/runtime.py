@@ -2,17 +2,35 @@
 
 The paper: the 3-phase flow costs on average +204% runtime vs FF and +44%
 vs M-S; the ILP is at most 27 s and < 1% of the flow; CTS takes ~3x (three
-trees) and routing +35%.  Our flow records wall-clock per step, so the
-same ratios can be computed from any set of
-:class:`~repro.flow.compare.StyleComparison` results.
+trees) and routing +35%.  The pipeline emits a
+:class:`~repro.flow.pipeline.StageRecord` per executed stage, so the same
+ratios are computed here from that telemetry (falling back to the legacy
+``runtime`` dict for results built without records).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.flow import StyleComparison
+from repro.flow import DesignResult, StyleComparison
 from repro.reporting.paper_data import RUNTIME_CLAIMS
+
+
+def _stage_seconds(result: DesignResult, key: str) -> float:
+    return result.stage_seconds(key)
+
+
+def _total_seconds(result: DesignResult) -> float:
+    """Flow wall time under the legacy accounting (sum of runtime keys)."""
+    if result.stages:
+        return sum(
+            sum(record.runtime_keys.values()) for record in result.stages
+        )
+    return result.total_runtime
+
+
+def _cache_hits(result: DesignResult) -> int:
+    return sum(1 for record in result.stages if record.cache_hit)
 
 
 @dataclass
@@ -36,30 +54,33 @@ def summarize_runtime(results: dict[str, StyleComparison]) -> RuntimeSummary:
     route_overheads: list[float] = []
 
     for name, cmp in results.items():
-        ff_rt = cmp.ff.total_runtime
-        ms_rt = cmp.ms.total_runtime
+        ff_rt = _total_seconds(cmp.ff)
+        ms_rt = _total_seconds(cmp.ms)
         p3 = cmp.three_phase
-        p3_rt = p3.total_runtime
+        p3_rt = _total_seconds(p3)
         per_design[name] = {
             "ff": ff_rt, "ms": ms_rt, "3p": p3_rt,
-            "ilp": p3.runtime.get("ilp", 0.0),
-            "cts_ff": cmp.ff.runtime.get("cts", 0.0),
-            "cts_3p": p3.runtime.get("cts", 0.0),
+            "ilp": _stage_seconds(p3, "ilp"),
+            "cts_ff": _stage_seconds(cmp.ff, "cts"),
+            "cts_3p": _stage_seconds(p3, "cts"),
+            "cache_hits": float(
+                _cache_hits(cmp.ff) + _cache_hits(cmp.ms) + _cache_hits(p3)
+            ),
         }
         if ff_rt > 0:
             overhead_ff.append(100.0 * (p3_rt - ff_rt) / ff_rt)
         if ms_rt > 0:
             overhead_ms.append(100.0 * (p3_rt - ms_rt) / ms_rt)
         if p3_rt > 0:
-            ilp_shares.append(p3.runtime.get("ilp", 0.0) / p3_rt)
-        ilp_abs.append(p3.runtime.get("ilp", 0.0))
-        cts_ff = cmp.ff.runtime.get("cts", 0.0)
+            ilp_shares.append(_stage_seconds(p3, "ilp") / p3_rt)
+        ilp_abs.append(_stage_seconds(p3, "ilp"))
+        cts_ff = _stage_seconds(cmp.ff, "cts")
         if cts_ff > 0:
-            cts_ratios.append(p3.runtime.get("cts", 0.0) / cts_ff)
-        route_ff = cmp.ff.runtime.get("route", 0.0)
+            cts_ratios.append(_stage_seconds(p3, "cts") / cts_ff)
+        route_ff = _stage_seconds(cmp.ff, "route")
         if route_ff > 0:
             route_overheads.append(
-                100.0 * (p3.runtime.get("route", 0.0) - route_ff) / route_ff
+                100.0 * (_stage_seconds(p3, "route") - route_ff) / route_ff
             )
 
     def avg(values: list[float]) -> float:
@@ -90,8 +111,25 @@ def format_runtime(summary: RuntimeSummary) -> str:
         f"  route vs FF:      +{summary.route_vs_ff_percent:6.1f}% | +35%",
     ]
     for name, row in summary.per_design.items():
+        cached = int(row.get("cache_hits", 0.0))
+        note = f"  cached stages {cached}" if cached else ""
         lines.append(
             f"    {name:10} ff {row['ff']:7.2f}s  ms {row['ms']:7.2f}s  "
-            f"3p {row['3p']:7.2f}s  (ilp {row['ilp']:6.3f}s)"
+            f"3p {row['3p']:7.2f}s  (ilp {row['ilp']:6.3f}s){note}"
+        )
+    return "\n".join(lines)
+
+
+def format_stage_records(result: DesignResult) -> str:
+    """Render one run's pipeline telemetry (one line per stage)."""
+    lines = [
+        f"pipeline telemetry: {result.name} [{result.style}]",
+        f"  {'stage':10} {'wall(s)':>9} {'cache':>6}  in->out digest",
+    ]
+    for record in result.stages:
+        hit = "hit" if record.cache_hit else "miss"
+        lines.append(
+            f"  {record.stage:10} {record.wall_time:9.4f} {hit:>6}  "
+            f"{record.input_digest} -> {record.output_digest}"
         )
     return "\n".join(lines)

@@ -11,7 +11,7 @@ from dataclasses import replace
 from typing import Callable
 
 from repro.circuits import build, names, spec
-from repro.flow import FlowOptions, StyleComparison, compare_styles
+from repro.flow import ArtifactCache, FlowOptions, StyleComparison, compare_styles
 from repro.reporting.paper_data import TABLE1, TABLE2
 
 
@@ -20,6 +20,8 @@ def run_benchmark(
     sim_cycles: int | None = None,
     progress: Callable[[str], None] | None = None,
     options: FlowOptions | None = None,
+    jobs: int = 1,
+    cache: ArtifactCache | None = None,
 ) -> StyleComparison:
     """Implement benchmark ``name`` in all three styles."""
     bench = spec(name)
@@ -33,7 +35,7 @@ def run_benchmark(
     )
     if progress:
         progress(f"{name}: period {bench.period} ps, workload {bench.workload}")
-    return compare_styles(module, base)
+    return compare_styles(module, base, jobs=jobs, cache=cache)
 
 
 def run_suite(
@@ -42,11 +44,20 @@ def run_suite(
     sim_cycles: int | None = None,
     progress: Callable[[str], None] | None = None,
     options: FlowOptions | None = None,
+    jobs: int = 1,
 ) -> dict[str, StyleComparison]:
+    """Run the per-design style comparison over a benchmark selection.
+
+    One content-addressed :class:`ArtifactCache` spans the whole suite,
+    so each design's synthesis feeds its three style runs; ``jobs > 1``
+    additionally runs the styles of each design concurrently.
+    """
     targets = designs if designs is not None else names(suite)
+    cache = ArtifactCache()
     results: dict[str, StyleComparison] = {}
     for name in targets:
-        results[name] = run_benchmark(name, sim_cycles, progress, options)
+        results[name] = run_benchmark(
+            name, sim_cycles, progress, options, jobs=jobs, cache=cache)
         if progress:
             row = results[name]
             progress(
