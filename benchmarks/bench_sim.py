@@ -1,0 +1,89 @@
+"""Microbenchmark: compiled kernel vs reference engine throughput.
+
+Runs the same testbench (same design, same vectors) once per engine and
+per delay model, checks the runs are bit-for-bit identical (sampled
+output streams, per-net toggle counts, events processed), and reports
+events/second plus the compiled/reference speedup.
+
+Standalone on purpose -- no pytest-benchmark, no flow cache -- so CI can
+smoke it in a couple of seconds and a developer can profile with it:
+
+    PYTHONPATH=src python benchmarks/bench_sim.py --design s13207 --cycles 60
+    PYTHONPATH=src python benchmarks/bench_sim.py --design s1488 --cycles 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.circuits import build
+from repro.convert.clocks import ClockSpec
+from repro.sim.stimulus import generate_vectors
+from repro.sim.testbench import run_testbench
+
+
+def run_engine(module, clocks, vectors, delay_model, engine):
+    result = run_testbench(
+        module, clocks, vectors, delay_model=delay_model, engine=engine
+    )
+    sim = result.simulator
+    return {
+        "samples": result.samples,
+        "toggles": sim.toggles,
+        "events": sim.events_processed,
+        "compile_s": sim.compile_seconds,
+        "run_s": sim.run_seconds,
+        "events_per_s": sim.events_per_second,
+    }
+
+
+def bench(design: str, cycles: int, seed: int) -> bool:
+    module = build(design)
+    clocks = ClockSpec.single(1000.0)
+    vectors = generate_vectors(module, cycles, seed=seed)
+    print(f"{design}: {len(module.instances)} instances, "
+          f"{len(module.nets)} nets, {cycles} cycles")
+
+    ok = True
+    for delay_model in ("unit", "cell"):
+        runs = {
+            engine: run_engine(module, clocks, vectors, delay_model, engine)
+            for engine in ("reference", "compiled")
+        }
+        ref, com = runs["reference"], runs["compiled"]
+        identical = (
+            ref["samples"] == com["samples"]
+            and ref["toggles"] == com["toggles"]
+            and ref["events"] == com["events"]
+        )
+        ok = ok and identical
+        speedup = (
+            com["events_per_s"] / ref["events_per_s"]
+            if ref["events_per_s"] > 0 else float("inf")
+        )
+        print(f"  [{delay_model:4}] {com['events']} events")
+        for engine in ("reference", "compiled"):
+            run = runs[engine]
+            print(f"    {engine:9} {run['events_per_s'] / 1e6:6.2f} Mev/s  "
+                  f"(compile {run['compile_s'] * 1e3:6.1f} ms, "
+                  f"run {run['run_s']:6.3f} s)")
+        print(f"    speedup   {speedup:6.2f}x  "
+              f"bit-for-bit {'OK' if identical else 'MISMATCH'}")
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--design", default="s13207",
+                        help="circuit name from the registry (default s13207)")
+    parser.add_argument("--cycles", type=int, default=60,
+                        help="testbench cycles per run (default 60)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="stimulus seed (default 7)")
+    args = parser.parse_args(argv)
+    return 0 if bench(args.design, args.cycles, args.seed) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -456,14 +456,14 @@ class ClockGatingStage(Stage):
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.cg import apply_p2_clock_gating
 
-        activity, cycles = _profile_activity(
+        activity, cycles, stats = _profile_activity(
             ctx.module, ctx.clocks, ctx.options)
         report = apply_p2_clock_gating(
             ctx.module, ctx.library, activity=activity, cycles=cycles,
             options=ctx.options.cg,
         )
         ctx.artifacts["cg"] = report
-        return {"profile_cycles": cycles}
+        return {"profile_cycles": cycles, **stats}
 
 
 class ResizeStage(Stage):
@@ -590,7 +590,13 @@ class SimulateStage(Stage):
             activity_warmup=options.warmup_cycles,
         )
         ctx.artifacts["bench"] = bench
-        return {"cycles": options.sim_cycles}
+        sim = bench.simulator
+        return {
+            "cycles": options.sim_cycles,
+            "sim_events": sim.events_processed,
+            "sim_compile_s": round(sim.compile_seconds, 6),
+            "sim_events_per_s": round(sim.events_per_second, 1),
+        }
 
 
 class PowerStage(Stage):
@@ -620,11 +626,13 @@ class PowerStage(Stage):
 
 def _profile_activity(
     module: Module, clocks: ClockSpec, options: "FlowOptions"
-) -> tuple[dict[str, int], int]:
+) -> tuple[dict[str, int], int, dict[str, object]]:
     """Short functional run collecting toggle activity for DDCG decisions.
 
     The paper: "these gate-level simulations were also used to determine
-    signal activity that drove data-driven clock gating"."""
+    signal activity that drove data-driven clock gating".  Also returns
+    kernel throughput stats for the stage's :class:`StageRecord` summary.
+    """
     from repro.sim import generate_vectors, run_testbench
 
     vectors = generate_vectors(
@@ -634,7 +642,13 @@ def _profile_activity(
     warmup = min(8, options.profile_cycles // 4)
     bench = run_testbench(module, clocks, vectors, delay_model="unit",
                           activity_warmup=warmup)
-    return bench.simulator.toggles, options.profile_cycles - warmup
+    sim = bench.simulator
+    stats = {
+        "sim_events": sim.events_processed,
+        "sim_compile_s": round(sim.compile_seconds, 6),
+        "sim_events_per_s": round(sim.events_per_second, 1),
+    }
+    return sim.toggles, options.profile_cycles - warmup, stats
 
 
 # ---------------------------------------------------------------------------

@@ -189,8 +189,9 @@ class Module:
         direction = self.ports[port]
         if direction is PortDirection.INPUT:
             return self.nets[port]
+        ref = PortRef(port)
         for net in self.nets.values():
-            if PortRef(port) in net.loads:
+            if ref in net.loads:
                 return net
         raise NetlistError(f"output port {port!r} is not connected to any net")
 

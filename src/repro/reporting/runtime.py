@@ -128,8 +128,13 @@ def format_stage_records(result: DesignResult) -> str:
     ]
     for record in result.stages:
         hit = "hit" if record.cache_hit else "miss"
-        lines.append(
+        line = (
             f"  {record.stage:10} {record.wall_time:9.4f} {hit:>6}  "
             f"{record.input_digest} -> {record.output_digest}"
         )
+        events = record.summary.get("sim_events")
+        if events is not None:
+            rate = float(record.summary.get("sim_events_per_s", 0.0))
+            line += f"  sim {events} ev @ {rate / 1e6:.2f} Mev/s"
+        lines.append(line)
     return "\n".join(lines)

@@ -1,7 +1,9 @@
 """Event-driven gate-level simulation, stimulus, and equivalence checking."""
 
 from repro.sim.equivalence import EquivalenceReport, check_equivalent, compare_streams
+from repro.sim.kernel import CompiledKernel
 from repro.sim.logic import X, eval_op
+from repro.sim.reference import ReferenceEngine
 from repro.sim.simulator import SimulationError, Simulator
 from repro.sim.stimulus import PROFILES, WorkloadProfile, generate_vectors
 from repro.sim.testbench import TestbenchResult, run_testbench
@@ -11,6 +13,8 @@ __all__ = [
     "EquivalenceReport",
     "check_equivalent",
     "compare_streams",
+    "CompiledKernel",
+    "ReferenceEngine",
     "X",
     "eval_op",
     "SimulationError",

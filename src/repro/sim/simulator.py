@@ -16,39 +16,42 @@ Capabilities the reproduction needs (and real sign-off flows provide):
 
 Performance notes (pure Python must carry 100k-cell designs):
 
-* connectivity is compiled once into per-net lists of ``(action, payload)``
-  tuples, so the hot loop never chases instance dictionaries;
+* at construction the netlist is **compiled** into the dense
+  integer-indexed kernel of :mod:`repro.sim.kernel`: nets and instances
+  are interned to int ids, values/toggles/delays/latch state live in flat
+  lists, and the per-net subscriber lists carry pre-resolved eval
+  functions and net ids, so the event loop does zero dict lookups per
+  event (``engine="reference"`` selects the original string-keyed engine
+  of :mod:`repro.sim.reference`, kept as differential oracle and
+  throughput baseline);
 * pushes that would re-schedule a net to the value it is already headed to
   are skipped -- a register recapturing an unchanged value costs nothing;
 * clock distribution cells (buffers, ICGs) propagate with zero delay,
   modelling a balanced (ideal) clock network exactly like STA assumes; a
   simulated unbalanced tree would inject hold hazards no signed-off design
   has.  Their output *events* still happen and are charged to clock power.
+
+Observability: ``events_processed``, ``compile_seconds``, ``run_seconds``,
+and ``events_per_second`` expose the kernel's throughput; the pipeline's
+simulation stages record them in their :class:`StageRecord` summaries.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
-
-from repro.library.cell import CellKind, PinDirection
-from repro.netlist.core import Module, Pin
-from repro.sim.logic import EVAL, X
+from repro.netlist.core import Module, PortRef
+from repro.sim.kernel import CompiledKernel, SimulationError
+from repro.sim.reference import ReferenceEngine
 from repro.convert.clocks import ClockSpec
 
-# Action codes compiled per (instance, input-pin).
-_GATE = 0
-_DFF_CK = 1
-_LATCH_G = 2
-_LATCH_D = 3
-_ICG_CK = 4
-_ICG_EN = 5
-_ICG_PB = 6
-_ICG_AND = 7
+__all__ = ["SimulationError", "Simulator"]
 
-
-class SimulationError(RuntimeError):
-    pass
+#: engine name -> implementation (both expose the same internal protocol:
+#: net_value/schedule/run_until/reset_activity/toggles_dict/watch plus the
+#: now/events_processed/compile_seconds/run_seconds counters).
+ENGINES = {
+    "compiled": CompiledKernel,
+    "reference": ReferenceEngine,
+}
 
 
 class Simulator:
@@ -57,6 +60,11 @@ class Simulator:
     ``delay_model``: ``"cell"`` uses the library's linear delay model
     (intrinsic + slope * load); ``"unit"`` gives every cell 1 ps, useful
     for fast functional runs.
+
+    ``engine``: ``"compiled"`` (default) lowers the netlist into the
+    integer-indexed kernel; ``"reference"`` runs the original string-keyed
+    engine.  Both are bit-for-bit equivalent (same samples, same toggle
+    counts, same event ordering).
     """
 
     def __init__(
@@ -66,134 +74,95 @@ class Simulator:
         delay_model: str = "cell",
         count_activity: bool = True,
         event_limit: int = 200_000_000,
+        engine: str = "compiled",
     ):
+        try:
+            engine_cls = ENGINES[engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown simulation engine {engine!r}; "
+                f"available: {', '.join(sorted(ENGINES))}"
+            ) from None
         self.module = module
         self.clocks = clocks
         self.count_activity = count_activity
         self.event_limit = event_limit
-        self.events_processed = 0
-        self.now = 0.0
-
-        self._values: dict[str, int] = dict.fromkeys(module.nets, X)
-        self._scheduled: dict[str, int] = {}
+        self.engine = engine
+        self._engine = engine_cls(
+            module, clocks, delay_model=delay_model,
+            count_activity=count_activity, event_limit=event_limit,
+        )
         self._port_nets: dict[str, str] = {}
-        self._queue: list[tuple[float, int, str, int]] = []
-        self._seq = count()
-        self.toggles: dict[str, int] = dict.fromkeys(module.nets, 0)
 
-        self._delay: dict[str, float] = {}
-        self._out_net: dict[str, str] = {}
-        self._eval = {}
-        self._in_nets: dict[str, list[str]] = {}
-        self._data_net: dict[str, str] = {}
-        self._clock_net: dict[str, str] = {}
-        self._en_net: dict[str, str] = {}
-        self._latch_state: dict[str, int] = {}  # ICG internal enable latch
+    # -- observability -----------------------------------------------------------
 
-        for inst in module.instances.values():
-            out_pins = inst.cell.output_pins
-            if out_pins:
-                self._out_net[inst.name] = inst.conns.get(out_pins[0], "")
-            self._delay[inst.name] = self._cell_delay(inst, delay_model)
-            kind = inst.cell.kind
-            if kind is CellKind.COMB or kind is CellKind.TIE:
-                self._eval[inst.name] = EVAL[inst.cell.op]
-                self._in_nets[inst.name] = [
-                    inst.conns.get(p, "") for p in inst.cell.input_pins
-                ]
-            elif inst.is_sequential:
-                self._data_net[inst.name] = inst.conns.get("D", "")
-                clock_pin = inst.cell.clock_pin
-                self._clock_net[inst.name] = inst.conns.get(clock_pin, "")
-            elif kind is CellKind.ICG:
-                self._en_net[inst.name] = inst.conns.get("EN", "")
-                self._clock_net[inst.name] = inst.conns.get("CK", "")
-                if inst.cell.op != "ICG_AND":
-                    self._latch_state[inst.name] = X
+    @property
+    def now(self) -> float:
+        return self._engine.now
 
-        # Compile per-net subscriber lists: (action code, instance name).
-        self._loads: dict[str, list[tuple[int, str]]] = {
-            net: [] for net in module.nets
-        }
-        for inst in module.instances.values():
-            op = inst.cell.op
-            for pin_name, net in inst.conns.items():
-                if inst.cell.pin(pin_name).direction is not PinDirection.INPUT:
-                    continue
-                action = None
-                if inst.name in self._eval:
-                    action = _GATE
-                elif op == "DFF":
-                    if pin_name == "CK":
-                        action = _DFF_CK
-                elif op == "DLATCH":
-                    action = _LATCH_G if pin_name == "G" else _LATCH_D
-                elif op == "ICG_AND":
-                    action = _ICG_AND
-                elif op in ("ICG", "ICG_M1"):
-                    if pin_name == "CK":
-                        action = _ICG_CK
-                    elif pin_name == "EN":
-                        action = _ICG_EN
-                    else:
-                        action = _ICG_PB
-                if action is not None:
-                    self._loads[net].append((action, inst.name))
+    @property
+    def events_processed(self) -> int:
+        return self._engine.events_processed
 
-        self._clock_horizon = 0.0
-        if clocks is not None:
-            for phase in clocks.phases:
-                if phase.name in module.nets:
-                    self._values[phase.name] = (
-                        1 if clocks.is_high(phase.name, 0.0) else 0
-                    )
+    @property
+    def compile_seconds(self) -> float:
+        """Wall time spent lowering the netlist into the engine."""
+        return self._engine.compile_seconds
 
-        # Sequential/tie initialization at t = 0.
-        for inst in module.instances.values():
-            if inst.is_sequential:
-                init = inst.attrs.get("init")
-                if init is not None and self._out_net.get(inst.name):
-                    self._values[self._out_net[inst.name]] = int(init)
-            elif inst.cell.kind is CellKind.TIE:
-                value = 1 if inst.cell.op == "TIE1" else 0
-                self._values[self._out_net[inst.name]] = value
-        # Evaluate all combinational cells once so constants propagate.
-        for name in self._eval:
-            self._schedule_gate(name, 0.0)
+    @property
+    def run_seconds(self) -> float:
+        """Cumulative wall time spent inside the event loop."""
+        return self._engine.run_seconds
 
-    # -- construction helpers --------------------------------------------------
-
-    def _cell_delay(self, inst, delay_model: str) -> float:
-        # Ideal clock distribution: see the module docstring.
-        if inst.cell.kind is CellKind.ICG or inst.attrs.get("clock_buffer"):
-            return 0.0
-        if delay_model == "unit":
-            return 1.0
-        out_pins = inst.cell.output_pins
-        if not out_pins:
-            return 0.0
-        out_net = inst.conns.get(out_pins[0])
-        load = 0.0
-        if out_net:
-            for ref in self.module.nets[out_net].loads:
-                if isinstance(ref, Pin):
-                    sink = self.module.instances[ref.instance]
-                    load += sink.cell.pin_capacitance(ref.pin)
-        return max(1.0, inst.cell.intrinsic_delay + inst.cell.delay_per_ff * load)
+    @property
+    def events_per_second(self) -> float:
+        """Event-loop throughput so far (0.0 before the first run)."""
+        seconds = self._engine.run_seconds
+        return self._engine.events_processed / seconds if seconds > 0 else 0.0
 
     # -- public API --------------------------------------------------------------
 
+    @property
+    def toggles(self) -> dict[str, int]:
+        """Per-net toggle counts, materialized as a name-keyed dict."""
+        return self._engine.toggles_dict()
+
     def value(self, net: str) -> int:
-        return self._values[net]
+        try:
+            return self._engine.net_value(net)
+        except KeyError:
+            raise SimulationError(
+                f"{net!r} is not a net of module {self.module.name!r}"
+            ) from None
 
     def port_value(self, port: str) -> int:
-        # net_of_port scans all nets for output ports; cache the mapping
-        # (connectivity is frozen during simulation).
+        # net_of_port scans all nets per output port; on the first miss,
+        # one scan fills the map for every port at once (connectivity is
+        # frozen during simulation).
         net = self._port_nets.get(port)
         if net is None:
-            net = self.module.net_of_port(port).name
-            self._port_nets[port] = net
-        return self._values[net]
+            if port not in self.module.ports:
+                raise SimulationError(
+                    f"{port!r} is not a port of module {self.module.name!r}"
+                )
+            for net_obj in self.module.nets.values():
+                for ref in net_obj.loads:
+                    if type(ref) is PortRef:
+                        self._port_nets.setdefault(ref.port, net_obj.name)
+            for name in self.module.input_ports():
+                if name in self.module.nets:
+                    self._port_nets.setdefault(name, name)
+            net = self._port_nets.get(port)
+            if net is None:
+                # unconnected output port: keep net_of_port's diagnostics
+                try:
+                    net = self.module.net_of_port(port).name
+                except KeyError:
+                    raise SimulationError(
+                        f"{port!r} is not a port of module "
+                        f"{self.module.name!r}"
+                    ) from None
+        return self._engine.net_value(net)
 
     def set_input(self, port: str, value: int, time: float) -> None:
         """Schedule a primary-input change."""
@@ -201,131 +170,31 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule in the past ({time} < {self.now})"
             )
-        net = self.module.nets[port].name
-        self._push(time, net, value)
+        try:
+            self._engine.schedule(port, value, time)
+        except KeyError:
+            raise SimulationError(
+                f"cannot set input {port!r}: not a net of module "
+                f"{self.module.name!r}"
+            ) from None
 
     def reset_activity(self) -> None:
         """Zero toggle counters (call after warm-up, before measurement)."""
-        for net in self.toggles:
-            self.toggles[net] = 0
+        self._engine.reset_activity()
+
+    def watch(self, nets: list[str]) -> list[tuple[float, str, int]]:
+        """Record every ``(time, net, value)`` change on ``nets``.
+
+        Returns the live sink list the engine appends to; used by
+        :class:`~repro.sim.vcd.VcdRecorder`.
+        """
+        return self._engine.watch(nets)
 
     def run_until(self, t_end: float) -> None:
         """Advance simulation time to ``t_end`` (inclusive of events at it)."""
-        self._extend_clocks(t_end)
-        queue = self._queue
-        values = self._values
-        toggles = self.toggles
-        counting = self.count_activity
-        loads = self._loads
-        while queue and queue[0][0] <= t_end:
-            time, _, net, value = heapq.heappop(queue)
-            self.now = time
-            self.events_processed += 1
-            if self.events_processed > self.event_limit:
-                raise SimulationError(
-                    f"event limit {self.event_limit} exceeded at t={time}; "
-                    "the design is likely oscillating (e.g. racing through "
-                    "simultaneously transparent latches -- run hold fixing)"
-                )
-            old = values[net]
-            if old == value:
-                continue
-            values[net] = value
-            if counting and old != X:
-                toggles[net] += 1
-            rising = old == 0 and value == 1
-            for action, inst_name in loads[net]:
-                if action == _GATE:
-                    self._schedule_gate(inst_name, self._delay[inst_name])
-                elif action == _DFF_CK:
-                    if rising:
-                        self._capture(inst_name)
-                elif action == _LATCH_G:
-                    if rising:
-                        self._capture(inst_name)
-                elif action == _LATCH_D:
-                    if values[self._clock_net[inst_name]] == 1:
-                        self._capture(inst_name)
-                elif action == _ICG_CK:
-                    if value == 0:
-                        self._latch_state[inst_name] = \
-                            values[self._en_net[inst_name]]
-                    self._update_icg_output(inst_name)
-                elif action == _ICG_EN:
-                    if self._icg_transparent(inst_name):
-                        self._latch_state[inst_name] = value
-                        self._update_icg_output(inst_name)
-                elif action == _ICG_PB:
-                    if value == 1:
-                        self._latch_state[inst_name] = \
-                            values[self._en_net[inst_name]]
-                        self._update_icg_output(inst_name)
-                else:  # _ICG_AND
-                    self._update_icg_output(inst_name)
-        self.now = t_end
+        self._engine.run_until(t_end)
 
     def run_cycles(self, n: int) -> None:
         if self.clocks is None:
             raise SimulationError("run_cycles requires a ClockSpec")
         self.run_until(self.now + n * self.clocks.period)
-
-    # -- internals ---------------------------------------------------------------
-
-    def _push(self, time: float, net: str, value: int) -> None:
-        if self._scheduled.get(net, self._values[net]) == value:
-            return
-        self._scheduled[net] = value
-        heapq.heappush(self._queue, (time, next(self._seq), net, value))
-
-    def _extend_clocks(self, t_end: float) -> None:
-        if self.clocks is None:
-            return
-        period = self.clocks.period
-        while self._clock_horizon <= t_end:
-            cycle = int(self._clock_horizon / period + 0.5)
-            base = cycle * period
-            for phase in self.clocks.phases:
-                if phase.name not in self.module.nets:
-                    continue
-                if phase.skip_first and cycle == 0:
-                    continue
-                self._push(base + phase.rise, phase.name, 1)
-                self._push(base + phase.fall, phase.name, 0)
-            self._clock_horizon = base + period
-
-    def _icg_transparent(self, inst_name: str) -> bool:
-        """Is the ICG's internal enable latch transparent right now?"""
-        inst = self.module.instances[inst_name]
-        if inst.cell.op == "ICG_M1":
-            pb = inst.conns.get("PB", "")
-            return bool(pb) and self._values[pb] == 1
-        return self._values[self._clock_net[inst_name]] == 0
-
-    def _capture(self, inst_name: str) -> None:
-        value = self._values[self._data_net[inst_name]]
-        out = self._out_net.get(inst_name)
-        if out:
-            self._push(self.now + self._delay[inst_name], out, value)
-
-    def _update_icg_output(self, inst_name: str) -> None:
-        ck = self._values[self._clock_net[inst_name]]
-        if inst_name in self._latch_state:
-            enable = self._latch_state[inst_name]
-        else:
-            enable = self._values[self._en_net[inst_name]]
-        if ck == 0:
-            gated = 0
-        elif ck == X or enable == X:
-            gated = X
-        else:
-            gated = 1 if enable == 1 else 0
-        out = self._out_net.get(inst_name)
-        if out:
-            self._push(self.now + self._delay[inst_name], out, gated)
-
-    def _schedule_gate(self, inst_name: str, delay: float) -> None:
-        values = self._values
-        inputs = [values[n] if n else X for n in self._in_nets[inst_name]]
-        out = self._out_net.get(inst_name)
-        if out:
-            self._push(self.now + delay, out, self._eval[inst_name](inputs))

@@ -49,13 +49,15 @@ def run_testbench(
     vectors: list[Vector],
     delay_model: str = "cell",
     activity_warmup: int = 0,
+    engine: str = "compiled",
 ) -> TestbenchResult:
     """Simulate ``module`` over ``vectors`` (one per cycle).
 
     ``activity_warmup`` resets toggle counters after that many cycles so
     power measurements exclude reset/initialization transients.
+    ``engine`` selects the simulation engine (see :class:`Simulator`).
     """
-    sim = Simulator(module, clocks, delay_model=delay_model)
+    sim = Simulator(module, clocks, delay_model=delay_model, engine=engine)
     period = clocks.period
     outputs = module.output_ports()
     result = TestbenchResult(module=module, simulator=sim)

@@ -70,14 +70,30 @@ class TimingReport:
         )
 
 
+def _register_phases(module: Module, clocks: ClockSpec) -> dict[str, str]:
+    """Register name -> driving phase name (traced through clock gating).
+
+    The trace walks the netlist and is period-independent, so callers
+    probing many periods (:func:`minimum_period`) compute it once and pass
+    it to :func:`_register_timings`.
+    """
+    return {
+        inst.name: _clock_phase_of(module, inst.name, clocks)
+        for inst in module.sequential_instances()
+    }
+
+
 def _register_timings(
-    module: Module, clocks: ClockSpec
+    module: Module,
+    clocks: ClockSpec,
+    phases: dict[str, str] | None = None,
 ) -> dict[str, RegisterTiming]:
+    if phases is None:
+        phases = _register_phases(module, clocks)
     timings: dict[str, RegisterTiming] = {}
     for inst in module.sequential_instances():
-        phase = _clock_phase_of(module, inst.name, clocks)
         timings[inst.name] = register_timing_for(
-            inst.name, inst.cell.op, phase, clocks,
+            inst.name, inst.cell.op, phases[inst.name], clocks,
             setup=inst.cell.setup, hold=inst.cell.hold,
         )
     return timings
@@ -109,12 +125,22 @@ def analyze(
     graph: TimingGraph | None = None,
     wire_caps: dict[str, float] | None = None,
     max_iterations: int = 50,
+    timings: dict[str, RegisterTiming] | None = None,
 ) -> TimingReport:
-    """Setup/hold analysis of ``module`` under ``clocks``."""
+    """Setup/hold analysis of ``module`` under ``clocks``.
+
+    ``timings`` optionally supplies precomputed per-register timings (see
+    :func:`_register_timings`); they must match ``clocks``.  The dict is
+    copied, so the caller's mapping is not polluted with the PI/PO
+    pseudo-registers added below.
+    """
     period = clocks.period
     if graph is None:
         graph = extract_timing_graph(module, wire_caps)
-    timings = _register_timings(module, clocks)
+    if timings is None:
+        timings = _register_timings(module, clocks)
+    else:
+        timings = dict(timings)
 
     # Pseudo-registers for the interface.
     p1_like = clocks.phases[0].name
@@ -201,11 +227,23 @@ def minimum_period(
     ``clocks_builder(period)`` returns the ClockSpec at that period (e.g.
     ``ClockSpec.single`` or ``ClockSpec.default_three_phase``); hold
     violations are ignored here since they are period-independent.
+
+    The timing graph and the register -> phase map are extracted once and
+    shared across all binary-search probes; only the cheap per-register
+    edge arithmetic is redone at each candidate period.
     """
     graph = extract_timing_graph(module)
+    phases: dict[str, str] | None = None
 
     def setup_ok(period: float) -> bool:
-        rpt = analyze(module, clocks_builder(period), graph=graph)
+        nonlocal phases
+        clocks = clocks_builder(period)
+        if phases is None:
+            phases = _register_phases(module, clocks)
+        rpt = analyze(
+            module, clocks, graph=graph,
+            timings=_register_timings(module, clocks, phases=phases),
+        )
         return all(v.kind != "setup" and v.kind != "divergence"
                    for v in rpt.violations)
 

@@ -69,6 +69,25 @@ class TestStageRecords:
         assert result.stage_seconds("ilp") == result.runtime["ilp"]
         assert result.stage_record("pnr") is not None
 
+    def test_sim_stages_report_kernel_throughput(self, result):
+        # Both simulation-driven stages must surface the kernel counters.
+        for stage_name in ("cg", "sim"):
+            summary = result.stage_record(stage_name).summary
+            assert summary["sim_events"] > 0, stage_name
+            assert summary["sim_events_per_s"] > 0.0, stage_name
+            assert summary["sim_compile_s"] >= 0.0, stage_name
+
+    def test_format_stage_records_shows_throughput(self, result):
+        from repro.reporting.runtime import format_stage_records
+
+        text = format_stage_records(result)
+        assert "Mev/s" in text
+        sim_line = next(
+            line for line in text.splitlines() if line.lstrip().startswith("sim ")
+        )
+        assert f"sim {result.stage_record('sim').summary['sim_events']} ev" \
+            in sim_line
+
 
 class TestRuntimeKeysRegression:
     """The P&R wall time must land in the runtime dict (the old monolith
