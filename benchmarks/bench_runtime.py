@@ -4,27 +4,54 @@ Paper claims: the 3-phase flow needs +204% runtime vs FF and +44% vs M-S
 on their testbed; the ILP is <= 27 s and < 1% of the flow; CTS does ~3x
 the work (three trees).  Wall-clock ratios on our substrate are measured
 the same way (per-step timers in the flow).
+
+With ``--obs`` the regeneration runs under a span tracer: the Chrome
+trace and JSONL log land next to the table artifacts
+(``runtime_trace.json`` / ``.jsonl``, loadable in Perfetto), a
+self-time summary is emitted, and ``test_disabled_tracer_overhead``
+asserts the < 2% disabled-instrumentation bound from
+docs/observability.md (it is skipped without ``--obs``).
 """
+
+from time import perf_counter
 
 import pytest
 
 from conftest import (cycles_override, emit, jobs_override, run_once,
                       selected_designs)
-from repro.reporting import format_runtime, run_suite, summarize_runtime
+from repro.reporting import (format_runtime, format_trace_summary,
+                             run_suite, summarize_runtime)
 
 #: a representative mid-size subset (full-suite timings come free with
 #: table2; this bench isolates the runtime story).
 _DEFAULT = ["s5378", "s13207", "des3", "sha256", "plasma"]
 
 
-def test_runtime_comparison(benchmark, out_dir):
+def test_runtime_comparison(benchmark, out_dir, obs_enabled):
     designs = [d for d in _DEFAULT if d in selected_designs()] or _DEFAULT
-    results = run_once(
-        benchmark,
-        lambda: run_suite(designs=designs,
-                          sim_cycles=cycles_override() or 60,
-                          jobs=jobs_override()),
-    )
+
+    tracer = None
+    if obs_enabled:
+        from repro import obs
+        tracer = obs.Tracer()
+        obs.install(tracer)
+    try:
+        results = run_once(
+            benchmark,
+            lambda: run_suite(designs=designs,
+                              sim_cycles=cycles_override() or 60,
+                              jobs=jobs_override()),
+        )
+    finally:
+        if tracer is not None:
+            from repro import obs
+            obs.uninstall()
+            obs.write_chrome_trace(
+                tracer, str(out_dir / "runtime_trace.json"))
+            obs.write_jsonl(tracer, str(out_dir / "runtime_trace.jsonl"))
+            emit(out_dir, "runtime_trace.txt",
+                 format_trace_summary(tracer.spans))
+
     summary = summarize_runtime(results)
     emit(out_dir, "runtime.txt", format_runtime(summary))
 
@@ -36,3 +63,34 @@ def test_runtime_comparison(benchmark, out_dir):
     assert summary.cts_ratio_vs_ff > 1.2
     # The 3-phase flow costs more wall clock than the FF flow.
     assert summary.flow_vs_ff_percent > 0
+    if tracer is not None:
+        # Every stage execution must have produced a span.
+        stage_spans = [s for s in tracer.spans
+                       if s.name.startswith("stage.")]
+        assert stage_spans, "traced run recorded no stage spans"
+
+
+def test_disabled_tracer_overhead(obs_enabled):
+    """Bound what the instrumentation costs when tracing is *off*.
+
+    A traced mini-flow counts its instrumentation calls; each would have
+    been a null-path call with tracing disabled, whose measured cost is
+    ``obs.null_op_seconds()``.  Their product must stay below 2% of the
+    run's wall time.
+    """
+    if not obs_enabled:
+        pytest.skip("pass --obs to measure the overhead bound")
+    from repro import obs
+
+    tracer = obs.Tracer()
+    t0 = perf_counter()
+    with obs.use_tracer(tracer):
+        run_suite(designs=["s1488"], sim_cycles=16)
+    wall = perf_counter() - t0
+
+    per_op = obs.null_op_seconds()
+    overhead = tracer.op_count * per_op / wall
+    assert overhead < 0.02, (
+        f"{tracer.op_count} ops x {per_op * 1e9:.0f} ns/op "
+        f"= {100 * overhead:.3f}% of {wall:.2f}s wall"
+    )

@@ -10,12 +10,19 @@ smoke it in a couple of seconds and a developer can profile with it:
 
     PYTHONPATH=src python benchmarks/bench_sim.py --design s13207 --cycles 60
     PYTHONPATH=src python benchmarks/bench_sim.py --design s1488 --cycles 6
+
+``--obs`` additionally checks the observability overhead contract: a
+traced run counts its instrumentation calls (``Tracer.op_count``), the
+measured disabled-path cost per call (``obs.null_op_seconds``) bounds
+what the same run pays with tracing off, and the bound must stay below
+2% of the run's wall time (see docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from time import perf_counter
 
 from repro.circuits import build
 from repro.convert.clocks import ClockSpec
@@ -73,6 +80,33 @@ def bench(design: str, cycles: int, seed: int) -> bool:
     return ok
 
 
+def bench_obs(design: str, cycles: int, seed: int,
+              limit: float = 0.02) -> bool:
+    """Assert the disabled-tracer overhead bound (< ``limit`` of wall)."""
+    from repro import obs
+
+    module = build(design)
+    clocks = ClockSpec.single(1000.0)
+    vectors = generate_vectors(module, cycles, seed=seed)
+
+    tracer = obs.Tracer()
+    t0 = perf_counter()
+    with obs.use_tracer(tracer):
+        run_testbench(module, clocks, vectors,
+                      delay_model="cell", engine="compiled")
+    wall = perf_counter() - t0
+
+    per_op = obs.null_op_seconds()
+    ops = tracer.op_count
+    overhead = (ops * per_op / wall) if wall > 0 else 0.0
+    ok = overhead < limit
+    print(f"  [obs ] {ops} instrumentation ops, "
+          f"{per_op * 1e9:.1f} ns/op disabled, run {wall:.3f} s")
+    print(f"    disabled-tracer overhead bound {100 * overhead:.4f}% "
+          f"(< {100 * limit:.0f}% {'OK' if ok else 'EXCEEDED'})")
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--design", default="s13207",
@@ -81,8 +115,14 @@ def main(argv=None) -> int:
                         help="testbench cycles per run (default 60)")
     parser.add_argument("--seed", type=int, default=7,
                         help="stimulus seed (default 7)")
+    parser.add_argument("--obs", action="store_true",
+                        help="also assert the disabled-tracer overhead "
+                             "bound (< 2%% of simulation wall time)")
     args = parser.parse_args(argv)
-    return 0 if bench(args.design, args.cycles, args.seed) else 1
+    ok = bench(args.design, args.cycles, args.seed)
+    if args.obs:
+        ok = bench_obs(args.design, args.cycles, args.seed) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -26,6 +26,19 @@ import pytest
 from repro.circuits import names
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--obs", action="store_true", default=False,
+        help="trace the regenerations with repro.obs (writes trace "
+             "artifacts next to the tables) and enable the "
+             "disabled-tracer overhead bound test")
+
+
+@pytest.fixture(scope="session")
+def obs_enabled(request) -> bool:
+    return request.config.getoption("--obs")
+
+
 def selected_designs(suite: str | None = None) -> list[str]:
     env = os.environ.get("REPRO_BENCH_DESIGNS")
     if env:

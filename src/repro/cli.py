@@ -33,10 +33,54 @@ def _progress(message: str) -> None:
     print(message, file=sys.stderr, flush=True)
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (1 = sequential), got {value}")
+    return value
+
+
 def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+    parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="run up to N style flows concurrently "
                              "(default 1: sequential)")
+
+
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace_event file "
+                             "(load in Perfetto / chrome://tracing)")
+    parser.add_argument("--obs-jsonl", metavar="FILE", default=None,
+                        help="write spans and metrics as JSON lines")
+
+
+def _with_observability(args: argparse.Namespace, body) -> int:
+    """Run ``body()`` under a tracer when --trace/--obs-jsonl ask for one."""
+    trace_path = getattr(args, "trace", None)
+    jsonl_path = getattr(args, "obs_jsonl", None)
+    if not trace_path and not jsonl_path:
+        return body()
+    from repro import obs
+    from repro.obs.export import write_chrome_trace, write_jsonl
+
+    tracer = obs.Tracer()
+    try:
+        with obs.use_tracer(tracer):
+            status = body()
+    finally:
+        if trace_path:
+            write_chrome_trace(tracer, trace_path)
+            _progress(f"wrote Chrome trace: {trace_path} "
+                      f"({len(tracer.spans)} spans)")
+        if jsonl_path:
+            write_jsonl(tracer, jsonl_path)
+            _progress(f"wrote JSONL trace: {jsonl_path}")
+    return status
 
 
 def _add_selection_args(parser: argparse.ArgumentParser) -> None:
@@ -58,6 +102,10 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    return _with_observability(args, lambda: _run_one(args))
+
+
+def _run_one(args: argparse.Namespace) -> int:
     bench = spec(args.design)
     module = build(args.design)
     options = FlowOptions(
@@ -95,17 +143,46 @@ def _run_selected(args: argparse.Namespace):
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    print(format_table1(_run_selected(args)))
-    return 0
+    def body() -> int:
+        print(format_table1(_run_selected(args)))
+        return 0
+    return _with_observability(args, body)
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
-    print(format_table2(_run_selected(args)))
-    return 0
+    def body() -> int:
+        print(format_table2(_run_selected(args)))
+        return 0
+    return _with_observability(args, body)
 
 
 def _cmd_runtime(args: argparse.Namespace) -> int:
-    print(format_runtime(summarize_runtime(_run_selected(args))))
+    def body() -> int:
+        results = _run_selected(args)
+        print(format_runtime(summarize_runtime(results)))
+        from repro import obs
+        tracer = obs.get_tracer()
+        if tracer is not None and tracer.spans:
+            from repro.reporting import format_trace_summary
+            print()
+            print(format_trace_summary(tracer.spans))
+        return 0
+    return _with_observability(args, body)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.summary import load_spans
+    from repro.reporting import format_trace_summary
+
+    try:
+        spans = load_spans(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"{args.file}: no spans recorded", file=sys.stderr)
+        return 1
+    print(format_trace_summary(spans, top=args.top))
     return 0
 
 
@@ -197,6 +274,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("design")
     run.add_argument("--cycles", type=int, default=None)
     _add_jobs_arg(run)
+    _add_obs_args(run)
     run.set_defaults(func=_cmd_run)
 
     for cmd, func, help_text in (
@@ -206,7 +284,17 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(cmd, help=help_text)
         _add_selection_args(p)
+        _add_obs_args(p)
         p.set_defaults(func=func)
+
+    trace = sub.add_parser(
+        "trace",
+        help="summarize a trace file (top spans by self-time, per stage)")
+    trace.add_argument("file", help="Chrome trace or JSONL file "
+                                    "written by --trace / --obs-jsonl")
+    trace.add_argument("--top", type=_positive_int, default=15, metavar="N",
+                       help="show the N hottest span names (default 15)")
+    trace.set_defaults(func=_cmd_trace)
 
     fig4 = sub.add_parser("fig4", help="regenerate Fig. 4 (CPU workloads)")
     fig4.add_argument("--cycles", type=int, default=None)

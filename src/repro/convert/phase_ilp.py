@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.ilp import IlpModel, Sense, SolveStatus, branch_bound, scipy_backend
 from repro.ilp.mis import max_independent_set
 from repro.netlist.core import Module
@@ -105,14 +106,17 @@ def assignment_from_single_set(
 def solve_via_mis(graph: FFGraph, node_limit: int = 500_000) -> PhaseAssignment:
     """Exact solve through the MIS reduction (fastest path in practice)."""
     start = time.monotonic()
-    result = max_independent_set(_eligible_adjacency(graph), node_limit)
-    return assignment_from_single_set(
-        graph,
-        set(result.chosen),
-        solver="mis",
-        seconds=time.monotonic() - start,
-        optimal=result.exact,
-    )
+    with obs.span("ilp.solve", solver="mis", ffs=len(graph.ffs)) as sp:
+        result = max_independent_set(_eligible_adjacency(graph), node_limit)
+        sp.set(chosen=len(result.chosen), exact=result.exact)
+    with obs.span("ilp.extract", solver="mis"):
+        return assignment_from_single_set(
+            graph,
+            set(result.chosen),
+            solver="mis",
+            seconds=time.monotonic() - start,
+            optimal=result.exact,
+        )
 
 
 def solve_greedy(graph: FFGraph) -> PhaseAssignment:
@@ -142,35 +146,44 @@ def solve_ilp(
     time_limit: float = 120.0,
 ) -> PhaseAssignment:
     """Solve the paper's ILP with an LP-based backend."""
-    model, g_var, k_var = build_model(graph)
-    if backend == "scipy":
-        solution = scipy_backend.solve(model, time_limit=time_limit)
-    elif backend == "bb":
-        warm = solve_greedy(graph)
-        warm_values = [0] * model.num_vars
-        for ff in graph.ffs:
-            warm_values[g_var[ff]] = warm.group[ff]
-            warm_values[k_var[ff]] = warm.k[ff]
-        solution = branch_bound.solve(model, warm_start=warm_values,
-                                      time_limit=time_limit)
-    else:
-        raise ValueError(f"unknown ILP backend {backend!r}")
+    with obs.span("ilp.build", backend=backend) as sp:
+        model, g_var, k_var = build_model(graph)
+        sp.set(variables=model.num_vars, constraints=len(model.constraints))
+    obs.gauge("ilp.variables", model.num_vars)
+    obs.gauge("ilp.constraints", len(model.constraints))
+    with obs.span("ilp.solve", solver=backend,
+                  variables=model.num_vars) as sp:
+        if backend == "scipy":
+            solution = scipy_backend.solve(model, time_limit=time_limit)
+        elif backend == "bb":
+            warm = solve_greedy(graph)
+            warm_values = [0] * model.num_vars
+            for ff in graph.ffs:
+                warm_values[g_var[ff]] = warm.group[ff]
+                warm_values[k_var[ff]] = warm.k[ff]
+            solution = branch_bound.solve(model, warm_start=warm_values,
+                                          time_limit=time_limit)
+        else:
+            raise ValueError(f"unknown ILP backend {backend!r}")
+        sp.set(status=solution.status.value,
+               nodes=solution.nodes_explored)
 
     if not solution.ok:
         raise RuntimeError(
             f"phase-assignment ILP unsolved: status={solution.status}"
         )
-    group = {ff: solution.values[g_var[ff]] for ff in graph.ffs}
-    k = {ff: solution.values[k_var[ff]] for ff in graph.ffs}
-    assignment = PhaseAssignment(
-        group=group,
-        k=k,
-        objective=int(round(solution.objective)),
-        solver=backend,
-        solve_seconds=solution.solve_seconds,
-        optimal=solution.status is SolveStatus.OPTIMAL,
-    )
-    assignment.validate(graph)
+    with obs.span("ilp.extract", solver=backend):
+        group = {ff: solution.values[g_var[ff]] for ff in graph.ffs}
+        k = {ff: solution.values[k_var[ff]] for ff in graph.ffs}
+        assignment = PhaseAssignment(
+            group=group,
+            k=k,
+            objective=int(round(solution.objective)),
+            solver=backend,
+            solve_seconds=solution.solve_seconds,
+            optimal=solution.status is SolveStatus.OPTIMAL,
+        )
+        assignment.validate(graph)
     return assignment
 
 
@@ -184,9 +197,16 @@ def assign_phases(
     ``method``: ``"mis"`` (exact, default), ``"scipy"``/``"bb"`` (the ILP
     directly), or ``"greedy"`` (heuristic ablation baseline).
     """
-    graph = ff_fanout_map(module)
+    with obs.span("ilp.graph", design=module.name):
+        graph = ff_fanout_map(module)
+    obs.gauge("ilp.ffs", len(graph.ffs))
     if method == "mis":
-        return solve_via_mis(graph)
-    if method == "greedy":
-        return solve_greedy(graph)
-    return solve_ilp(graph, backend=method, time_limit=time_limit)
+        assignment = solve_via_mis(graph)
+    elif method == "greedy":
+        assignment = solve_greedy(graph)
+    else:
+        assignment = solve_ilp(graph, backend=method, time_limit=time_limit)
+    obs.annotate(solver=assignment.solver,
+                 objective=assignment.objective,
+                 optimal=assignment.optimal)
+    return assignment

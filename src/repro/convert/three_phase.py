@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.library.cell import Library
 from repro.netlist.core import Module
 from repro.netlist.sweep import sweep_unloaded
@@ -65,61 +66,68 @@ def convert_to_three_phase(
             raise ValueError("provide either clocks or period")
         clocks = ClockSpec.default_three_phase(period)
 
-    result = module.copy(module.name + "_3p")
-    for phase_name in clocks.phase_names:
-        result.add_input(phase_name, is_clock=True)
+    with obs.span("convert.setup", design=module.name):
+        result = module.copy(module.name + "_3p")
+        for phase_name in clocks.phase_names:
+            result.add_input(phase_name, is_clock=True)
 
-    old_clock_ports = [p for p in result.clock_ports
-                       if p not in clocks.phase_names]
-    rebuilder = GatedClockRebuilder(result, library)
-    followers: dict[str, str] = {}
+        old_clock_ports = [p for p in result.clock_ports
+                           if p not in clocks.phase_names]
+        rebuilder = GatedClockRebuilder(result, library)
+        followers: dict[str, str] = {}
 
-    for ff_name in sorted(assignment.group):
-        ff = result.instances[ff_name]
-        if ff.cell.op != "DFF":
-            raise ValueError(f"{ff_name!r} is not a flip-flop")
-        phase = assignment.leading_phase(ff_name)
-        is_single = assignment.is_single(ff_name)
-        init = ff.attrs.get("init", 0)
+    with obs.span("convert.rewrite", ffs=assignment.num_ffs) as sp:
+        for ff_name in sorted(assignment.group):
+            ff = result.instances[ff_name]
+            if ff.cell.op != "DFF":
+                raise ValueError(f"{ff_name!r} is not a flip-flop")
+            phase = assignment.leading_phase(ff_name)
+            is_single = assignment.is_single(ff_name)
+            init = ff.attrs.get("init", 0)
 
-        old_ck_net = ff.net_of("CK")
-        leading_clock = rebuilder.clock_net_for(old_ck_net, phase)
+            old_ck_net = ff.net_of("CK")
+            leading_clock = rebuilder.clock_net_for(old_ck_net, phase)
 
-        latch_cell = library.cell_for_op("DLATCH", drive=ff.cell.drive)
-        leading = result.replace_cell(ff_name, latch_cell, pin_map={"CK": "G"})
-        leading.attrs.update(
-            phase=phase,
-            group="single" if is_single else "b2b",
-            role="leading",
-            orig_ff=ff_name,
-            init=init,
-        )
-        result.reconnect(ff_name, "G", leading_clock)
-
-        if not is_single:
-            q_net = leading.net_of("Q")
-            follower = result.insert_cell_after(
-                q_net,
-                latch_cell,
-                in_pin="D",
-                out_pin="Q",
-                name_prefix=f"{ff_name}_p2_",
-                extra_conns={"G": "p2"},
-                attrs={
-                    "phase": "p2",
-                    "group": "b2b",
-                    "role": "follower",
-                    "orig_ff": ff_name,
-                    "init": init,
-                },
+            latch_cell = library.cell_for_op("DLATCH", drive=ff.cell.drive)
+            leading = result.replace_cell(
+                ff_name, latch_cell, pin_map={"CK": "G"})
+            leading.attrs.update(
+                phase=phase,
+                group="single" if is_single else "b2b",
+                role="leading",
+                orig_ff=ff_name,
+                init=init,
             )
-            followers[follower.name] = ff_name
+            result.reconnect(ff_name, "G", leading_clock)
 
-    swept = sweep_unloaded(result)
-    for port in old_clock_ports:
-        net = result.net_of_port(port)
-        if not net.loads:
-            result.remove_port(port)
+            if not is_single:
+                q_net = leading.net_of("Q")
+                follower = result.insert_cell_after(
+                    q_net,
+                    latch_cell,
+                    in_pin="D",
+                    out_pin="Q",
+                    name_prefix=f"{ff_name}_p2_",
+                    extra_conns={"G": "p2"},
+                    attrs={
+                        "phase": "p2",
+                        "group": "b2b",
+                        "role": "follower",
+                        "orig_ff": ff_name,
+                        "init": init,
+                    },
+                )
+                followers[follower.name] = ff_name
+        sp.set(latches=assignment.total_latches, followers=len(followers))
+    obs.add("convert.latches", assignment.total_latches)
+
+    with obs.span("convert.sweep") as sp:
+        swept = sweep_unloaded(result)
+        for port in old_clock_ports:
+            net = result.net_of_port(port)
+            if not net.loads:
+                result.remove_port(port)
+        sp.set(swept_cells=swept)
 
     return ConversionResult(
         module=result,

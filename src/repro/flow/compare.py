@@ -10,6 +10,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
+from repro import obs
 from repro.flow.design_flow import DesignResult, FlowOptions, run_flow
 from repro.flow.pipeline import ArtifactCache
 from repro.netlist.core import Module
@@ -103,23 +104,38 @@ def compare_styles(
     means exactly one synthesis feeds all three styles either way, and
     the results are identical bit for bit regardless of ``jobs``.
     """
+    if not isinstance(jobs, int) or jobs < 1:
+        raise ValueError(
+            f"jobs must be a positive integer (1 = sequential), got {jobs!r}"
+        )
     base = options if options is not None else FlowOptions(**overrides)
     if cache is None:
         cache = ArtifactCache()
     styles = ("ff", "ms", "3p")
-    if jobs > 1:
-        with ThreadPoolExecutor(max_workers=min(jobs, len(styles))) as pool:
-            futures = {
-                style: pool.submit(
-                    run_flow, design, replace(base, style=style), cache)
+    with obs.span("flow.compare", design=design.name, jobs=jobs):
+        # Worker threads start with an empty span stack, so pass the
+        # compare span's id down explicitly: each style's ``flow.run``
+        # span stays nested under this one in the exported trace while
+        # carrying its own thread id.
+        parent = obs.current_span_id()
+        if jobs > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(jobs, len(styles))) as pool:
+                futures = {
+                    style: pool.submit(
+                        run_flow, design, replace(base, style=style), cache,
+                        parent_span=parent)
+                    for style in styles
+                }
+                results = {
+                    style: fut.result() for style, fut in futures.items()
+                }
+        else:
+            results = {
+                style: run_flow(design, replace(base, style=style), cache,
+                                parent_span=parent)
                 for style in styles
             }
-            results = {style: fut.result() for style, fut in futures.items()}
-    else:
-        results = {
-            style: run_flow(design, replace(base, style=style), cache)
-            for style in styles
-        }
     return StyleComparison(
         name=design.name,
         ff=results["ff"],

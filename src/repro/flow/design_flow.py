@@ -126,6 +126,7 @@ def run_flow(
     design: Module,
     options: FlowOptions | None = None,
     cache: ArtifactCache | None = None,
+    parent_span: int | None = None,
     **overrides,
 ) -> DesignResult:
     """Implement ``design`` per ``options`` and measure area/power/timing.
@@ -142,7 +143,8 @@ def run_flow(
     if options.style not in STYLES:
         raise ValueError(f"unknown style {options.style!r}")
 
-    ctx = build_pipeline(options.style).run(design, options, cache=cache)
+    ctx = build_pipeline(options.style).run(
+        design, options, cache=cache, parent_span=parent_span)
 
     module = ctx.module
     physical = ctx.artifacts["physical"]

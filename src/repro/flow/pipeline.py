@@ -30,6 +30,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Hashable, Mapping
 
+from repro import obs
 from repro.convert import ClockSpec
 from repro.netlist.core import Module
 
@@ -71,7 +72,10 @@ class StageRecord:
     """Telemetry for one executed pipeline stage."""
 
     stage: str
-    #: total wall-clock seconds the stage took (cache lookups included).
+    #: total wall-clock seconds the stage took (cache lookups included;
+    #: time spent waiting on the cache's single-flight lock is reported
+    #: separately as ``summary["lock_wait_s"]`` so a cached stage whose
+    #: producer ran in another thread doesn't misreport as slow).
     wall_time: float
     #: digest of the working netlist before / after the stage ran.
     input_digest: str
@@ -108,21 +112,30 @@ class ArtifactCache:
 
     def get_or_run(
         self, key: tuple, producer: Callable[[], object]
-    ) -> tuple[object, bool]:
-        """Return ``(artifact, was_hit)``, producing on first miss."""
+    ) -> tuple[object, bool, float]:
+        """Return ``(artifact, was_hit, lock_wait_s)``, producing on first
+        miss.  ``lock_wait_s`` is the time this caller spent blocked on
+        the key's single-flight lock (i.e. waiting for another thread's
+        producer), which callers report separately from productive time.
+        """
         stage = key[0]
         with self._lock:
             key_lock = self._key_locks.setdefault(key, threading.Lock())
+        wait_start = time.monotonic()
         with key_lock:
+            lock_wait = time.monotonic() - wait_start
+            obs.record("cache.lock_wait_s", lock_wait)
             if key in self._data:
                 with self._lock:
                     self._hits[stage] = self._hits.get(stage, 0) + 1
-                return self._data[key], True
+                obs.add("cache.hits")
+                return self._data[key], True, lock_wait
             value = producer()
             with self._lock:
                 self._data[key] = value
                 self._misses[stage] = self._misses.get(stage, 0) + 1
-            return value, False
+            obs.add("cache.misses")
+            return value, False, lock_wait
 
     # -- introspection ------------------------------------------------------
 
@@ -253,7 +266,11 @@ class Pipeline:
         design: Module,
         options: "FlowOptions",
         cache: ArtifactCache | None = None,
+        parent_span: int | None = None,
     ) -> StageContext:
+        """Run the chain; ``parent_span`` explicitly links this run's
+        ``flow.run`` span to a span on another thread (how a parallel
+        ``compare_styles`` keeps worker traces nested under its own)."""
         ctx = StageContext(
             design=design,
             module=design,
@@ -261,45 +278,62 @@ class Pipeline:
             library=options.library,
             cache=cache,
         )
-        for stage in self.stages:
-            if not stage.enabled(options):
-                continue
-            self._run_stage(stage, ctx)
+        with obs.span("flow.run", design=design.name, style=options.style,
+                      _parent=parent_span):
+            for stage in self.stages:
+                if not stage.enabled(options):
+                    continue
+                self._run_stage(stage, ctx)
         return ctx
 
     def _run_stage(self, stage: Stage, ctx: StageContext) -> None:
         t0 = time.monotonic()
         input_digest = module_digest(ctx.module)
         hit = False
+        lock_wait: float | None = None
         okey = stage.options_key(ctx.options)
-        if ctx.cache is not None and okey is not None:
-            key = (stage.name, ctx.library.name, input_digest, okey)
+        with obs.span(f"stage.{stage.name}", stage=stage.name,
+                      style=ctx.options.style, design=ctx.design.name) as sp:
+            if ctx.cache is not None and okey is not None:
+                key = (stage.name, ctx.library.name, input_digest, okey)
 
-            def produce() -> object:
-                return stage.snapshot(ctx, stage.run(ctx))
+                def produce() -> object:
+                    return stage.snapshot(ctx, stage.run(ctx))
 
-            payload, hit = ctx.cache.get_or_run(key, produce)
-            # Producer and hit paths both restore from the snapshot, so
-            # every run sees the identical artifact regardless of which
-            # thread happened to populate the cache.
-            summary = stage.restore(ctx, payload)
-        else:
-            summary = stage.run(ctx)
-        wall = time.monotonic() - t0
-        runtime_keys = ctx.artifacts.pop("_runtime_keys", None)
-        if runtime_keys is None:
-            runtime_keys = (
-                {stage.runtime_key: wall} if stage.runtime_key else {}
+                payload, hit, lock_wait = ctx.cache.get_or_run(key, produce)
+                # Producer and hit paths both restore from the snapshot, so
+                # every run sees the identical artifact regardless of which
+                # thread happened to populate the cache.
+                summary = stage.restore(ctx, payload)
+            else:
+                summary = stage.run(ctx)
+            wall = time.monotonic() - t0
+            if lock_wait is not None:
+                # Single-flight lock wait is not productive stage time;
+                # report it on its own so a cached stage that blocked on
+                # another thread's producer doesn't look slow (a cache
+                # hit's wall_time is otherwise dominated by the wait).
+                summary = {**summary, "lock_wait_s": round(lock_wait, 6)}
+            sp.set(
+                wall_s=round(wall, 6),
+                cache_hit=hit,
+                **{k: v for k, v in summary.items()
+                   if isinstance(v, (int, float, str, bool))},
             )
-        ctx.records.append(StageRecord(
-            stage=stage.name,
-            wall_time=wall,
-            input_digest=input_digest,
-            output_digest=module_digest(ctx.module),
-            cache_hit=hit,
-            runtime_keys=runtime_keys,
-            summary=summary,
-        ))
+            runtime_keys = ctx.artifacts.pop("_runtime_keys", None)
+            if runtime_keys is None:
+                runtime_keys = (
+                    {stage.runtime_key: wall} if stage.runtime_key else {}
+                )
+            ctx.records.append(StageRecord(
+                stage=stage.name,
+                wall_time=wall,
+                input_digest=input_digest,
+                output_digest=module_digest(ctx.module),
+                cache_hit=hit,
+                runtime_keys=runtime_keys,
+                summary=summary,
+            ))
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,144 @@
+"""Trace exporters: structured JSONL and Chrome ``trace_event`` JSON.
+
+**JSONL** (``write_jsonl``): one JSON object per line, machine-first.
+Line types: a ``meta`` header (pid, epoch, format version), one ``span``
+line per finished span (all times in seconds), and ``counter`` /
+``gauge`` / ``histogram`` lines for the final metric state.
+
+**Chrome trace** (``write_chrome_trace``): the ``trace_event`` format
+consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
+Spans become complete (``"ph": "X"``) events with microsecond
+timestamps; per-thread tracks carry the worker nesting of parallel style
+runs; gauges become counter-track (``"ph": "C"``) events.  Open the file
+in Perfetto via "Open trace file".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.obs.tracer import SpanRecord, Tracer
+
+JSONL_FORMAT = "repro-obs-v1"
+
+
+def _attr_safe(value: object) -> object:
+    """Attributes must serialize; anything exotic degrades to repr()."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_attr_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _attr_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def span_to_json(span: SpanRecord) -> dict:
+    return {
+        "type": "span",
+        "name": span.name,
+        "ts": round(span.ts, 9),
+        "dur": round(span.dur, 9),
+        "cpu": round(span.cpu, 9),
+        "pid": span.pid,
+        "tid": span.tid,
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "attrs": _attr_safe(span.attrs),
+    }
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    """Write the tracer's spans and metrics as JSON Lines."""
+    metrics = tracer.metrics.snapshot()
+    with open(path, "w", encoding="utf-8") as fh:
+        _dump_line(fh, {
+            "type": "meta",
+            "format": JSONL_FORMAT,
+            "pid": tracer.pid,
+            "spans": len(tracer.spans),
+        })
+        for span in tracer.spans:
+            _dump_line(fh, span_to_json(span))
+        for name, value in sorted(metrics["counters"].items()):
+            _dump_line(fh, {"type": "counter", "name": name, "value": value})
+        for name, series in sorted(metrics["gauges"].items()):
+            _dump_line(fh, {
+                "type": "gauge",
+                "name": name,
+                "series": [[round(ts, 9), v] for ts, v in series],
+            })
+        for name, summary in sorted(metrics["histograms"].items()):
+            _dump_line(fh, {"type": "histogram", "name": name, **summary})
+
+
+def _dump_line(fh: IO[str], obj: dict) -> None:
+    fh.write(json.dumps(obj, sort_keys=True) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The tracer's state as a ``trace_event`` list (times in us)."""
+    events: list[dict] = [{
+        "ph": "M", "pid": tracer.pid, "tid": 0,
+        "name": "process_name", "args": {"name": "repro flow"},
+    }]
+    tids = sorted({span.tid for span in tracer.spans})
+    for index, tid in enumerate(tids):
+        label = "main" if index == 0 else f"worker-{index}"
+        events.append({
+            "ph": "M", "pid": tracer.pid, "tid": tid,
+            "name": "thread_name", "args": {"name": label},
+        })
+        # sort_index keeps the track order stable across loads
+        events.append({
+            "ph": "M", "pid": tracer.pid, "tid": tid,
+            "name": "thread_sort_index", "args": {"sort_index": index},
+        })
+    for span in tracer.spans:
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ts": round(span.ts * 1e6, 3),
+            "dur": round(span.dur * 1e6, 3),
+            "pid": span.pid,
+            "tid": span.tid,
+            "args": {
+                **_attr_safe(span.attrs),
+                "cpu_ms": round(span.cpu * 1e3, 3),
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+            },
+        })
+    metrics = tracer.metrics.snapshot()
+    for name, series in sorted(metrics["gauges"].items()):
+        for ts, value in series:
+            events.append({
+                "ph": "C", "name": name, "pid": tracer.pid, "tid": 0,
+                "ts": round(ts * 1e6, 3), "args": {"value": value},
+            })
+    if metrics["counters"]:
+        end_ts = max(
+            (s.ts + s.dur for s in tracer.spans), default=0.0) * 1e6
+        for name, value in sorted(metrics["counters"].items()):
+            events.append({
+                "ph": "C", "name": name, "pid": tracer.pid, "tid": 0,
+                "ts": round(end_ts, 3), "args": {"value": value},
+            })
+    return events
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> None:
+    """Write a Chrome ``trace_event`` JSON file loadable in Perfetto."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"format": JSONL_FORMAT},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)

@@ -1,0 +1,96 @@
+"""Counters, gauges, and histograms for the observability layer.
+
+Three metric kinds, matching what the flow needs to report:
+
+* **counters** -- monotonically accumulated totals (``sim.events``,
+  ``cache.hits``, ``retime.moves``); export shows the final value and
+  the number of increments;
+* **gauges** -- sampled values with timestamps (``sim.events_per_s``,
+  ``ilp.variables``); the full time series is kept so the Chrome
+  exporter can render ``C`` (counter-track) events;
+* **histograms** -- raw value distributions (``cache.lock_wait_s``,
+  ``retime.round_moves``) summarized as count/min/max/mean/p50/p95.
+
+All operations are thread-safe and O(1) (histograms append; summaries
+are computed at export time).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+
+@dataclass
+class MetricSet:
+    """Thread-safe store for the three metric families."""
+
+    epoch: float = 0.0
+    counters: dict[str, float] = field(default_factory=dict)
+    counter_ops: dict[str, int] = field(default_factory=dict)
+    #: gauge name -> [(seconds-since-epoch, value), ...]
+    gauges: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    #: histogram name -> raw observed values
+    histograms: dict[str, list[float]] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def add(self, name: str, value: float = 1.0) -> None:
+        """Increment counter ``name`` by ``value``."""
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
+            self.counter_ops[name] = self.counter_ops.get(name, 0) + 1
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a timestamped sample of gauge ``name``."""
+        ts = perf_counter() - self.epoch
+        with self._lock:
+            self.gauges.setdefault(name, []).append((ts, value))
+
+    def record(self, name: str, value: float) -> None:
+        """Observe ``value`` into histogram ``name``."""
+        with self._lock:
+            self.histograms.setdefault(name, []).append(value)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def op_count(self) -> int:
+        with self._lock:
+            return (
+                sum(self.counter_ops.values())
+                + sum(len(s) for s in self.gauges.values())
+                + sum(len(v) for v in self.histograms.values())
+            )
+
+    def histogram_summary(self, name: str) -> dict[str, float]:
+        """count/min/max/mean/p50/p95 of histogram ``name``."""
+        with self._lock:
+            values = sorted(self.histograms.get(name, ()))
+        if not values:
+            return {"count": 0}
+        n = len(values)
+
+        def pct(p: float) -> float:
+            return values[min(n - 1, int(p * n))]
+
+        return {
+            "count": n,
+            "min": values[0],
+            "max": values[-1],
+            "mean": sum(values) / n,
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+        }
+
+    def snapshot(self) -> dict[str, dict]:
+        """Point-in-time copy of everything, for the exporters."""
+        with self._lock:
+            counters = dict(self.counters)
+            gauges = {k: list(v) for k, v in self.gauges.items()}
+            hist_names = list(self.histograms)
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {n: self.histogram_summary(n) for n in hist_names},
+        }

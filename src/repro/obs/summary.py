@@ -1,0 +1,149 @@
+"""Trace analysis: load exported traces, rank spans by self-time.
+
+``load_spans`` reads either export format (Chrome ``trace_event`` JSON or
+the JSONL event log) back into :class:`SpanRecord` lists, so the
+``repro trace <file>`` summarizer and the reporting drill-down work on
+anything the flow wrote.
+
+Self-time is wall duration minus the duration of direct children --
+the standard profiler quantity that makes "where does the time actually
+go" answerable when stages nest (a ``stage.retime`` span containing a
+hundred ``sta.analyze`` spans has little self-time; the analyzes do).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.obs.tracer import SpanRecord
+
+
+def load_spans(path: str) -> list[SpanRecord]:
+    """Read spans back from a Chrome trace or a JSONL event log.
+
+    Both formats open with ``{``, so detection is structural: a Chrome
+    trace is one JSON document; a JSONL log fails whole-file parsing
+    (extra data after the first line) and is read line by line.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError:
+            fh.seek(0)
+            return _from_jsonl(fh)
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return _from_chrome(payload)
+    raise ValueError(f"{path} is JSON but not a Chrome trace_event file")
+
+
+def _from_chrome(payload: dict) -> list[SpanRecord]:
+    spans = []
+    for event in payload.get("traceEvents", ()):
+        if event.get("ph") != "X":
+            continue
+        args = dict(event.get("args", {}))
+        span_id = args.pop("span_id", None)
+        parent_id = args.pop("parent_id", None)
+        cpu_ms = args.pop("cpu_ms", 0.0)
+        spans.append(SpanRecord(
+            name=event["name"],
+            ts=event.get("ts", 0.0) / 1e6,
+            dur=event.get("dur", 0.0) / 1e6,
+            cpu=cpu_ms / 1e3,
+            pid=event.get("pid", 0),
+            tid=event.get("tid", 0),
+            span_id=span_id if span_id is not None else len(spans) + 1,
+            parent_id=parent_id,
+            attrs=args,
+        ))
+    return spans
+
+
+def _from_jsonl(fh) -> list[SpanRecord]:
+    spans = []
+    for line in fh:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("type") != "span":
+            continue
+        spans.append(SpanRecord(
+            name=obj["name"],
+            ts=obj.get("ts", 0.0),
+            dur=obj.get("dur", 0.0),
+            cpu=obj.get("cpu", 0.0),
+            pid=obj.get("pid", 0),
+            tid=obj.get("tid", 0),
+            span_id=obj.get("id", len(spans) + 1),
+            parent_id=obj.get("parent"),
+            attrs=obj.get("attrs", {}),
+        ))
+    return spans
+
+
+def self_times(spans: list[SpanRecord]) -> dict[int, float]:
+    """span_id -> wall duration minus direct children's durations."""
+    self_time = {span.span_id: span.dur for span in spans}
+    for span in spans:
+        if span.parent_id is not None and span.parent_id in self_time:
+            self_time[span.parent_id] -= span.dur
+    return {sid: max(0.0, t) for sid, t in self_time.items()}
+
+
+@dataclass
+class SpanStat:
+    """Aggregate of all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0  # wall seconds, summed
+    self_total: float = 0.0
+    cpu_total: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def aggregate(spans: list[SpanRecord]) -> list[SpanStat]:
+    """Per-name totals, ranked by self-time (descending)."""
+    selfs = self_times(spans)
+    stats: dict[str, SpanStat] = {}
+    for span in spans:
+        stat = stats.setdefault(span.name, SpanStat(span.name))
+        stat.count += 1
+        stat.total += span.dur
+        stat.self_total += selfs.get(span.span_id, 0.0)
+        stat.cpu_total += span.cpu
+    return sorted(
+        stats.values(), key=lambda s: (-s.self_total, -s.total, s.name))
+
+
+def children_by_stage(
+    spans: list[SpanRecord], prefix: str = "stage."
+) -> dict[str, list[SpanRecord]]:
+    """Stage-span name -> every span in that stage's subtree.
+
+    The drill-down input: which sub-spans (``ilp.solve``,
+    ``sta.analyze`` ...) ran under each pipeline stage, across styles.
+    """
+    by_id = {span.span_id: span for span in spans}
+
+    def owning_stage(span: SpanRecord) -> str | None:
+        seen = set()
+        node: SpanRecord | None = span
+        while node is not None and node.span_id not in seen:
+            seen.add(node.span_id)
+            if node.name.startswith(prefix):
+                return node.name
+            node = by_id.get(node.parent_id)
+        return None
+
+    out: dict[str, list[SpanRecord]] = {}
+    for span in spans:
+        stage = owning_stage(span)
+        if stage is not None and not span.name.startswith(prefix):
+            out.setdefault(stage, []).append(span)
+    return out

@@ -5,6 +5,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.library.cell import Library
 from repro.netlist.core import Module
 from repro.pnr.cts import CtsResult, synthesize_clock_trees
@@ -37,13 +38,19 @@ def place_and_route(
     transformations (conversion, retiming, clock gating).
     """
     t0 = time.monotonic()
-    placement = place(module)
+    with obs.span("pnr.place", cells=len(module.instances)) as sp:
+        placement = place(module)
+        sp.set(width=round(placement.width, 1),
+               height=round(placement.height, 1))
     t1 = time.monotonic()
-    cts = synthesize_clock_trees(
-        module, library, placement, max_fanout=clock_buffer_fanout
-    )
+    with obs.span("pnr.cts") as sp:
+        cts = synthesize_clock_trees(
+            module, library, placement, max_fanout=clock_buffer_fanout
+        )
+        sp.set(trees=len(cts.trees), buffers=cts.total_buffers)
     t2 = time.monotonic()
-    routing = estimate_routing(module, placement, library)
+    with obs.span("pnr.route", nets=len(module.nets)):
+        routing = estimate_routing(module, placement, library)
     t3 = time.monotonic()
     return PhysicalDesign(
         module=module,

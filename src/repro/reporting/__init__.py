@@ -6,6 +6,7 @@ from repro.reporting.runtime import (
     RuntimeSummary,
     format_runtime,
     format_stage_records,
+    format_trace_summary,
     summarize_runtime,
 )
 from repro.reporting.tables import (
@@ -23,6 +24,7 @@ __all__ = [
     "RuntimeSummary",
     "format_runtime",
     "format_stage_records",
+    "format_trace_summary",
     "summarize_runtime",
     "format_table1",
     "format_table2",

@@ -120,6 +120,44 @@ def format_runtime(summary: RuntimeSummary) -> str:
     return "\n".join(lines)
 
 
+def format_trace_summary(spans, top: int = 15) -> str:
+    """Profile view of a span trace: hottest names, then per-stage drill-down.
+
+    ``spans`` is a list of :class:`~repro.obs.tracer.SpanRecord` -- either
+    live from a tracer or loaded back from an exported file via
+    :func:`repro.obs.summary.load_spans`.
+    """
+    from repro.obs.summary import aggregate, children_by_stage
+
+    if not spans:
+        return "trace summary: no spans recorded"
+
+    lines = [
+        f"trace summary: {len(spans)} spans",
+        f"  {'span':24} {'count':>6} {'self(s)':>9} {'total(s)':>9} "
+        f"{'cpu(s)':>8} {'mean(ms)':>9}",
+    ]
+    for stat in aggregate(spans)[:top]:
+        lines.append(
+            f"  {stat.name:24} {stat.count:6d} {stat.self_total:9.4f} "
+            f"{stat.total:9.4f} {stat.cpu_total:8.4f} "
+            f"{1e3 * stat.mean:9.3f}"
+        )
+
+    drill = children_by_stage(spans)
+    if drill:
+        lines.append("  per-stage drill-down (hottest sub-span per stage):")
+        for stage in sorted(drill):
+            ranked = aggregate(drill[stage])
+            hot = ranked[0]
+            lines.append(
+                f"    {stage:16} {len(drill[stage]):4d} sub-spans; "
+                f"hottest {hot.name} ({hot.count}x, "
+                f"self {hot.self_total:.4f}s)"
+            )
+    return "\n".join(lines)
+
+
 def format_stage_records(result: DesignResult) -> str:
     """Render one run's pipeline telemetry (one line per stage)."""
     lines = [

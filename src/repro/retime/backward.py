@@ -22,6 +22,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.library.cell import CellKind, Library
 from repro.netlist.core import Instance, Module, Pin
 from repro.sim.logic import eval_op
@@ -116,23 +117,28 @@ def retime_backward_pass(
     """Greedy backward sweep over movable latches (no timing objective;
     callers combine with STA like the forward engine does)."""
     report = BackwardReport()
-    progress = True
-    while progress and report.moves < max_moves:
-        progress = False
-        for latch in list(module.latches()):
-            if latch.attrs.get("phase") != movable_phase:
-                continue
-            before = len(module.latches())
-            moved, reason = move_backward(module, latch.name, library)
-            if moved:
-                after = len(module.latches())
-                report.moves += 1
-                report.latches_added += max(0, after - before + 1)
-                report.latches_removed += 1
-                progress = True
-            elif reason == "ambiguous-init":
-                report.skipped_ambiguous.append(latch.name)
-            else:
-                report.skipped_structural.append(latch.name)
-        break  # single sweep: backward motion is an assist, not a search
+    with obs.span("retime.backward", phase=movable_phase) as sp:
+        progress = True
+        while progress and report.moves < max_moves:
+            progress = False
+            for latch in list(module.latches()):
+                if latch.attrs.get("phase") != movable_phase:
+                    continue
+                before = len(module.latches())
+                moved, reason = move_backward(module, latch.name, library)
+                if moved:
+                    after = len(module.latches())
+                    report.moves += 1
+                    report.latches_added += max(0, after - before + 1)
+                    report.latches_removed += 1
+                    progress = True
+                elif reason == "ambiguous-init":
+                    report.skipped_ambiguous.append(latch.name)
+                else:
+                    report.skipped_structural.append(latch.name)
+            break  # single sweep: backward motion is an assist, not a search
+        sp.set(moves=report.moves,
+               skipped_ambiguous=len(report.skipped_ambiguous),
+               skipped_structural=len(report.skipped_structural))
+    obs.add("retime.moves", report.moves)
     return report

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.convert.clocks import ClockSpec
 from repro.library.cell import CellKind, Library
 from repro.netlist.core import Instance, Module, Pin
@@ -197,34 +198,52 @@ def retime_forward(
 
     # Batched greedy: per STA round, push every movable latch that is the
     # launch side of a violating edge one gate forward, then re-analyze.
+    round_index = 0
     while _setup_violated(report) and result.moves < max_moves:
-        sources = {
-            v.src
-            for v in report.violations
-            if v.kind == "setup" and v.src in module.instances
-        }
-        moved_any = False
-        for latch_name in sorted(sources):
-            if _move_latch_once(module, latch_name, library, movable_phase,
-                                result):
-                moved_any = True
-        if not moved_any:
-            # Divergence or violations without movable sources: fall back to
-            # the pressure-ranked single move.
-            if not _timing_move(module, clocks, library, movable_phase,
-                                result):
-                break
-        report = analyze(module, clocks)
+        round_index += 1
+        with obs.span("retime.round", round=round_index,
+                      phase=movable_phase) as sp:
+            moves_before = result.moves
+            sources = {
+                v.src
+                for v in report.violations
+                if v.kind == "setup" and v.src in module.instances
+            }
+            moved_any = False
+            for latch_name in sorted(sources):
+                if _move_latch_once(module, latch_name, library,
+                                    movable_phase, result):
+                    moved_any = True
+            if not moved_any:
+                # Divergence or violations without movable sources: fall
+                # back to the pressure-ranked single move.
+                if not _timing_move(module, clocks, library, movable_phase,
+                                    result):
+                    sp.set(moves=0, stuck=True)
+                    break
+            report = analyze(module, clocks)
+            round_moves = result.moves - moves_before
+            sp.set(moves=round_moves, violations=len(report.violations))
+            obs.record("retime.round_moves", round_moves)
 
     if balance and not _setup_violated(report):
-        _balance_moves(module, clocks, library, movable_phase, result)
+        with obs.span("retime.balance", phase=movable_phase) as sp:
+            moves_before = result.moves
+            _balance_moves(module, clocks, library, movable_phase, result)
+            sp.set(moves=result.moves - moves_before)
         report = analyze(module, clocks)
 
     if area_pass and not _setup_violated(report):
-        _area_moves(module, clocks, library, movable_phase, result)
+        with obs.span("retime.area_pass", phase=movable_phase) as sp:
+            moves_before = result.moves
+            _area_moves(module, clocks, library, movable_phase, result)
+            sp.set(moves=result.moves - moves_before,
+                   area_moves=result.area_moves)
         report = analyze(module, clocks)
 
     result.timing_after = report
+    obs.add("retime.moves", result.moves)
+    obs.annotate(timing_rounds=round_index)
     return result
 
 

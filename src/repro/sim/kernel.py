@@ -34,6 +34,7 @@ from __future__ import annotations
 import heapq
 from time import perf_counter
 
+from repro import obs
 from repro.library.cell import CellKind, PinDirection
 from repro.netlist.core import Module, Pin
 from repro.sim.logic import EVAL, X
@@ -348,6 +349,7 @@ class CompiledKernel:
             if out != x_slot:
                 self._push(0.0, out, func([values[i] for i in in_ids]))
         self.compile_seconds = perf_counter() - t_compile
+        obs.add("sim.compiles")
 
     # -- engine protocol (consumed by Simulator) -----------------------------
 
@@ -407,6 +409,7 @@ class CompiledKernel:
                 events += 1
                 if events > limit:
                     del bucket[:idx]
+                    obs.add("sim.events", events - self.events_processed)
                     self.events_processed = events
                     self.now = time
                     self.run_seconds += perf_counter() - t_run
@@ -620,6 +623,10 @@ class CompiledKernel:
                             b.append((out, new))
             heappop(times)
             del buckets[time]
+        # One counter update per run_until call (never per event): the
+        # disabled-tracer path must stay within the <2% throughput bound
+        # enforced by ``benchmarks/bench_sim.py --obs``.
+        obs.add("sim.events", events - self.events_processed)
         self.events_processed = events
         self.now = t_end
         self.run_seconds += perf_counter() - t_run

@@ -38,6 +38,7 @@ simulation stages record them in their :class:`StageRecord` summaries.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.netlist.core import Module, PortRef
 from repro.sim.kernel import CompiledKernel, SimulationError
 from repro.sim.reference import ReferenceEngine
@@ -88,10 +89,14 @@ class Simulator:
         self.count_activity = count_activity
         self.event_limit = event_limit
         self.engine = engine
-        self._engine = engine_cls(
-            module, clocks, delay_model=delay_model,
-            count_activity=count_activity, event_limit=event_limit,
-        )
+        with obs.span("sim.compile", engine=engine,
+                      delay_model=delay_model) as sp:
+            self._engine = engine_cls(
+                module, clocks, delay_model=delay_model,
+                count_activity=count_activity, event_limit=event_limit,
+            )
+            sp.set(nets=len(module.nets), instances=len(module.instances),
+                   compile_s=round(self._engine.compile_seconds, 6))
         self._port_nets: dict[str, str] = {}
 
     # -- observability -----------------------------------------------------------

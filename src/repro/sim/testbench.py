@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.netlist.core import Module
 from repro.convert.clocks import ClockSpec
 from repro.sim.simulator import Simulator
@@ -62,16 +63,23 @@ def run_testbench(
     outputs = module.output_ports()
     result = TestbenchResult(module=module, simulator=sim)
 
-    for index, vector in enumerate(vectors):
-        time = 0.0 if index == 0 else index * period + INPUT_TIME_FRACTION * period
-        for port, value in vector.items():
-            sim.set_input(port, value, time)
+    with obs.span("sim.run", design=module.name, engine=engine,
+                  cycles=len(vectors), delay_model=delay_model) as sp:
+        for index, vector in enumerate(vectors):
+            time = (0.0 if index == 0
+                    else index * period + INPUT_TIME_FRACTION * period)
+            for port, value in vector.items():
+                sim.set_input(port, value, time)
 
-    for cycle in range(len(vectors)):
-        sample_time = (cycle + 1) * period - SAMPLE_GUARD_FRACTION * period
-        sim.run_until(sample_time)
-        result.samples.append({port: sim.port_value(port) for port in outputs})
-        if activity_warmup and cycle + 1 == activity_warmup:
-            sim.reset_activity()
-        sim.run_until((cycle + 1) * period)
+        for cycle in range(len(vectors)):
+            sample_time = (cycle + 1) * period - SAMPLE_GUARD_FRACTION * period
+            sim.run_until(sample_time)
+            result.samples.append(
+                {port: sim.port_value(port) for port in outputs})
+            if activity_warmup and cycle + 1 == activity_warmup:
+                sim.reset_activity()
+            sim.run_until((cycle + 1) * period)
+        sp.set(events=sim.events_processed,
+               events_per_s=round(sim.events_per_second, 1))
+    obs.gauge("sim.events_per_s", sim.events_per_second)
     return result

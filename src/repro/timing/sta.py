@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.convert.clocks import ClockSpec
 from repro.netlist.core import Module
 from repro.timing.graph import PI_SOURCE, PO_SINK, TimingGraph, extract_timing_graph
@@ -134,6 +135,24 @@ def analyze(
     copied, so the caller's mapping is not polluted with the PI/PO
     pseudo-registers added below.
     """
+    with obs.span("sta.analyze", period=clocks.period) as sp:
+        report = _analyze(
+            module, clocks, graph=graph, wire_caps=wire_caps,
+            max_iterations=max_iterations, timings=timings,
+        )
+        sp.set(iterations=report.iterations, ok=report.ok,
+               violations=len(report.violations))
+    return report
+
+
+def _analyze(
+    module: Module,
+    clocks: ClockSpec,
+    graph: TimingGraph | None,
+    wire_caps: dict[str, float] | None,
+    max_iterations: int,
+    timings: dict[str, RegisterTiming] | None,
+) -> TimingReport:
     period = clocks.period
     if graph is None:
         graph = extract_timing_graph(module, wire_caps)

@@ -1,0 +1,126 @@
+"""Observability integration: the pipeline under a live tracer."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro import obs
+from repro.circuits import build
+from repro.flow import ArtifactCache, FlowOptions, compare_styles, run_flow
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build("s1488")
+
+
+@pytest.fixture(scope="module")
+def options():
+    return FlowOptions(period=1000.0, sim_cycles=24, profile="random")
+
+
+class TestTracedRunFlow:
+    @pytest.fixture(scope="class")
+    def traced(self, design, options):
+        tracer = Tracer()
+        with obs.use_tracer(tracer):
+            result = run_flow(design, replace(options, style="3p"))
+        return tracer, result
+
+    def test_every_stage_has_a_span(self, traced):
+        tracer, result = traced
+        stage_names = [s.name for s in tracer.spans
+                       if s.name.startswith("stage.")]
+        assert stage_names == [
+            f"stage.{r.stage}" for r in result.stages]
+
+    def test_stage_spans_nest_under_flow_run(self, traced):
+        tracer, _ = traced
+        run = next(s for s in tracer.spans if s.name == "flow.run")
+        assert run.attrs["style"] == "3p"
+        for span in tracer.spans:
+            if span.name.startswith("stage."):
+                assert span.parent_id == run.span_id, span.name
+
+    def test_stage_spans_carry_summary_scalars(self, traced):
+        tracer, result = traced
+        sim_span = next(s for s in tracer.spans if s.name == "stage.sim")
+        assert sim_span.attrs["cache_hit"] is False
+        assert sim_span.attrs["wall_s"] >= 0.0
+        assert sim_span.attrs["sim_events"] == (
+            result.stage_record("sim").summary["sim_events"])
+
+    def test_sub_spans_recorded_inside_stages(self, traced):
+        tracer, _ = traced
+        names = {s.name for s in tracer.spans}
+        assert {"ilp.solve", "convert.rewrite", "sta.analyze",
+                "sim.compile", "sim.run", "pnr.place", "pnr.cts.tree",
+                "pnr.route"} <= names
+
+    def test_metrics_collected(self, traced):
+        tracer, _ = traced
+        assert tracer.metrics.counters["sim.events"] > 0
+        assert tracer.metrics.counters["convert.latches"] > 0
+        assert tracer.metrics.gauges["sim.events_per_s"]
+
+
+class TestCacheObservability:
+    def test_cache_hit_records_lock_wait(self, design, options):
+        cache = ArtifactCache()
+        opts = replace(options, style="ff")
+        run_flow(design, opts, cache=cache)
+        hits = cache.hits()
+        result = run_flow(design, opts, cache=cache)
+        assert cache.hits() > hits
+        for record in result.stages:
+            if record.cache_hit:
+                assert record.summary["lock_wait_s"] >= 0.0
+
+    def test_cache_counters_and_histogram(self, design, options):
+        cache = ArtifactCache()
+        tracer = Tracer()
+        opts = replace(options, style="ff")
+        with obs.use_tracer(tracer):
+            run_flow(design, opts, cache=cache)
+            run_flow(design, opts, cache=cache)
+        assert tracer.metrics.counters["cache.hits"] > 0
+        assert tracer.metrics.counters["cache.misses"] > 0
+        waits = tracer.metrics.histograms["cache.lock_wait_s"]
+        assert waits and all(w >= 0.0 for w in waits)
+
+
+class TestParallelTracing:
+    def test_parallel_styles_nest_and_carry_thread_ids(self, design,
+                                                       options):
+        tracer = Tracer()
+        with obs.use_tracer(tracer):
+            compare_styles(design, options, jobs=3)
+
+        compare = next(s for s in tracer.spans
+                       if s.name == "flow.compare")
+        runs = [s for s in tracer.spans if s.name == "flow.run"]
+        assert len(runs) == 3
+        assert {r.attrs["style"] for r in runs} == {"ff", "ms", "3p"}
+        for run in runs:
+            assert run.parent_id == compare.span_id
+        # workers ran concurrently on their own threads
+        assert len({r.tid for r in runs}) > 1
+        # every stage span's parent chain reaches its style's flow.run
+        by_id = {s.span_id: s for s in tracer.spans}
+        for span in tracer.spans:
+            if not span.name.startswith("stage."):
+                continue
+            node = span
+            while node.parent_id is not None:
+                node = by_id[node.parent_id]
+                if node.name == "flow.run":
+                    break
+            assert node.name == "flow.run", span.name
+
+
+class TestJobsValidation:
+    @pytest.mark.parametrize("jobs", [0, -1, 1.5, "2", None])
+    def test_bad_jobs_rejected(self, design, options, jobs):
+        with pytest.raises(ValueError, match="positive integer"):
+            compare_styles(design, options, jobs=jobs)

@@ -1,0 +1,143 @@
+"""Exporter and trace-analysis tests: both formats round-trip."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.summary import (
+    aggregate,
+    children_by_stage,
+    load_spans,
+    self_times,
+)
+from repro.obs.tracer import Tracer
+from repro.reporting import format_trace_summary
+
+
+@pytest.fixture
+def traced():
+    """A small but structurally rich trace: nesting, attrs, metrics."""
+    tracer = Tracer()
+    with obs.use_tracer(tracer):
+        with obs.span("flow.run", design="d", style="3p"):
+            with obs.span("stage.ilp"):
+                with obs.span("ilp.solve", solver="mis") as sp:
+                    sp.set(objective=7)
+            with obs.span("stage.sim"):
+                with obs.span("sim.run", cycles=4):
+                    pass
+        obs.add("cache.hits", 3)
+        obs.gauge("sim.events_per_s", 1e6)
+        obs.record("cache.lock_wait_s", 0.25)
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, traced, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.write_jsonl(traced, str(path))
+        spans = load_spans(str(path))
+        assert [s.name for s in spans] == [s.name for s in traced.spans]
+        by_name = {s.name: s for s in spans}
+        assert by_name["ilp.solve"].attrs == {"solver": "mis",
+                                              "objective": 7}
+        solve, stage = by_name["ilp.solve"], by_name["stage.ilp"]
+        assert solve.parent_id == stage.span_id
+
+    def test_line_types(self, traced, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.write_jsonl(traced, str(path))
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["spans"] == len(traced.spans)
+        types = {l["type"] for l in lines}
+        assert types == {"meta", "span", "counter", "gauge", "histogram"}
+        counter = next(l for l in lines if l["type"] == "counter")
+        assert counter == {"type": "counter", "name": "cache.hits",
+                           "value": 3.0}
+        hist = next(l for l in lines if l["type"] == "histogram")
+        assert hist["count"] == 1 and hist["mean"] == 0.25
+
+
+class TestChromeTrace:
+    def test_round_trip(self, traced, tmp_path):
+        path = tmp_path / "t.json"
+        obs.write_chrome_trace(traced, str(path))
+        spans = load_spans(str(path))
+        assert [s.name for s in spans] == [s.name for s in traced.spans]
+        by_name = {s.name: s for s in spans}
+        assert by_name["sim.run"].parent_id == by_name["stage.sim"].span_id
+        # durations survive the us round trip to ~ns precision
+        for loaded, orig in zip(spans, traced.spans):
+            assert loaded.dur == pytest.approx(orig.dur, abs=1e-8)
+
+    def test_event_structure(self, traced, tmp_path):
+        path = tmp_path / "t.json"
+        obs.write_chrome_trace(traced, str(path))
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "C"}
+        meta_names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in meta_names
+        assert "thread_name" in meta_names
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert {"sim.events_per_s", "cache.hits"} <= counters
+        x = next(e for e in events if e["name"] == "ilp.solve")
+        assert x["args"]["solver"] == "mis"
+        assert x["cat"] == "ilp"
+
+    def test_exotic_attrs_degrade_to_repr(self, tmp_path):
+        tracer = Tracer()
+        with obs.use_tracer(tracer):
+            with obs.span("s", weird=frozenset({1}), ok=[1, 2],
+                          nested={"k": (3,)}):
+                pass
+        path = tmp_path / "t.json"
+        obs.write_chrome_trace(tracer, str(path))
+        args = json.loads(path.read_text())["traceEvents"][-1]["args"]
+        assert args["weird"] == repr(frozenset({1}))
+        assert args["ok"] == [1, 2]
+        assert args["nested"] == {"k": [3]}
+
+    def test_non_trace_json_rejected(self, tmp_path):
+        path = tmp_path / "not_a_trace.json"
+        path.write_text('{"foo": 1}')
+        with pytest.raises(ValueError):
+            load_spans(str(path))
+
+
+class TestAnalysis:
+    def test_self_time_subtracts_direct_children(self, traced):
+        spans = traced.spans
+        selfs = self_times(spans)
+        by_name = {s.name: s for s in spans}
+        run = by_name["flow.run"]
+        child_dur = sum(s.dur for s in spans
+                        if s.parent_id == run.span_id)
+        assert selfs[run.span_id] == pytest.approx(
+            max(0.0, run.dur - child_dur))
+
+    def test_aggregate_ranks_by_self_time(self, traced):
+        stats = aggregate(traced.spans)
+        assert {s.name for s in stats} == {
+            "flow.run", "stage.ilp", "stage.sim", "ilp.solve", "sim.run"}
+        assert all(a.self_total >= b.self_total
+                   for a, b in zip(stats, stats[1:]))
+        assert all(s.count == 1 for s in stats)
+
+    def test_children_by_stage(self, traced):
+        drill = children_by_stage(traced.spans)
+        assert set(drill) == {"stage.ilp", "stage.sim"}
+        assert [s.name for s in drill["stage.ilp"]] == ["ilp.solve"]
+        assert [s.name for s in drill["stage.sim"]] == ["sim.run"]
+
+    def test_format_trace_summary(self, traced):
+        text = format_trace_summary(traced.spans, top=3)
+        assert f"{len(traced.spans)} spans" in text
+        assert "per-stage drill-down" in text
+        assert "stage.ilp" in text
+
+    def test_format_trace_summary_empty(self):
+        assert "no spans" in format_trace_summary([])

@@ -1,0 +1,126 @@
+"""summarize_runtime edge cases: empty input, all-cache-hit runs,
+results without runtime_keys (satellite coverage for
+repro.reporting.runtime)."""
+
+import pytest
+
+from repro.flow import DesignResult, StageRecord, StyleComparison
+from repro.reporting import format_runtime, summarize_runtime
+
+
+def _record(stage, seconds, cache_hit=False, runtime_keys=None):
+    return StageRecord(
+        stage=stage,
+        wall_time=seconds,
+        input_digest="0" * 16,
+        output_digest="0" * 16,
+        cache_hit=cache_hit,
+        runtime_keys={stage: seconds} if runtime_keys is None
+        else runtime_keys,
+        summary={"lock_wait_s": 0.0} if cache_hit else {},
+    )
+
+
+def _result(name, style, records, runtime=None):
+    """Synthetic DesignResult: summarize_runtime only reads stages and
+    the legacy runtime dict, so the heavyweight fields stay None."""
+    return DesignResult(
+        name=name, style=style, module=None, clocks=None, stats=None,
+        area=0.0, power=None, timing=None,
+        runtime=runtime or {}, stages=records,
+    )
+
+
+def _comparison(name, ff, ms, p3):
+    return StyleComparison(name=name, ff=ff, ms=ms, three_phase=p3)
+
+
+class TestEmptyResults:
+    def test_summarize_empty_dict(self):
+        summary = summarize_runtime({})
+        assert summary.per_design == {}
+        assert summary.flow_vs_ff_percent == 0.0
+        assert summary.flow_vs_ms_percent == 0.0
+        assert summary.ilp_share == 0.0
+        assert summary.ilp_max_seconds == 0.0
+        assert summary.cts_ratio_vs_ff == 0.0
+        assert summary.route_vs_ff_percent == 0.0
+
+    def test_format_empty_summary(self):
+        text = format_runtime(summarize_runtime({}))
+        assert "Sec. V runtime comparison" in text
+
+    def test_results_with_no_stages_and_no_runtime(self):
+        cmp = _comparison(
+            "empty",
+            _result("empty", "ff", []),
+            _result("empty", "ms", []),
+            _result("empty", "3p", []),
+        )
+        summary = summarize_runtime({"empty": cmp})
+        # zero-division guards: every ratio degrades to 0, not a crash
+        assert summary.per_design["empty"]["ff"] == 0.0
+        assert summary.flow_vs_ff_percent == 0.0
+        assert summary.cts_ratio_vs_ff == 0.0
+        assert "empty" in format_runtime(summary)
+
+
+class TestAllCacheHits:
+    def _style(self, name, style, scale):
+        records = [
+            _record("synth", 0.1 * scale, cache_hit=True),
+            _record("ilp", 0.01 * scale, cache_hit=True),
+            _record("pnr", 0.2 * scale, cache_hit=True,
+                    runtime_keys={"place": 0.05 * scale,
+                                  "cts": 0.1 * scale,
+                                  "route": 0.05 * scale}),
+        ]
+        return _result(name, style, records)
+
+    def test_cache_hits_counted_and_ratios_survive(self):
+        cmp = _comparison(
+            "cached",
+            self._style("cached", "ff", 1.0),
+            self._style("cached", "ms", 1.5),
+            self._style("cached", "3p", 3.0),
+        )
+        summary = summarize_runtime({"cached": cmp})
+        row = summary.per_design["cached"]
+        assert row["cache_hits"] == 9.0
+        assert summary.flow_vs_ff_percent > 0
+        assert summary.cts_ratio_vs_ff == pytest.approx(3.0)
+        assert "cached stages 9" in format_runtime(summary)
+
+    def test_all_hit_lock_wait_present(self):
+        result = self._style("cached", "3p", 1.0)
+        for record in result.stages:
+            assert record.summary["lock_wait_s"] >= 0.0
+
+
+class TestMissingRuntimeKeys:
+    def test_records_without_runtime_keys(self):
+        records = [_record("synth", 0.5, runtime_keys={}),
+                   _record("sta", 0.2, runtime_keys={})]
+        cmp = _comparison(
+            "bare",
+            _result("bare", "ff", records),
+            _result("bare", "ms", records),
+            _result("bare", "3p", records),
+        )
+        summary = summarize_runtime({"bare": cmp})
+        # legacy accounting sums runtime_keys: all empty -> zero totals,
+        # no division by zero anywhere
+        assert summary.per_design["bare"]["3p"] == 0.0
+        assert summary.flow_vs_ff_percent == 0.0
+
+    def test_legacy_runtime_dict_fallback(self):
+        # results built without StageRecords fall back to the runtime dict
+        ff = _result("legacy", "ff", [], runtime={"synth": 1.0, "cts": 0.1})
+        p3 = _result("legacy", "3p", [],
+                     runtime={"synth": 1.0, "ilp": 0.02, "cts": 0.3})
+        cmp = _comparison("legacy", ff, ff, p3)
+        summary = summarize_runtime({"legacy": cmp})
+        assert summary.per_design["legacy"]["ff"] == pytest.approx(1.1)
+        assert summary.per_design["legacy"]["ilp"] == 0.02
+        assert summary.cts_ratio_vs_ff == pytest.approx(3.0)
+        assert summary.flow_vs_ff_percent > 0

@@ -1,5 +1,7 @@
 """Command-line interface tests."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -41,6 +43,16 @@ class TestCommands:
         assert main(["table1", "--designs", "s1488", "--cycles", "20"]) == 0
         assert "TABLE I" in capsys.readouterr().out
 
+    def test_jobs_zero_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "s1488", "--jobs", "0"])
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_jobs_negative_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--designs", "s1488", "--jobs", "-2"])
+        assert "positive integer" in capsys.readouterr().err
+
     def test_convert_roundtrip(self, tmp_path, capsys):
         bench_file = tmp_path / "c.bench"
         bench_file.write_text(
@@ -53,3 +65,51 @@ class TestCommands:
         assert "DLATCH" in text
         assert "p2" in text
         assert "converted" in capsys.readouterr().out
+
+
+class TestObservability:
+    @pytest.fixture(scope="class")
+    def trace_files(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("trace")
+        chrome, jsonl = tmp / "t.json", tmp / "t.jsonl"
+        assert main(["run", "s1488", "--cycles", "16",
+                     "--trace", str(chrome),
+                     "--obs-jsonl", str(jsonl)]) == 0
+        return chrome, jsonl
+
+    def test_trace_flag_writes_chrome_trace(self, trace_files):
+        chrome, _ = trace_files
+        payload = json.loads(chrome.read_text())
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert {"flow.compare", "flow.run", "stage.synth",
+                "stage.sim"} <= names
+
+    def test_obs_jsonl_flag_writes_spans(self, trace_files):
+        _, jsonl = trace_files
+        lines = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert any(l["type"] == "span" and l["name"] == "stage.ilp"
+                   for l in lines)
+
+    def test_tracer_uninstalled_after_run(self, trace_files):
+        from repro import obs
+        assert not obs.enabled()
+
+    @pytest.mark.parametrize("which", [0, 1])
+    def test_trace_command_summarizes_both_formats(self, trace_files,
+                                                   which, capsys):
+        assert main(["trace", str(trace_files[which]), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "per-stage drill-down" in out
+
+    def test_trace_command_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.json")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_trace_command_no_spans(self, tmp_path, capsys):
+        empty = tmp_path / "empty.json"
+        empty.write_text('{"traceEvents": []}')
+        assert main(["trace", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
