@@ -17,8 +17,9 @@ from time import perf_counter
 
 import pytest
 
-from conftest import (cycles_override, emit, jobs_override, run_once,
-                      selected_designs)
+from conftest import (cache_dir_override, cycles_override, emit,
+                      executor_override, jobs_override, run_once,
+                      selected_designs, write_bench_json)
 from repro.reporting import (format_runtime, format_trace_summary,
                              run_suite, summarize_runtime)
 
@@ -29,18 +30,24 @@ _DEFAULT = ["s5378", "s13207", "des3", "sha256", "plasma"]
 
 def test_runtime_comparison(benchmark, out_dir, obs_enabled):
     designs = [d for d in _DEFAULT if d in selected_designs()] or _DEFAULT
+    cycles = cycles_override() or 60
+    jobs = jobs_override()
+    executor = executor_override()
 
     tracer = None
     if obs_enabled:
         from repro import obs
         tracer = obs.Tracer()
         obs.install(tracer)
+    t0 = perf_counter()
     try:
         results = run_once(
             benchmark,
             lambda: run_suite(designs=designs,
-                              sim_cycles=cycles_override() or 60,
-                              jobs=jobs_override()),
+                              sim_cycles=cycles,
+                              jobs=jobs,
+                              executor=executor,
+                              cache_dir=cache_dir_override()),
         )
     finally:
         if tracer is not None:
@@ -52,8 +59,35 @@ def test_runtime_comparison(benchmark, out_dir, obs_enabled):
             emit(out_dir, "runtime_trace.txt",
                  format_trace_summary(tracer.spans))
 
+    wall = perf_counter() - t0
     summary = summarize_runtime(results)
     emit(out_dir, "runtime.txt", format_runtime(summary))
+
+    hits = misses = 0
+    for row in results.values():
+        for result in (row.ff, row.ms, row.three_phase):
+            for record in result.stages:
+                if record.cache_hit:
+                    hits += 1
+                else:
+                    misses += 1
+    write_bench_json("runtime", {
+        "bench": "runtime",
+        "designs": designs,
+        "cycles": cycles,
+        "jobs": jobs,
+        "executor": executor or ("serial" if jobs == 1 else "thread"),
+        "wall_s": round(wall, 3),
+        "cache": {"hits": hits, "misses": misses},
+        "flow_vs_ff_percent": round(summary.flow_vs_ff_percent, 2),
+        "flow_vs_ms_percent": round(summary.flow_vs_ms_percent, 2),
+        "ilp_max_seconds": round(summary.ilp_max_seconds, 4),
+        "cts_ratio_vs_ff": round(summary.cts_ratio_vs_ff, 3),
+        "per_design": {
+            name: {k: round(v, 4) for k, v in row.items()}
+            for name, row in summary.per_design.items()
+        },
+    })
 
     # The ILP is a tiny fraction of the flow and far below the paper's
     # 27 s ceiling.

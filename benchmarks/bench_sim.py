@@ -21,7 +21,9 @@ what the same run pays with tracing off, and the bound must stay below
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from time import perf_counter
 
 from repro.circuits import build
@@ -53,6 +55,7 @@ def bench(design: str, cycles: int, seed: int) -> bool:
           f"{len(module.nets)} nets, {cycles} cycles")
 
     ok = True
+    rows: list[dict] = []
     for delay_model in ("unit", "cell"):
         runs = {
             engine: run_engine(module, clocks, vectors, delay_model, engine)
@@ -75,8 +78,32 @@ def bench(design: str, cycles: int, seed: int) -> bool:
             print(f"    {engine:9} {run['events_per_s'] / 1e6:6.2f} Mev/s  "
                   f"(compile {run['compile_s'] * 1e3:6.1f} ms, "
                   f"run {run['run_s']:6.3f} s)")
+            rows.append({
+                "delay_model": delay_model,
+                "engine": engine,
+                "events": run["events"],
+                "wall_s": round(run["run_s"], 4),
+                "compile_s": round(run["compile_s"], 4),
+                "mev_per_s": round(run["events_per_s"] / 1e6, 3),
+            })
         print(f"    speedup   {speedup:6.2f}x  "
               f"bit-for-bit {'OK' if identical else 'MISMATCH'}")
+        rows[-1]["speedup_vs_reference"] = (
+            round(speedup, 3) if speedup != float("inf") else None)
+        rows[-1]["bit_for_bit"] = identical
+
+    record = {
+        "bench": "sim",
+        "design": design,
+        "cycles": cycles,
+        "seed": seed,
+        "ok": ok,
+        "runs": rows,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {path}")
     return ok
 
 

@@ -8,8 +8,17 @@ Environment knobs:
   noisier power);
 * ``REPRO_BENCH_JOBS`` -- run up to N style flows per design concurrently
   (default 1: sequential; results are identical either way);
+* ``REPRO_BENCH_EXECUTOR`` -- execution backend (``serial`` / ``thread``
+  / ``process``; default: serial for 1 job, thread otherwise);
+* ``REPRO_BENCH_CACHE_DIR`` -- persistent on-disk artifact cache
+  directory (warm reruns skip synthesis and simulation);
 * ``REPRO_BENCH_OUT`` -- directory for regenerated table/figure text
   (default ``benchmarks/out``).
+
+Besides the human-readable artifacts, benchmarks write machine-readable
+perf-trajectory files (``BENCH_runtime.json``, ``BENCH_sim.json``) at
+the repo root via :func:`write_bench_json`, so successive PRs can be
+compared numerically; CI uploads them as artifacts.
 
 Each benchmark regenerates one paper artifact; pytest-benchmark records
 the wall time of the regeneration itself (rounds=1: these are long-running
@@ -55,6 +64,26 @@ def cycles_override() -> int | None:
 def jobs_override() -> int:
     env = os.environ.get("REPRO_BENCH_JOBS")
     return int(env) if env else 1
+
+
+def executor_override() -> str | None:
+    return os.environ.get("REPRO_BENCH_EXECUTOR") or None
+
+
+def cache_dir_override() -> str | None:
+    return os.environ.get("REPRO_BENCH_CACHE_DIR") or None
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable perf record ``BENCH_<name>.json`` at the
+    repo root (the perf trajectory CI uploads and PRs compare)."""
+    import json
+
+    path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    print(f"wrote {path}")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,8 @@ Examples::
     repro table2 --designs s1196 des3 plasma
     repro fig4 --cycles 60
     repro runtime --suite cep
+    repro table1 --designs s1488 --jobs 4 --executor process --cache-dir .cache
+    repro cache stats --dir .cache
     repro convert --bench path/to/circuit.bench --out out.v --period 1000
 """
 
@@ -49,6 +51,15 @@ def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                         help="run up to N style flows concurrently "
                              "(default 1: sequential)")
+    parser.add_argument("--executor", choices=("serial", "thread", "process"),
+                        default=None,
+                        help="execution backend (default: serial for "
+                             "--jobs 1, thread otherwise; process sidesteps "
+                             "the GIL and shares work via the disk cache)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent on-disk artifact cache: a warm "
+                             "second run against the same DIR skips "
+                             "synthesis and simulation entirely")
 
 
 def _add_obs_args(parser: argparse.ArgumentParser) -> None:
@@ -113,7 +124,10 @@ def _run_one(args: argparse.Namespace) -> int:
         profile=bench.workload,
         sim_cycles=args.cycles or bench.sim_cycles,
     )
-    comparison = compare_styles(module, options, jobs=args.jobs)
+    comparison = compare_styles(module, options, jobs=args.jobs,
+                                executor=args.executor,
+                                cache_dir=args.cache_dir)
+    _progress(_cache_line({args.design: comparison}))
     row = comparison.table_row()
     print(f"design {args.design} ({bench.suite}) @ {bench.period:.0f} ps")
     print(f"  registers: {row['regs']}  "
@@ -132,14 +146,36 @@ def _run_one(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_line(results) -> str:
+    """Stage cache totals over a suite's results ("N hits, M misses").
+
+    Counted from the per-stage :class:`StageRecord` telemetry, which
+    survives the process-executor boundary; a warm --cache-dir rerun
+    therefore reports ``0 misses`` (what the CI smoke asserts).
+    """
+    hits = misses = 0
+    for row in results.values():
+        for result in (row.ff, row.ms, row.three_phase):
+            for record in result.stages:
+                if record.cache_hit:
+                    hits += 1
+                else:
+                    misses += 1
+    return f"stage cache: {hits} hits, {misses} misses"
+
+
 def _run_selected(args: argparse.Namespace):
-    return run_suite(
+    results = run_suite(
         suite=args.suite,
         designs=args.designs,
         sim_cycles=args.cycles,
         progress=_progress,
         jobs=args.jobs,
+        executor=args.executor,
+        cache_dir=args.cache_dir,
     )
+    _progress(_cache_line(results))
+    return results
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
@@ -183,6 +219,28 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"{args.file}: no spans recorded", file=sys.stderr)
         return 1
     print(format_trace_summary(spans, top=args.top))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or maintain a persistent on-disk artifact cache."""
+    from repro.flow.diskcache import DiskCache
+
+    cache = DiskCache(args.dir)
+    if args.action == "stats":
+        stats = cache.stats()
+        print(f"cache {stats.root}: {stats.entries} entries, "
+              f"{stats.bytes / 1e6:.2f} MB")
+        for stage in sorted(stats.stages):
+            n, size = stats.stages[stage]
+            print(f"  {stage:10} {n:6d} entries {size / 1e6:10.2f} MB")
+    elif args.action == "gc":
+        removed = cache.gc(max_age_s=args.max_age_hours * 3600.0)
+        print(f"cache {cache.root}: removed {removed} entries older than "
+              f"{args.max_age_hours:g} h")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"cache {cache.root}: removed {removed} entries")
     return 0
 
 
@@ -295,6 +353,17 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--top", type=_positive_int, default=15, metavar="N",
                        help="show the N hottest span names (default 15)")
     trace.set_defaults(func=_cmd_trace)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or maintain an on-disk artifact cache")
+    cache.add_argument("action", choices=("stats", "gc", "clear"))
+    cache.add_argument("--dir", required=True, metavar="DIR",
+                       help="cache directory (the --cache-dir of the runs)")
+    cache.add_argument("--max-age-hours", type=float, default=168.0,
+                       metavar="H",
+                       help="gc: drop entries older than H hours "
+                            "(default 168 = one week)")
+    cache.set_defaults(func=_cmd_cache)
 
     fig4 = sub.add_parser("fig4", help="regenerate Fig. 4 (CPU workloads)")
     fig4.add_argument("--cycles", type=int, default=None)

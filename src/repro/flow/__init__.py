@@ -2,6 +2,8 @@
 
 from repro.flow.compare import StyleComparison, compare_styles
 from repro.flow.design_flow import STYLES, DesignResult, FlowOptions, run_flow
+from repro.flow.diskcache import DiskCache
+from repro.flow.executor import EXECUTORS, FlowTask, make_executor
 from repro.flow.pipeline import (
     ArtifactCache,
     Pipeline,
@@ -21,6 +23,10 @@ __all__ = [
     "FlowOptions",
     "run_flow",
     "ArtifactCache",
+    "DiskCache",
+    "EXECUTORS",
+    "FlowTask",
+    "make_executor",
     "Pipeline",
     "Stage",
     "StageContext",

@@ -2,16 +2,19 @@
 
 The three style runs share one :class:`ArtifactCache`, so the design is
 synthesized once and the ff/ms/3p pipelines reuse the mapped netlist;
-with ``jobs > 1`` the (independent) style runs execute concurrently.
+with ``jobs > 1`` the (independent) style runs execute concurrently on
+the chosen :mod:`~repro.flow.executor` backend (threads by default;
+``executor="process"`` sidesteps the GIL and shares artifacts through
+the on-disk cache tier).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
 from repro import obs
-from repro.flow.design_flow import DesignResult, FlowOptions, run_flow
+from repro.flow.design_flow import DesignResult, FlowOptions
+from repro.flow.executor import FlowTask, make_executor
 from repro.flow.pipeline import ArtifactCache
 from repro.netlist.core import Module
 from repro.power.model import savings
@@ -90,55 +93,56 @@ class StyleComparison:
         }
 
 
+def _default_cache(cache_dir: str | None) -> ArtifactCache:
+    """A fresh cache, with a persistent disk tier when a dir is given
+    (so serial/thread runs against ``cache_dir`` warm up too)."""
+    if cache_dir is None:
+        return ArtifactCache()
+    from repro.flow.diskcache import DiskCache
+
+    return ArtifactCache(disk=DiskCache(cache_dir))
+
+
 def compare_styles(
     design: Module,
     options: FlowOptions | None = None,
     jobs: int = 1,
     cache: ArtifactCache | None = None,
+    executor: str | None = None,
+    cache_dir: str | None = None,
     **overrides,
 ) -> StyleComparison:
     """Run all three flows on ``design`` with shared options.
 
     ``jobs`` style runs execute concurrently (default 1: sequential,
-    deterministic ordering of any progress output); the shared ``cache``
-    means exactly one synthesis feeds all three styles either way, and
-    the results are identical bit for bit regardless of ``jobs``.
+    deterministic ordering of any progress output) on the ``executor``
+    backend (``None``: threads when ``jobs > 1``).  The shared ``cache``
+    means exactly one synthesis feeds all three styles either way --
+    process workers share it through ``cache_dir`` instead (see
+    :class:`~repro.flow.executor.ProcessExecutor`) -- and the results
+    are identical bit for bit regardless of ``jobs`` or ``executor``.
     """
-    if not isinstance(jobs, int) or jobs < 1:
-        raise ValueError(
-            f"jobs must be a positive integer (1 = sequential), got {jobs!r}"
-        )
     base = options if options is not None else FlowOptions(**overrides)
     if cache is None:
-        cache = ArtifactCache()
+        cache = _default_cache(cache_dir)
     styles = ("ff", "ms", "3p")
-    with obs.span("flow.compare", design=design.name, jobs=jobs):
-        # Worker threads start with an empty span stack, so pass the
-        # compare span's id down explicitly: each style's ``flow.run``
-        # span stays nested under this one in the exported trace while
-        # carrying its own thread id.
-        parent = obs.current_span_id()
-        if jobs > 1:
-            with ThreadPoolExecutor(
-                    max_workers=min(jobs, len(styles))) as pool:
-                futures = {
-                    style: pool.submit(
-                        run_flow, design, replace(base, style=style), cache,
-                        parent_span=parent)
-                    for style in styles
-                }
-                results = {
-                    style: fut.result() for style, fut in futures.items()
-                }
-        else:
-            results = {
-                style: run_flow(design, replace(base, style=style), cache,
-                                parent_span=parent)
+    with make_executor(executor, jobs, cache_dir=cache_dir) as ex:
+        with obs.span("flow.compare", design=design.name, jobs=jobs,
+                      executor=ex.name):
+            # Workers start with an empty span stack (worker threads) or
+            # an empty tracer (worker processes), so pass the compare
+            # span's id down explicitly: each style's ``flow.run`` span
+            # stays nested under this one in the exported trace.
+            parent = obs.current_span_id()
+            tasks = [
+                FlowTask(design, replace(base, style=style))
                 for style in styles
-            }
+            ]
+            results = ex.map(tasks, cache=cache, parent_span=parent)
+    by_style = dict(zip(styles, results))
     return StyleComparison(
         name=design.name,
-        ff=results["ff"],
-        ms=results["ms"],
-        three_phase=results["3p"],
+        ff=by_style["ff"],
+        ms=by_style["ms"],
+        three_phase=by_style["3p"],
     )

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING, Callable, Hashable, Mapping
 
 from repro import obs
 from repro.convert import ClockSpec
+from repro.flow.diskcache import DiskCache
 from repro.netlist.core import Module
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle with design_flow
@@ -61,6 +62,20 @@ def module_digest(module: Module) -> str:
         attrs = ",".join(f"{k}={v!r}" for k, v in sorted(inst.attrs.items()))
         h.update(f"|I:{name}:{inst.cell.name}:{conns}:{attrs}".encode())
     return h.hexdigest()[:16]
+
+
+def clocks_key(clocks: ClockSpec | None) -> Hashable:
+    """Stable signature of a clock spec for cache keys.
+
+    Stages downstream of the conversion depend on the phase schedule as
+    well as the netlist, so the schedule is part of their cache key.
+    """
+    if clocks is None:
+        return None
+    return (
+        clocks.period,
+        tuple((p.name, p.rise, p.fall, p.skip_first) for p in clocks.phases),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -96,19 +111,28 @@ class StageRecord:
 class ArtifactCache:
     """Thread-safe, content-addressed memo of stage artifacts.
 
-    Keys are ``(stage name, library name, input digest, options key)``;
-    values are whatever the stage's ``snapshot`` captured (typically a
-    pristine netlist copy).  Lookups are single-flight: concurrent
-    misses on one key run the producer exactly once, which is what lets
-    a parallel ``compare_styles`` still synthesize only once.
+    Keys are ``(stage name, library name, design digest, clocks key,
+    input digest, options key)``; values are whatever the stage's
+    ``snapshot`` captured (typically a pristine netlist copy).  Lookups
+    are single-flight: concurrent misses on one key run the producer
+    exactly once, which is what lets a parallel ``compare_styles`` still
+    synthesize only once.
+
+    With a ``disk`` tier (:class:`~repro.flow.diskcache.DiskCache`) the
+    memory tier is layered over a persistent content-addressed store:
+    memory miss -> disk probe (under a cross-process file lock, so
+    single flight holds machine-wide) -> producer.  Everything produced
+    is written through, so a warm second process is all-hit.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, disk: DiskCache | None = None) -> None:
         self._data: dict[Hashable, object] = {}
         self._key_locks: dict[Hashable, threading.Lock] = {}
         self._lock = threading.Lock()
         self._hits: dict[str, int] = {}
         self._misses: dict[str, int] = {}
+        self._disk_hits: dict[str, int] = {}
+        self.disk = disk
 
     def get_or_run(
         self, key: tuple, producer: Callable[[], object]
@@ -116,7 +140,8 @@ class ArtifactCache:
         """Return ``(artifact, was_hit, lock_wait_s)``, producing on first
         miss.  ``lock_wait_s`` is the time this caller spent blocked on
         the key's single-flight lock (i.e. waiting for another thread's
-        producer), which callers report separately from productive time.
+        or process's producer), which callers report separately from
+        productive time.
         """
         stage = key[0]
         with self._lock:
@@ -124,17 +149,47 @@ class ArtifactCache:
         wait_start = time.monotonic()
         with key_lock:
             lock_wait = time.monotonic() - wait_start
-            obs.record("cache.lock_wait_s", lock_wait)
             if key in self._data:
+                obs.record("cache.lock_wait_s", lock_wait)
                 with self._lock:
                     self._hits[stage] = self._hits.get(stage, 0) + 1
                 obs.add("cache.hits")
                 return self._data[key], True, lock_wait
-            value = producer()
+            if self.disk is not None:
+                value, hit, lock_wait = self._disk_get_or_run(
+                    key, producer, lock_wait)
+            else:
+                value = producer()
+                hit = False
+            obs.record("cache.lock_wait_s", lock_wait)
             with self._lock:
                 self._data[key] = value
-                self._misses[stage] = self._misses.get(stage, 0) + 1
-            obs.add("cache.misses")
+                if hit:
+                    self._hits[stage] = self._hits.get(stage, 0) + 1
+                    self._disk_hits[stage] = self._disk_hits.get(stage, 0) + 1
+                else:
+                    self._misses[stage] = self._misses.get(stage, 0) + 1
+            obs.add("cache.hits" if hit else "cache.misses")
+            return value, hit, lock_wait
+
+    def _disk_get_or_run(
+        self, key: tuple, producer: Callable[[], object], lock_wait: float
+    ) -> tuple[object, bool, float]:
+        """Probe the disk tier under its cross-process lock.
+
+        The file lock is held across load-miss -> produce -> store, so a
+        concurrent process blocked on the same key wakes up to a hit.
+        """
+        with self.disk.lock(key) as flock:
+            lock_wait += flock.wait_s
+            obs.record("cache.disk_lock_wait_s", flock.wait_s)
+            value = self.disk.load(key)
+            if value is not None:
+                obs.add("cache.disk_hits")
+                return value, True, lock_wait
+            value = producer()
+            self.disk.store(key, value)
+            obs.add("cache.disk_stores")
             return value, False, lock_wait
 
     # -- introspection ------------------------------------------------------
@@ -147,8 +202,14 @@ class ArtifactCache:
         src = self._misses
         return src.get(stage, 0) if stage else sum(src.values())
 
+    def disk_hits(self, stage: str | None = None) -> int:
+        """Hits served by the persistent tier (subset of ``hits``)."""
+        src = self._disk_hits
+        return src.get(stage, 0) if stage else sum(src.values())
+
     def runs(self, stage: str) -> int:
-        """How many times ``stage``'s producer actually executed."""
+        """How many times ``stage``'s producer actually executed *in this
+        process* (a disk hit produced elsewhere is not a run)."""
         return self._misses.get(stage, 0)
 
     def __len__(self) -> int:
@@ -156,7 +217,11 @@ class ArtifactCache:
 
     @property
     def stats(self) -> dict[str, dict[str, int]]:
-        return {"hits": dict(self._hits), "misses": dict(self._misses)}
+        return {
+            "hits": dict(self._hits),
+            "misses": dict(self._misses),
+            "disk_hits": dict(self._disk_hits),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -176,6 +241,10 @@ class StageContext:
     library: "Library"
     clocks: ClockSpec | None = None
     cache: ArtifactCache | None = None
+    #: digest of the source design, computed once per run; part of every
+    #: cache key because stages like sim/verify read ``design`` (vector
+    #: generation), not just the working netlist.
+    design_digest: str = ""
     #: named artifacts produced by stages (assignment, retime, power...).
     artifacts: dict[str, object] = field(default_factory=dict)
     records: list[StageRecord] = field(default_factory=list)
@@ -195,10 +264,11 @@ class Stage:
 
     Subclasses set ``name`` (also the default legacy runtime key),
     declare the artifacts they consume/produce, and implement
-    :meth:`run`.  A stage becomes cacheable by returning a hashable
-    options signature from :meth:`options_key` and implementing
-    ``snapshot``/``restore`` (the default pair captures the working
-    netlist plus declared artifacts).
+    :meth:`run`.  A stage is cacheable by returning a hashable options
+    signature from :meth:`options_key` (every concrete stage of the flow
+    does, so a fully cached run is all-hit end to end; return None to
+    opt out) and implementing ``snapshot``/``restore`` (the default pair
+    captures the working netlist plus declared artifacts).
     """
 
     name: str = "stage"
@@ -277,6 +347,7 @@ class Pipeline:
             options=options,
             library=options.library,
             cache=cache,
+            design_digest=module_digest(design),
         )
         with obs.span("flow.run", design=design.name, style=options.style,
                       _parent=parent_span):
@@ -291,20 +362,37 @@ class Pipeline:
         input_digest = module_digest(ctx.module)
         hit = False
         lock_wait: float | None = None
+        runtime_keys: Mapping[str, float] | None = None
         okey = stage.options_key(ctx.options)
         with obs.span(f"stage.{stage.name}", stage=stage.name,
                       style=ctx.options.style, design=ctx.design.name) as sp:
             if ctx.cache is not None and okey is not None:
-                key = (stage.name, ctx.library.name, input_digest, okey)
+                key = (stage.name, ctx.library.name, ctx.design_digest,
+                       clocks_key(ctx.clocks), input_digest, okey)
 
                 def produce() -> object:
-                    return stage.snapshot(ctx, stage.run(ctx))
+                    p0 = time.monotonic()
+                    summary = stage.run(ctx)
+                    producer_wall = time.monotonic() - p0
+                    # Runtime keys ride in the payload: a cache hit must
+                    # still report the stage's *productive* cost (the
+                    # Sec. V runtime ratios would collapse to noise on a
+                    # warm run otherwise), and stages like P&R publish
+                    # sub-step keys the hit path could not recompute.
+                    rkeys = ctx.artifacts.pop("_runtime_keys", None)
+                    if rkeys is None:
+                        rkeys = (
+                            {stage.runtime_key: producer_wall}
+                            if stage.runtime_key else {}
+                        )
+                    return (stage.snapshot(ctx, summary), dict(rkeys))
 
                 payload, hit, lock_wait = ctx.cache.get_or_run(key, produce)
+                snap, runtime_keys = payload
                 # Producer and hit paths both restore from the snapshot, so
                 # every run sees the identical artifact regardless of which
-                # thread happened to populate the cache.
-                summary = stage.restore(ctx, payload)
+                # thread or process happened to populate the cache.
+                summary = stage.restore(ctx, snap)
             else:
                 summary = stage.run(ctx)
             wall = time.monotonic() - t0
@@ -320,11 +408,12 @@ class Pipeline:
                 **{k: v for k, v in summary.items()
                    if isinstance(v, (int, float, str, bool))},
             )
-            runtime_keys = ctx.artifacts.pop("_runtime_keys", None)
             if runtime_keys is None:
-                runtime_keys = (
-                    {stage.runtime_key: wall} if stage.runtime_key else {}
-                )
+                runtime_keys = ctx.artifacts.pop("_runtime_keys", None)
+                if runtime_keys is None:
+                    runtime_keys = (
+                        {stage.runtime_key: wall} if stage.runtime_key else {}
+                    )
             ctx.records.append(StageRecord(
                 stage=stage.name,
                 wall_time=wall,
@@ -376,6 +465,9 @@ class SingleClockStage(Stage):
     produces = ("clocks",)
     runtime_key = None  # trivial; keep the legacy runtime dict unchanged
 
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.period,)
+
     def run(self, ctx: StageContext) -> dict[str, object]:
         ctx.clocks = ClockSpec.single(ctx.options.period)
         ctx.artifacts["clocks"] = ctx.clocks
@@ -387,6 +479,9 @@ class PhaseIlpStage(Stage):
 
     name = "ilp"
     produces = ("assignment",)
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.assign_method,)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.convert.phase_ilp import assign_phases
@@ -408,6 +503,9 @@ class ConvertThreePhaseStage(Stage):
     inputs = ("assignment",)
     produces = ("clocks",)
 
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return ("3p", options.period)
+
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.convert import convert_to_three_phase
 
@@ -427,6 +525,9 @@ class ConvertMasterSlaveStage(Stage):
     name = "convert"
     produces = ("clocks",)
 
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return ("ms", options.period)
+
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.convert import convert_to_master_slave
 
@@ -442,6 +543,9 @@ class ConvertPulsedStage(Stage):
 
     name = "convert"
     produces = ("clocks",)
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return ("pulsed", options.period)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.convert.pulsed import convert_to_pulsed_latch
@@ -469,6 +573,9 @@ class RetimeStage(Stage):
             return options.retime_ms
         return options.retime
 
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (self.movable_phase,)
+
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.retime import retime_forward
 
@@ -486,6 +593,10 @@ class ClockGatingStage(Stage):
     name = "cg"
     inputs = ("clocks",)
     produces = ("cg",)
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.profile, options.profile_cycles, options.seed,
+                options.cg)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.cg import apply_p2_clock_gating
@@ -509,6 +620,9 @@ class ResizeStage(Stage):
     def enabled(self, options: "FlowOptions") -> bool:
         return options.resize
 
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return ()
+
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.synth.sizing import downsize_gates
 
@@ -525,6 +639,9 @@ class HoldFixStage(Stage):
 
     def enabled(self, options: "FlowOptions") -> bool:
         return options.clock_uncertainty > 0
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.clock_uncertainty,)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.timing.hold_fix import fix_holds
@@ -551,6 +668,9 @@ class PnrStage(Stage):
     produces = ("physical",)
     runtime_key = None  # legacy keys come from physical.runtime
 
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return ()
+
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.pnr import place_and_route
 
@@ -569,6 +689,9 @@ class StaStage(Stage):
     name = "sta"
     inputs = ("clocks", "physical")
     produces = ("timing",)
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return ()
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.timing import analyze
@@ -590,6 +713,9 @@ class VerifyStage(Stage):
     def enabled(self, options: "FlowOptions") -> bool:
         return options.verify
 
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.period, options.sim_cycles, options.seed)
+
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.sim import check_equivalent
 
@@ -609,6 +735,10 @@ class SimulateStage(Stage):
     name = "sim"
     inputs = ("clocks",)
     produces = ("bench",)
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.sim_cycles, options.warmup_cycles, options.profile,
+                options.seed, options.sim_delay_model)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.sim import generate_vectors, run_testbench
@@ -640,6 +770,9 @@ class PowerStage(Stage):
     inputs = ("bench", "physical")
     produces = ("power",)
     runtime_key = None  # the legacy flow never timed power separately
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        return (options.sim_cycles, options.warmup_cycles, options.period)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.power import measure_power

@@ -17,7 +17,6 @@ Connectivity references are lightweight named tuples:
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, NamedTuple
 
@@ -50,13 +49,66 @@ class NetlistError(ValueError):
     """Raised on inconsistent netlist operations."""
 
 
+class OrderedSet:
+    """A set that iterates in insertion order.
+
+    Netlist iteration order is semantically load-bearing: order-sensitive
+    passes (CTS sink grouping, clock-gating enable grouping) walk
+    ``Net.loads`` and ``Module.clock_ports``, so their order must survive
+    :meth:`Module.copy` and pickling unchanged -- including across
+    processes, where string hash randomization reorders a builtin ``set``.
+    Backed by a dict (insertion-ordered); equality is order-insensitive,
+    matching set semantics.
+    """
+
+    __slots__ = ("_d",)
+
+    def __init__(self, items: Iterable = ()):
+        self._d: dict = dict.fromkeys(items)
+
+    def add(self, item) -> None:
+        self._d[item] = None
+
+    def discard(self, item) -> None:
+        self._d.pop(item, None)
+
+    def remove(self, item) -> None:
+        del self._d[item]
+
+    def __contains__(self, item) -> bool:
+        return item in self._d
+
+    def __iter__(self) -> Iterator:
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __bool__(self) -> bool:
+        return bool(self._d)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderedSet):
+            return self._d.keys() == other._d.keys()
+        if isinstance(other, (set, frozenset)):
+            return self._d.keys() == other
+        return NotImplemented
+
+    def __reduce__(self):
+        # Pickle as the item list so the order round-trips exactly.
+        return (type(self), (list(self._d),))
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._d)!r})"
+
+
 @dataclass
 class Net:
     """A wire.  ``driver`` is the single source; ``loads`` are sinks."""
 
     name: str
     driver: Endpoint | None = None
-    loads: set[Endpoint] = field(default_factory=set)
+    loads: OrderedSet = field(default_factory=OrderedSet)
 
     @property
     def endpoints(self) -> Iterator[Endpoint]:
@@ -106,15 +158,19 @@ class Module:
         self.nets: dict[str, Net] = {}
         self.instances: dict[str, Instance] = {}
         #: input ports that carry clocks (excluded from logic traversal).
-        self.clock_ports: set[str] = set()
-        self._name_counter = itertools.count()
+        self.clock_ports: OrderedSet = OrderedSet()
+        #: next fresh-name suffix; a plain int so :meth:`copy` can carry
+        #: it over -- a copy must hand out the same fresh names as the
+        #: original would, or cached-snapshot restores diverge.
+        self._name_counter = 0
 
     # -- naming ---------------------------------------------------------------
 
     def fresh_name(self, prefix: str) -> str:
         """A name not yet used by any net, instance, or port."""
         while True:
-            candidate = f"{prefix}{next(self._name_counter)}"
+            candidate = f"{prefix}{self._name_counter}"
+            self._name_counter += 1
             if (
                 candidate not in self.nets
                 and candidate not in self.instances
@@ -385,9 +441,10 @@ class Module:
         """Structural deep copy (cells are shared, they are immutable)."""
         dup = Module(name if name is not None else self.name)
         dup.ports = dict(self.ports)
-        dup.clock_ports = set(self.clock_ports)
+        dup.clock_ports = OrderedSet(self.clock_ports)
+        dup._name_counter = self._name_counter
         for net in self.nets.values():
-            dup.nets[net.name] = Net(net.name, net.driver, set(net.loads))
+            dup.nets[net.name] = Net(net.name, net.driver, OrderedSet(net.loads))
         for inst in self.instances.values():
             dup.instances[inst.name] = Instance(
                 inst.name, inst.cell, dict(inst.conns), dict(inst.attrs)

@@ -40,6 +40,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.merge import merge_tracer_state, tracer_state
 from repro.obs.summary import (
     SpanStat,
     aggregate,
@@ -55,7 +56,7 @@ __all__ = [
     "enabled", "get_tracer", "install", "uninstall", "use_tracer",
     "current_span_id",
     "write_chrome_trace", "write_jsonl", "chrome_trace_events",
-    "span_to_json",
+    "span_to_json", "tracer_state", "merge_tracer_state",
     "load_spans", "aggregate", "self_times", "children_by_stage", "SpanStat",
 ]
 

@@ -87,18 +87,30 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
         "ph": "M", "pid": tracer.pid, "tid": 0,
         "name": "process_name", "args": {"name": "repro flow"},
     }]
-    tids = sorted({span.tid for span in tracer.spans})
-    for index, tid in enumerate(tids):
-        label = "main" if index == 0 else f"worker-{index}"
+    # merged worker-process spans keep their own pid: give each foreign
+    # pid its own Perfetto process track
+    for pid in sorted({s.pid for s in tracer.spans} - {tracer.pid}):
         events.append({
-            "ph": "M", "pid": tracer.pid, "tid": tid,
-            "name": "thread_name", "args": {"name": label},
+            "ph": "M", "pid": pid, "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"repro worker (pid {pid})"},
         })
-        # sort_index keeps the track order stable across loads
-        events.append({
-            "ph": "M", "pid": tracer.pid, "tid": tid,
-            "name": "thread_sort_index", "args": {"sort_index": index},
-        })
+    by_pid: dict[int, set[int]] = {}
+    for span in tracer.spans:
+        by_pid.setdefault(span.pid, set()).add(span.tid)
+    for pid, tids in sorted(by_pid.items()):
+        for index, tid in enumerate(sorted(tids)):
+            main = pid == tracer.pid and index == 0
+            label = "main" if main else f"worker-{index}"
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid,
+                "name": "thread_name", "args": {"name": label},
+            })
+            # sort_index keeps the track order stable across loads
+            events.append({
+                "ph": "M", "pid": pid, "tid": tid,
+                "name": "thread_sort_index", "args": {"sort_index": index},
+            })
     for span in tracer.spans:
         events.append({
             "ph": "X",

@@ -1,0 +1,81 @@
+"""Cross-process trace merging.
+
+A ``ProcessPoolExecutor`` worker cannot record into the parent's tracer:
+it lives in another address space, its ``perf_counter`` epoch is
+unrelated, and its span ids collide with the parent's.  Instead the
+worker runs under its own :class:`~repro.obs.tracer.Tracer`, ships the
+finished state back as a plain picklable dict (:func:`tracer_state`),
+and the parent folds it in (:func:`merge_tracer_state`):
+
+* **timeline** -- span and gauge timestamps are rebased via the
+  difference of the two tracers' ``epoch_unix`` wall clocks, so worker
+  spans land where they actually happened on the parent's timeline;
+* **span ids** -- every worker span gets a fresh id from the parent's
+  counter, with parent links remapped consistently; worker root spans
+  are re-parented onto the submitting span (``parent_span_id``), giving
+  an unbroken parent chain across the process boundary;
+* **identity** -- the worker's ``pid``/``tid`` are preserved, so the
+  Chrome exporter renders each worker process as its own Perfetto
+  process track;
+* **metrics** -- counters/histograms accumulate, gauge series
+  concatenate (timestamps rebased).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.obs.tracer import SpanRecord, Tracer
+
+#: version tag for the shipped dict, so a mismatched worker is detected
+#: rather than silently mis-merged.
+STATE_FORMAT = "repro-obs-state-v1"
+
+
+def tracer_state(tracer: Tracer) -> dict:
+    """The tracer's full state as a picklable dict for :func:`merge_tracer_state`."""
+    return {
+        "format": STATE_FORMAT,
+        "pid": tracer.pid,
+        "epoch_unix": tracer.epoch_unix,
+        "spans": list(tracer.spans),
+        "metrics": tracer.metrics.raw(),
+    }
+
+
+def merge_tracer_state(
+    tracer: Tracer,
+    state: dict,
+    parent_span_id: int | None = None,
+) -> int:
+    """Fold a worker's :func:`tracer_state` into ``tracer``.
+
+    ``parent_span_id`` (a span id in ``tracer``) becomes the parent of
+    the worker's root spans.  Returns the number of spans merged.
+    """
+    if state.get("format") != STATE_FORMAT:
+        raise ValueError(
+            f"incompatible tracer state: {state.get('format')!r}"
+            f" (expected {STATE_FORMAT!r})")
+    ts_shift = state["epoch_unix"] - tracer.epoch_unix
+    # Remap ids in recording order: parents always finish after their
+    # children, but were *assigned* ids before them, so build the full
+    # map first, then rewrite links.
+    id_map: dict[int, int] = {}
+    for span in state["spans"]:
+        id_map[span.span_id] = tracer.next_id()
+    merged: list[SpanRecord] = []
+    for span in state["spans"]:
+        parent = id_map.get(span.parent_id)
+        if parent is None:
+            parent = parent_span_id
+        merged.append(replace(
+            span,
+            ts=span.ts + ts_shift,
+            span_id=id_map[span.span_id],
+            parent_id=parent,
+        ))
+    with tracer._lock:
+        tracer.spans.extend(merged)
+    tracer.metrics.merge_raw(state["metrics"], ts_shift=ts_shift)
+    return len(merged)

@@ -83,6 +83,34 @@ class MetricSet:
             "p95": pct(0.95),
         }
 
+    def raw(self) -> dict[str, dict]:
+        """Full raw state (histogram values, not summaries) -- the
+        picklable form shipped from worker processes for merging."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "counter_ops": dict(self.counter_ops),
+                "gauges": {k: list(v) for k, v in self.gauges.items()},
+                "histograms": {k: list(v) for k, v in self.histograms.items()},
+            }
+
+    def merge_raw(self, raw: dict[str, dict], ts_shift: float = 0.0) -> None:
+        """Fold another MetricSet's :meth:`raw` state into this one.
+
+        ``ts_shift`` (seconds) rebases the gauge timestamps from the
+        source tracer's epoch onto this one's.
+        """
+        with self._lock:
+            for name, value in raw.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0.0) + value
+            for name, ops in raw.get("counter_ops", {}).items():
+                self.counter_ops[name] = self.counter_ops.get(name, 0) + ops
+            for name, series in raw.get("gauges", {}).items():
+                self.gauges.setdefault(name, []).extend(
+                    (ts + ts_shift, value) for ts, value in series)
+            for name, values in raw.get("histograms", {}).items():
+                self.histograms.setdefault(name, []).extend(values)
+
     def snapshot(self) -> dict[str, dict]:
         """Point-in-time copy of everything, for the exporters."""
         with self._lock:

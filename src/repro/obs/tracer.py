@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -136,6 +137,9 @@ class Tracer:
 
     def __init__(self) -> None:
         self.epoch = perf_counter()
+        #: wall-clock epoch; lets two tracers from different processes be
+        #: placed on one timeline (perf_counter epochs are per-process).
+        self.epoch_unix = time.time()
         self.pid = os.getpid()
         self.spans: list[SpanRecord] = []
         self.metrics = MetricSet(epoch=self.epoch)

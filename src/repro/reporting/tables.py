@@ -10,9 +10,28 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable
 
+from repro import obs
 from repro.circuits import build, names, spec
 from repro.flow import ArtifactCache, FlowOptions, StyleComparison, compare_styles
+from repro.flow.executor import FlowTask, make_executor
 from repro.reporting.paper_data import TABLE1, TABLE2
+
+_STYLES = ("ff", "ms", "3p")
+
+
+def _bench_options(
+    name: str,
+    sim_cycles: int | None,
+    options: FlowOptions | None,
+) -> FlowOptions:
+    """The benchmark's flow options (its period/workload/cycle budget)."""
+    bench = spec(name)
+    return replace(
+        options or FlowOptions(),
+        period=bench.period,
+        profile=bench.workload,
+        sim_cycles=sim_cycles if sim_cycles is not None else bench.sim_cycles,
+    )
 
 
 def run_benchmark(
@@ -22,20 +41,17 @@ def run_benchmark(
     options: FlowOptions | None = None,
     jobs: int = 1,
     cache: ArtifactCache | None = None,
+    executor: str | None = None,
+    cache_dir: str | None = None,
 ) -> StyleComparison:
     """Implement benchmark ``name`` in all three styles."""
     bench = spec(name)
     module = build(name)
-    base = options or FlowOptions()
-    base = replace(
-        base,
-        period=bench.period,
-        profile=bench.workload,
-        sim_cycles=sim_cycles if sim_cycles is not None else bench.sim_cycles,
-    )
+    base = _bench_options(name, sim_cycles, options)
     if progress:
         progress(f"{name}: period {bench.period} ps, workload {bench.workload}")
-    return compare_styles(module, base, jobs=jobs, cache=cache)
+    return compare_styles(module, base, jobs=jobs, cache=cache,
+                          executor=executor, cache_dir=cache_dir)
 
 
 def run_suite(
@@ -45,23 +61,48 @@ def run_suite(
     progress: Callable[[str], None] | None = None,
     options: FlowOptions | None = None,
     jobs: int = 1,
+    executor: str | None = None,
+    cache_dir: str | None = None,
 ) -> dict[str, StyleComparison]:
     """Run the per-design style comparison over a benchmark selection.
 
-    One content-addressed :class:`ArtifactCache` spans the whole suite,
-    so each design's synthesis feeds its three style runs; ``jobs > 1``
-    additionally runs the styles of each design concurrently.
+    The whole selection is scheduled as one flat (design x style) queue
+    on the chosen :mod:`~repro.flow.executor` backend, so ``jobs``
+    workers stay busy across design boundaries instead of fanning out
+    per design.  One content-addressed :class:`ArtifactCache` spans the
+    suite (each design's synthesis feeds its three style runs); process
+    workers share artifacts through ``cache_dir`` instead.  Results are
+    bit-for-bit identical for any ``jobs``/``executor`` combination.
     """
     targets = designs if designs is not None else names(suite)
-    cache = ArtifactCache()
-    results: dict[str, StyleComparison] = {}
+    from repro.flow.compare import _default_cache
+    cache = _default_cache(cache_dir)
+    tasks: list[FlowTask] = []
     for name in targets:
-        results[name] = run_benchmark(
-            name, sim_cycles, progress, options, jobs=jobs, cache=cache)
+        bench = spec(name)
+        module = build(name)
+        base = _bench_options(name, sim_cycles, options)
+        if progress:
+            progress(
+                f"{name}: period {bench.period} ps, workload {bench.workload}")
+        tasks.extend(
+            FlowTask(module, replace(base, style=style)) for style in _STYLES)
+
+    with make_executor(executor, jobs, cache_dir=cache_dir) as ex:
+        with obs.span("flow.suite", designs=len(targets), jobs=jobs,
+                      executor=ex.name):
+            parent = obs.current_span_id()
+            flat = ex.map(tasks, cache=cache, parent_span=parent)
+
+    results: dict[str, StyleComparison] = {}
+    for index, name in enumerate(targets):
+        ff, ms, p3 = flat[3 * index:3 * index + 3]
+        results[name] = StyleComparison(
+            name=name, ff=ff, ms=ms, three_phase=p3)
         if progress:
             row = results[name]
             progress(
-                f"  regs {row.reg_counts}  power "
+                f"  {name}: regs {row.reg_counts}  power "
                 f"{row.three_phase.power.total:.3f} mW "
                 f"(save vs FF {row.power_saving_vs('ff')['total']:.1f}%)"
             )
