@@ -19,7 +19,7 @@ from repro.cg.common_enable import (
     fanin_latches,
 )
 from repro.cg.ddcg import DdcgReport, apply_ddcg, toggle_rate
-from repro.cg.m2 import M2Report, apply_m2, enable_source_phases
+from repro.cg.m2 import M2Report, apply_m2, cg_phase, enable_source_phases
 
 
 @dataclass(frozen=True)
@@ -97,5 +97,6 @@ __all__ = [
     "toggle_rate",
     "M2Report",
     "apply_m2",
+    "cg_phase",
     "enable_source_phases",
 ]

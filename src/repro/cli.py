@@ -206,6 +206,70 @@ def _cmd_runtime(args: argparse.Namespace) -> int:
     return _with_observability(args, body)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return _with_observability(args, lambda: _lint_one(args))
+
+
+def _lint_one(args: argparse.Namespace) -> int:
+    from repro.flow import ArtifactCache, Pipeline, build_lint_stages
+    from repro.lint import (
+        apply_waivers,
+        format_findings_json,
+        format_findings_text,
+        load_waivers,
+        severity_rank,
+    )
+    from dataclasses import replace
+
+    try:
+        bench = spec(args.design)
+    except KeyError as exc:
+        _progress(f"error: {exc.args[0]}")
+        return 2
+    waivers = ()
+    if args.waivers:
+        try:
+            waivers = load_waivers(args.waivers)
+        except ValueError as exc:
+            _progress(f"error: {exc}")
+            return 2
+
+    module = build(args.design)
+    styles = ("ff", "ms", "3p", "pulsed") if args.style == "all" \
+        else (args.style,)
+    # gates report, the CLI decides: collect findings across all gates
+    # and apply --fail-on at the end instead of aborting mid-chain
+    base = FlowOptions(period=bench.period, profile=bench.workload,
+                       lint_fail_on=None)
+    cache = ArtifactCache()  # share synth etc. across the style runs
+    results = []
+    for style in styles:
+        options = replace(base, style=style)
+        ctx = Pipeline(build_lint_stages(style)).run(
+            module.copy(), options, cache=cache)
+        for record in ctx.records:
+            if record.stage.startswith("lint_"):
+                result = ctx.artifacts.get(record.stage)
+                if result is not None:
+                    results.append(apply_waivers(result, waivers))
+
+    if args.format == "json":
+        print(format_findings_json(args.design, results))
+    else:
+        print(format_findings_text(args.design, results))
+
+    floor = severity_rank(args.fail_on)
+    failed = sum(
+        1 for result in results for finding in result.findings
+        if severity_rank(finding.severity) >= floor
+    )
+    if failed:
+        _progress(f"lint: {failed} finding(s) at/above "
+                  f"--fail-on {args.fail_on}")
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.summary import load_spans
     from repro.reporting import format_trace_summary
@@ -344,6 +408,26 @@ def build_parser() -> argparse.ArgumentParser:
         _add_selection_args(p)
         _add_obs_args(p)
         p.set_defaults(func=func)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically verify a design's netlists (phase legality, "
+             "clock-gating safety, structure) across the flow's stages")
+    lint.add_argument("design")
+    lint.add_argument("--style", choices=("ff", "ms", "3p", "pulsed", "all"),
+                      default="3p",
+                      help="which conversion style(s) to lint (default 3p)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default text)")
+    lint.add_argument("--waivers", metavar="FILE", default=None,
+                      help="waiver file: 'rule-glob [where-glob]' per line; "
+                           "waived findings are reported but don't fail")
+    lint.add_argument("--fail-on", choices=("info", "warn", "error"),
+                      default="error", dest="fail_on",
+                      help="exit 1 when findings reach this severity "
+                           "(default error)")
+    _add_obs_args(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     trace = sub.add_parser(
         "trace",

@@ -172,3 +172,21 @@ class ClockSpec:
                 Phase(p3, 2 * third, period),
             ),
         )
+
+
+#: Legal latch-to-latch combinational hops under the paper's 3-phase
+#: schedule (Sec. III constraint C2): data launched at a phase's closing
+#: edge must arrive while the capturing phase is still (or next)
+#: transparent.  With the p1 -> p3 -> p2 firing order that admits
+#: p1->p3, p3->p2, p2->p1 (the pipeline backbone) plus the in-stage
+#: hops p1->p2 and p2->p3 created by back-to-back latch insertion.
+#: Same-phase hops and p3->p1 violate C2 and are lint errors.
+THREE_PHASE_HOPS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("p1", "p3"),
+        ("p3", "p2"),
+        ("p2", "p1"),
+        ("p1", "p2"),
+        ("p2", "p3"),
+    }
+)

@@ -6,10 +6,12 @@ from repro.flow.diskcache import DiskCache
 from repro.flow.executor import EXECUTORS, FlowTask, make_executor
 from repro.flow.pipeline import (
     ArtifactCache,
+    LintStage,
     Pipeline,
     Stage,
     StageContext,
     StageRecord,
+    build_lint_stages,
     build_pipeline,
     build_stages,
     module_digest,
@@ -27,10 +29,12 @@ __all__ = [
     "EXECUTORS",
     "FlowTask",
     "make_executor",
+    "LintStage",
     "Pipeline",
     "Stage",
     "StageContext",
     "StageRecord",
+    "build_lint_stages",
     "build_pipeline",
     "build_stages",
     "module_digest",

@@ -69,6 +69,11 @@ class FlowOptions:
     #: stream-compare the implemented design against the source (the
     #: paper's validation methodology) and record the result.
     verify: bool = False
+    #: run the static-analysis gates (:mod:`repro.lint`) after each
+    #: rewriting stage; ``lint_fail_on`` aborts the flow when a gate
+    #: collects findings at/above that severity (None: report only).
+    lint: bool = True
+    lint_fail_on: str | None = "error"
     library: Library = field(default_factory=lambda: FDSOI28)
 
 
@@ -93,6 +98,8 @@ class DesignResult:
     physical: PhysicalDesign | None = None
     #: per-stage pipeline telemetry (empty for hand-built results).
     stages: list[StageRecord] = field(default_factory=list)
+    #: lint gate results, in stage order (``repro.lint.LintResult``).
+    lint: list = field(default_factory=list)
 
     @property
     def registers(self) -> int:
@@ -165,4 +172,6 @@ def run_flow(
         hold=ctx.artifacts.get("hold"),
         physical=physical,
         stages=ctx.records,
+        lint=[value for key, value in ctx.artifacts.items()
+              if key.startswith("lint_") and value is not None],
     )

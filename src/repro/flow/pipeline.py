@@ -248,6 +248,11 @@ class StageContext:
     #: named artifacts produced by stages (assignment, retime, power...).
     artifacts: dict[str, object] = field(default_factory=dict)
     records: list[StageRecord] = field(default_factory=list)
+    #: digest of ``module`` as of the last completed stage (the previous
+    #: record's ``output_digest``); lets the runner hand each stage its
+    #: input digest without re-hashing the netlist, which keeps read-only
+    #: stages (the lint gates) digest-free.
+    module_digest: str | None = None
 
     @property
     def runtime(self) -> dict[str, float]:
@@ -279,6 +284,9 @@ class Stage:
     #: None keeps the stage out of the legacy dict (StageRecord only) and
     #: the default sentinel resolves to the stage name.
     runtime_key: str | None = _SAME_AS_NAME
+    #: False for read-only stages (lint gates): the runner reuses the
+    #: input digest as the output digest instead of re-hashing.
+    mutates_module: bool = True
 
     def __init__(self) -> None:
         if self.runtime_key == _SAME_AS_NAME:
@@ -341,13 +349,15 @@ class Pipeline:
         """Run the chain; ``parent_span`` explicitly links this run's
         ``flow.run`` span to a span on another thread (how a parallel
         ``compare_styles`` keeps worker traces nested under its own)."""
+        design_digest = module_digest(design)
         ctx = StageContext(
             design=design,
             module=design,
             options=options,
             library=options.library,
             cache=cache,
-            design_digest=module_digest(design),
+            design_digest=design_digest,
+            module_digest=design_digest,
         )
         with obs.span("flow.run", design=design.name, style=options.style,
                       _parent=parent_span):
@@ -359,7 +369,8 @@ class Pipeline:
 
     def _run_stage(self, stage: Stage, ctx: StageContext) -> None:
         t0 = time.monotonic()
-        input_digest = module_digest(ctx.module)
+        input_digest = (ctx.module_digest if ctx.module_digest is not None
+                        else module_digest(ctx.module))
         hit = False
         lock_wait: float | None = None
         runtime_keys: Mapping[str, float] | None = None
@@ -414,11 +425,14 @@ class Pipeline:
                     runtime_keys = (
                         {stage.runtime_key: wall} if stage.runtime_key else {}
                     )
+            output_digest = (input_digest if not stage.mutates_module
+                             else module_digest(ctx.module))
+            ctx.module_digest = output_digest
             ctx.records.append(StageRecord(
                 stage=stage.name,
                 wall_time=wall,
                 input_digest=input_digest,
-                output_digest=module_digest(ctx.module),
+                output_digest=output_digest,
                 cache_hit=hit,
                 runtime_keys=runtime_keys,
                 summary=summary,
@@ -592,7 +606,7 @@ class ClockGatingStage(Stage):
 
     name = "cg"
     inputs = ("clocks",)
-    produces = ("cg",)
+    produces = ("cg", "cg_activity")
 
     def options_key(self, options: "FlowOptions") -> Hashable:
         return (options.profile, options.profile_cycles, options.seed,
@@ -608,7 +622,83 @@ class ClockGatingStage(Stage):
             options=ctx.options.cg,
         )
         ctx.artifacts["cg"] = report
+        # the lint gate re-checks DDCG decisions against the same profile
+        ctx.artifacts["cg_activity"] = (activity, cycles)
         return {"profile_cycles": cycles, **stats}
+
+
+class LintStage(Stage):
+    """Static-analysis gate run right after a rewriting stage.
+
+    Read-only over the working netlist: runs the :mod:`repro.lint` rules
+    applicable at the gated stage and fails the flow fast (naming the
+    offending stage) when findings reach ``options.lint_fail_on``.  For
+    non-3p styles only the structural family applies; the 3p chain gets
+    the full phase/cg/retime families.  Cacheable like any other stage,
+    so a warm run stays all-hit; a gate that *raised* is never cached
+    (the producer exception propagates before the snapshot is taken).
+    """
+
+    mutates_module = False
+    runtime_key = None  # keep the legacy runtime dict unchanged
+
+    def __init__(self, after: str, when=None):
+        self.after = after
+        self.name = f"lint_{after}"
+        self.produces = (self.name,)
+        self.when = when
+        super().__init__()
+
+    def enabled(self, options: "FlowOptions") -> bool:
+        return options.lint and (self.when is None or self.when(options))
+
+    def options_key(self, options: "FlowOptions") -> Hashable:
+        key: tuple = (self.after, options.style, options.lint_fail_on,
+                      options.cg.ddcg_threshold, options.cg.max_fanout)
+        if self.after in ("cg", "final"):
+            # the DDCG re-check consumes the activity profile
+            key += (options.profile, options.profile_cycles, options.seed)
+        return key
+
+    def run(self, ctx: StageContext) -> dict[str, object]:
+        from repro.lint import LintGateError, run_lint
+
+        options = ctx.options
+        categories = None if options.style == "3p" else ("structural",)
+        extra: dict[str, object] = {
+            "max_fanout": options.cg.max_fanout,
+            "ddcg_threshold": options.cg.ddcg_threshold,
+        }
+        if self.after == "retime":
+            extra["retime"] = ctx.artifacts.get("retime")
+        if self.after in ("cg", "final"):
+            profiled = ctx.artifacts.get("cg_activity")
+            if profiled is not None:
+                extra["activity"], extra["cycles"] = profiled
+        result = run_lint(
+            ctx.module, ctx.clocks,
+            stage=self.after, categories=categories, extra=extra,
+            design=ctx.design.name, style=options.style,
+        )
+        ctx.artifacts[self.name] = result
+        fail_on = options.lint_fail_on
+        if fail_on is not None and result.count_at_least(fail_on) > 0:
+            raise LintGateError(self.after, result, fail_on)
+        return {
+            "findings": len(result.findings),
+            "lint_errors": result.errors,
+            "lint_warnings": result.warnings,
+            "rules": result.rules_run,
+        }
+
+    # read-only stage: snapshot only the result + summary, not the module
+    def snapshot(self, ctx: StageContext, summary: dict) -> object:
+        return (ctx.artifacts.get(self.name), dict(summary))
+
+    def restore(self, ctx: StageContext, payload: object) -> dict[str, object]:
+        result, summary = payload
+        ctx.artifacts[self.name] = result
+        return dict(summary)
 
 
 class ResizeStage(Stage):
@@ -823,24 +913,45 @@ def _profile_activity(
 
 
 def build_stages(style: str) -> list[Stage]:
-    """The stage chain implementing one design style (Sec. IV-B order)."""
+    """The stage chain implementing one design style (Sec. IV-B order).
+
+    Every netlist-rewriting stage is followed by a :class:`LintStage`
+    gate so a broken rewrite fails fast with the offending stage named,
+    instead of surfacing hours later as a simulation mismatch.
+    """
     if style == "ff":
-        front: list[Stage] = [SynthStage(), SingleClockStage()]
+        front: list[Stage] = [
+            SynthStage(),
+            LintStage("synth"),
+            SingleClockStage(),
+        ]
     elif style == "ms":
         front = [
             SynthStage(),
+            LintStage("synth"),
             ConvertMasterSlaveStage(),
+            LintStage("convert"),
             RetimeStage(movable_phase="clk"),
+            LintStage("retime", when=lambda o: o.retime_ms),
         ]
     elif style == "pulsed":
-        front = [SynthStage(), ConvertPulsedStage()]
+        front = [
+            SynthStage(),
+            LintStage("synth"),
+            ConvertPulsedStage(),
+            LintStage("convert"),
+        ]
     elif style == "3p":
         front = [
             SynthStage(),
+            LintStage("synth"),
             PhaseIlpStage(),
             ConvertThreePhaseStage(),
+            LintStage("convert"),
             RetimeStage(),
+            LintStage("retime", when=lambda o: o.retime),
             ClockGatingStage(),
+            LintStage("cg"),
         ]
     else:
         raise ValueError(f"unknown style {style!r}")
@@ -857,3 +968,19 @@ def build_stages(style: str) -> list[Stage]:
 
 def build_pipeline(style: str) -> Pipeline:
     return Pipeline(build_stages(style))
+
+
+#: back-end stages a lint-only run can skip: they do not rewrite the
+#: netlist the rules inspect (resize/hold-fix do, so they stay).
+_LINT_SKIP = frozenset({"pnr", "sta", "verify", "sim", "power"})
+
+
+def build_lint_stages(style: str) -> list[Stage]:
+    """The ``repro lint`` chain: the rewriting front plus a final gate.
+
+    Reuses the style's normal stage chain (minus the physical/simulation
+    back-end) so lint sees exactly the netlists the real flow produces,
+    then appends a whole-netlist ``final`` gate.
+    """
+    stages = [s for s in build_stages(style) if s.name not in _LINT_SKIP]
+    return stages + [LintStage("final")]

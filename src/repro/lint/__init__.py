@@ -1,0 +1,63 @@
+"""Phase-aware static analysis (lint) over converted netlists.
+
+The subsystem statically verifies the invariants the paper's flow
+relies on -- structural well-formedness, 3-phase clocking legality
+(Sec. III), clock-gating safety preconditions (Sec. IV-B), and
+retiming conservation -- as declarative rules over one shared
+:class:`AnalysisContext`, so adding a rule never adds a traversal.
+
+Entry points: :func:`run_lint` for one pass, the ``LintStage`` pipeline
+gates in :mod:`repro.flow.pipeline`, and the ``repro lint`` CLI.  See
+``docs/lint.md`` for the rule catalogue and waiver format.
+"""
+
+from repro.lint.context import AnalysisContext
+from repro.lint.engine import (
+    LintGateError,
+    LintResult,
+    apply_waivers,
+    run_lint,
+)
+from repro.lint.registry import (
+    CATEGORIES,
+    SEVERITIES,
+    Finding,
+    Rule,
+    all_rules,
+    get_rule,
+    rule,
+    select_rules,
+    severity_rank,
+)
+from repro.lint.report import format_findings_json, format_findings_text
+from repro.lint.waivers import (
+    Waiver,
+    is_waived,
+    load_waivers,
+    parse_waivers,
+    split_waived,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "CATEGORIES",
+    "Finding",
+    "LintGateError",
+    "LintResult",
+    "Rule",
+    "SEVERITIES",
+    "Waiver",
+    "all_rules",
+    "apply_waivers",
+    "format_findings_json",
+    "format_findings_text",
+    "get_rule",
+    "is_waived",
+    "load_waivers",
+    "parse_waivers",
+    "rule",
+    "run_lint",
+    "select_rules",
+    "severity_rank",
+    "split_waived",
+]

@@ -1,0 +1,129 @@
+"""Lint engine: run selected rules over a module, gate on severity.
+
+:func:`run_lint` builds one :class:`AnalysisContext`, runs every rule
+applicable at the requested gate (sorted by id, so output order is
+deterministic), wraps the yields into :class:`Finding` records, applies
+waivers, and returns a :class:`LintResult`.  The pipeline's lint stages
+call this and raise :class:`LintGateError` when the result crosses the
+configured severity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro import obs
+from repro.lint.context import AnalysisContext
+from repro.lint.registry import (
+    Finding,
+    select_rules,
+    severity_rank,
+)
+from repro.lint.waivers import Waiver, split_waived
+from repro.netlist.core import Module
+
+# the rule modules register themselves on import
+import repro.lint.rules_cg  # noqa: F401
+import repro.lint.rules_phase  # noqa: F401
+import repro.lint.rules_retime  # noqa: F401
+import repro.lint.rules_structural  # noqa: F401
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint pass over one netlist."""
+
+    design: str
+    stage: str
+    findings: tuple[Finding, ...]
+    waived: tuple[Finding, ...] = ()
+    style: str = ""
+    rules_run: int = 0
+
+    def count(self, severity: str) -> int:
+        return sum(1 for f in self.findings if f.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count("error")
+
+    @property
+    def warnings(self) -> int:
+        return self.count("warn")
+
+    def count_at_least(self, severity: str) -> int:
+        """Findings at or above ``severity`` (waived ones excluded)."""
+        floor = severity_rank(severity)
+        return sum(
+            1 for f in self.findings if severity_rank(f.severity) >= floor
+        )
+
+    @property
+    def worst(self) -> str | None:
+        """Highest severity present, or None when clean."""
+        if not self.findings:
+            return None
+        return max(self.findings,
+                   key=lambda f: severity_rank(f.severity)).severity
+
+
+class LintGateError(RuntimeError):
+    """A pipeline lint gate found findings at/above its fail-on level."""
+
+    def __init__(self, stage: str, result: LintResult, fail_on: str):
+        self.stage = stage
+        self.result = result
+        shown = [str(f) for f in result.findings[:5]]
+        if len(result.findings) > len(shown):
+            shown.append(f"... and {len(result.findings) - len(shown)} more")
+        super().__init__(
+            f"lint gate failed after stage {stage!r} "
+            f"({result.errors} error(s), {result.warnings} warning(s), "
+            f"fail-on={fail_on}):\n" + "\n".join(shown)
+        )
+
+
+def run_lint(
+    module: Module,
+    clocks: Any = None,
+    *,
+    stage: str = "final",
+    categories: Iterable[str] | None = None,
+    extra: Mapping[str, Any] | None = None,
+    waivers: Sequence[Waiver] = (),
+    allow_dangling: bool = True,
+    design: str = "",
+    style: str = "",
+) -> LintResult:
+    """Run every rule applicable at ``stage`` and collect findings."""
+    rules = select_rules(stage, categories)
+    ctx = AnalysisContext(
+        module, clocks, extra=extra, allow_dangling=allow_dangling)
+    findings: list[Finding] = []
+    with obs.span("lint.run", stage=stage, rules=len(rules)) as span:
+        for r in rules:
+            for where, message in r.func(ctx):
+                findings.append(
+                    Finding(rule=r.id, severity=r.severity,
+                            category=r.category, where=where,
+                            message=message, stage=stage)
+                )
+        kept, waived = split_waived(findings, tuple(waivers))
+        span.set(findings=len(kept), waived=len(waived))
+    obs.add("lint.findings", len(kept))
+    return LintResult(
+        design=design, stage=stage, findings=kept, waived=waived,
+        style=style, rules_run=len(rules),
+    )
+
+
+def apply_waivers(result: LintResult,
+                  waivers: Sequence[Waiver]) -> LintResult:
+    """Re-partition an existing result under additional waivers."""
+    if not waivers:
+        return result
+    kept, waived = split_waived(result.findings, tuple(waivers))
+    return dataclasses.replace(
+        result, findings=kept, waived=result.waived + waived)

@@ -1,0 +1,149 @@
+"""Declarative lint rule registry.
+
+A :class:`Rule` couples an identifier (``family.short-name``) with a
+severity, a category (rule family), the pipeline gates it applies at,
+and a checker function.  Checkers receive one shared
+:class:`~repro.lint.context.AnalysisContext` and yield ``(where,
+message)`` pairs; the engine wraps them into :class:`Finding` records so
+every rule reports uniformly.
+
+Rules self-register at import time through the :func:`rule` decorator
+(the rule modules are imported by :mod:`repro.lint`), which keeps the
+catalogue declarative: id collisions, unknown severities, and unknown
+categories are rejected at registration, and ``docs/lint.md`` is checked
+against :func:`all_rules` by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with context
+    from repro.lint.context import AnalysisContext
+
+#: Severities in ascending order of badness.
+SEVERITIES = ("info", "warn", "error")
+
+#: The four rule families of the subsystem.
+CATEGORIES = ("structural", "phase", "cg", "retime")
+
+#: Pipeline points a rule may be gated at.  ``final`` is the
+#: whole-netlist lint the CLI runs after the last rewriting stage.
+GATES = ("synth", "convert", "retime", "cg", "final")
+
+#: A checker: yields (where, message) pairs against the shared context.
+Checker = Callable[["AnalysisContext"], Iterator[tuple[str, str]]]
+
+
+def severity_rank(severity: str) -> int:
+    """Ascending rank of ``severity`` (info=0, warn=1, error=2)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ValueError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding: a rule violated at a specific location."""
+
+    rule: str
+    severity: str
+    category: str
+    where: str
+    message: str
+    #: the pipeline gate the finding was produced at.
+    stage: str = "final"
+
+    def __str__(self) -> str:
+        return f"{self.severity:5} [{self.rule}] {self.where}: {self.message}"
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "category": self.category,
+            "where": self.where,
+            "message": self.message,
+            "stage": self.stage,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    id: str
+    severity: str
+    category: str
+    func: Checker
+    #: gates the rule runs at; None means every gate.
+    gates: tuple[str, ...] | None = None
+    #: one-line description (the checker's docstring first line).
+    doc: str = ""
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def rule(
+    rule_id: str,
+    *,
+    severity: str,
+    category: str,
+    gates: Iterable[str] | None = None,
+) -> Callable[[Checker], Checker]:
+    """Register a checker function as lint rule ``rule_id``."""
+    severity_rank(severity)  # validates
+    if category not in CATEGORIES:
+        raise ValueError(
+            f"unknown category {category!r}; expected one of {CATEGORIES}")
+    gate_tuple = tuple(gates) if gates is not None else None
+    if gate_tuple is not None:
+        unknown = set(gate_tuple) - set(GATES)
+        if unknown:
+            raise ValueError(f"unknown gates {sorted(unknown)} for {rule_id}")
+
+    def register(func: Checker) -> Checker:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        doc = (func.__doc__ or "").strip().splitlines()
+        _REGISTRY[rule_id] = Rule(
+            id=rule_id,
+            severity=severity,
+            category=category,
+            func=func,
+            gates=gate_tuple,
+            doc=doc[0] if doc else "",
+        )
+        return func
+
+    return register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(f"no lint rule {rule_id!r}") from None
+
+
+def select_rules(
+    gate: str = "final",
+    categories: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Rules applicable at ``gate``, optionally limited to categories."""
+    wanted = None if categories is None else set(categories)
+    return [
+        r for r in all_rules()
+        if (r.gates is None or gate in r.gates)
+        and (wanted is None or r.category in wanted)
+    ]

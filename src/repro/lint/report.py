@@ -1,0 +1,56 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.engine import LintResult
+
+
+def _header(design: str, result: LintResult) -> str:
+    style = f" [{result.style}]" if result.style else ""
+    return (
+        f"lint: {design}{style} stage {result.stage} -- "
+        f"{result.errors} error(s), {result.warnings} warning(s), "
+        f"{result.count('info')} info"
+    )
+
+
+def format_findings_text(design: str,
+                         results: Sequence[LintResult]) -> str:
+    """Human-readable report over one design's lint results."""
+    lines: list[str] = []
+    for result in results:
+        lines.append(_header(design, result))
+        if not result.findings and not result.waived:
+            lines.append("  no findings")
+        for finding in result.findings:
+            lines.append(f"  {finding}")
+        if result.waived:
+            lines.append(f"  ({len(result.waived)} finding(s) waived)")
+    return "\n".join(lines)
+
+
+def format_findings_json(design: str,
+                         results: Sequence[LintResult]) -> str:
+    """Machine-readable report; stable key order for CI diffing."""
+    summary = {"error": 0, "warn": 0, "info": 0, "waived": 0}
+    payload_results = []
+    for result in results:
+        for severity in ("error", "warn", "info"):
+            summary[severity] += result.count(severity)
+        summary["waived"] += len(result.waived)
+        payload_results.append({
+            "style": result.style,
+            "stage": result.stage,
+            "rules_run": result.rules_run,
+            "findings": [f.as_dict() for f in result.findings],
+            "waived": [f.as_dict() for f in result.waived],
+        })
+    payload = {
+        "design": design,
+        "results": payload_results,
+        "summary": summary,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

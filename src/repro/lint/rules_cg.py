@@ -1,0 +1,122 @@
+"""Clock-gating safety rule family.
+
+Static preconditions for the paper's Sec. IV-B gating transforms: the
+latch-free M2 cell is only legal where its enable is hazard-free at the
+gated phase, the M1 inverter-reuse cell must see p2/p3 on its CK/PB
+pins, gating groups respect the ``max_fanout`` cap used for sizing, and
+DDCG only gates latches whose profiled toggle rate is under threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.cg.ddcg import toggle_rate
+from repro.cg.m2 import enable_source_phases
+from repro.lint.context import AnalysisContext
+from repro.lint.registry import rule
+
+
+def _icg_instances(ctx: AnalysisContext, op: str):
+    for name in ctx.icgs:
+        inst = ctx.module.instances[name]
+        if inst.cell.op == op:
+            yield inst
+
+
+@rule("cg.m2-hazard", severity="error", category="cg",
+      gates=("cg", "final"))
+def check_m2_hazard(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """M2 latch-free gates only where the enable is statically hazard-free.
+
+    An ``ICG_AND`` has no internal latch, so its enable must be stable
+    while its clock phase is high: no combinational enable path may
+    start at a latch on the *same* phase the gate serves (Sec. IV-B,
+    modification M2).
+    """
+    if not ctx.is_three_phase:
+        return
+    for inst in _icg_instances(ctx, "ICG_AND"):
+        phase = ctx.clock_root(inst.conns.get("CK"))
+        if phase is None:
+            yield (inst.name,
+                   "cannot trace ICG_AND clock pin back to a phase root")
+            continue
+        en_net = inst.conns.get("EN")
+        if en_net is None:  # reported by struct.unconnected-pin
+            continue
+        sources = enable_source_phases(ctx.module, en_net)
+        if phase in sources:
+            yield (inst.name,
+                   f"latch-free gate on {phase} but enable depends on a "
+                   f"{phase} latch (hazard not statically excluded)")
+
+
+@rule("cg.m1-wiring", severity="error", category="cg",
+      gates=("cg", "final"))
+def check_m1_wiring(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """M1 inverter-reuse gates are wired CK=p2, PB=p3.
+
+    ``ICG_M1`` drops its internal clock inverter and takes the inverted
+    clock externally; in the 3-phase schedule that inversion is exactly
+    p3, so a p2 gate with any other PB/CK wiring is mis-built
+    (Sec. IV-B, modification M1).
+    """
+    if not ctx.is_three_phase:
+        return
+    for inst in _icg_instances(ctx, "ICG_M1"):
+        ck_root = ctx.clock_root(inst.conns.get("CK"))
+        if ck_root != "p2":
+            yield (inst.name,
+                   f"ICG_M1 clock pin traces to {ck_root}, expected p2")
+        pb_root = ctx.clock_root(inst.conns.get("PB"))
+        if pb_root != "p3":
+            yield (inst.name,
+                   f"ICG_M1 PB pin traces to {pb_root}, expected p3 "
+                   f"(the reused inverted clock)")
+
+
+@rule("cg.fanout-cap", severity="warn", category="cg",
+      gates=("cg", "final"))
+def check_fanout_cap(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """Clock-gate sink groups stay within the sizing fanout cap.
+
+    Common-enable and DDCG grouping chunk at ``max_fanout`` (default
+    32) so one gate's drive strength suffices; an oversized group means
+    the grouping pass mis-split or a rewrite merged domains.
+    """
+    cap = int(ctx.extra.get("max_fanout", 32))
+    for icg_name in ctx.icgs:
+        sinks = ctx.gated_sinks(icg_name)
+        if len(sinks) > cap:
+            yield (icg_name,
+                   f"gated clock drives {len(sinks)} sequential sinks "
+                   f"(cap {cap})")
+
+
+@rule("cg.ddcg-threshold", severity="warn", category="cg",
+      gates=("cg", "final"))
+def check_ddcg_threshold(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """DDCG only gates latches under the profiled toggle threshold.
+
+    Data-driven gating pays an XOR+OR tree per group; the paper only
+    applies it where the data toggles rarely, so a gated latch at or
+    above the threshold indicates the activity profile and the grouping
+    disagree.
+    """
+    profile = ctx.extra.get("activity")
+    cycles = ctx.extra.get("cycles")
+    if profile is None or not cycles:
+        return
+    threshold = float(ctx.extra.get("ddcg_threshold", 0.01))
+    for inst in ctx.module.latches():
+        if not inst.attrs.get("ddcg"):
+            continue
+        d_net = inst.conns.get("D")
+        if d_net is None:
+            continue
+        rate = toggle_rate(profile, d_net, cycles)
+        if rate >= threshold:
+            yield (inst.name,
+                   f"DDCG-gated latch toggles at {rate:.4f}/cycle, at or "
+                   f"above the {threshold} threshold")

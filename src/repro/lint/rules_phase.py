@@ -1,0 +1,140 @@
+"""Phase-legality rule family for 3-phase latch designs.
+
+These rules statically enforce the clocking discipline of the paper's
+Sec. III: every latch sits on a declared phase and is actually clocked
+by it, latch-to-latch combinational paths follow the legal 3-phase hop
+set (constraint C2, :data:`repro.convert.clocks.THREE_PHASE_HOPS`),
+back-to-back ILP groups contain their inserted p2 latch, and no gated
+clock fans out to sinks on two different phases (the conversion pass
+duplicates ICGs per phase precisely to prevent that).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.convert.clocks import THREE_PHASE_HOPS
+from repro.netlist.core import Pin
+from repro.lint.context import AnalysisContext
+from repro.lint.registry import rule
+
+
+@rule("phase.latch-phase", severity="error", category="phase")
+def check_latch_phase(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """Every latch declares a known phase and is clocked from it.
+
+    The ``phase`` attribute (set by the conversion pass) must name a
+    declared clock phase, and the latch's gate net must trace back
+    through the clock tree to exactly that phase's root port.
+    """
+    phases = set(ctx.phase_names)
+    for inst in ctx.module.latches():
+        declared = inst.attrs.get("phase")
+        if declared is None:
+            yield (inst.name, "latch has no phase attribute")
+            continue
+        if declared not in phases:
+            yield (inst.name,
+                   f"latch declares unknown phase {declared!r} "
+                   f"(declared phases: {', '.join(ctx.phase_names)})")
+            continue
+        gate_net = inst.conns.get("G")
+        if gate_net is None:  # reported by struct.unconnected-pin
+            continue
+        root = ctx.clock_root(gate_net)
+        if root is None:
+            yield (inst.name,
+                   f"gate net {gate_net} does not trace back to a clock "
+                   f"root (declared phase {declared})")
+        elif root != declared:
+            yield (inst.name,
+                   f"declared phase {declared} but clocked from {root}")
+
+
+@rule("phase.path-order", severity="error", category="phase")
+def check_path_order(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """Latch-to-latch combinational paths follow the 3-phase hop order.
+
+    Legal hops are p1->p3, p3->p2, p2->p1 plus the back-to-back
+    insertions p1->p2 and p2->p3 (Sec. III C2).  Same-phase hops and
+    p3->p1 can violate setup/hold under the non-overlapping schedule.
+    """
+    if not ctx.is_three_phase:
+        return
+    graph = ctx.seq_graph
+    if graph is None:  # comb cycle, reported by struct.comb-cycle
+        return
+    phases = set(ctx.phase_names)
+    phase_of = ctx.seq_phase
+    for src in graph.ffs:
+        src_phase = phase_of.get(src)
+        if src_phase not in phases:  # reported by phase.latch-phase
+            continue
+        for dst in sorted(graph.fanout.get(src, ())):
+            dst_phase = phase_of.get(dst)
+            if dst_phase not in phases:
+                continue
+            if (src_phase, dst_phase) not in THREE_PHASE_HOPS:
+                yield (f"{src} -> {dst}",
+                       f"illegal combinational hop {src_phase} -> "
+                       f"{dst_phase} under the 3-phase schedule")
+
+
+@rule("phase.b2b-follower", severity="error", category="phase",
+      gates=("convert",))
+def check_b2b_followers(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """Back-to-back ILP groups contain their inserted p2 follower.
+
+    Right after conversion, a latch marked ``group=b2b, role=leading``
+    must drive exactly one load: the D pin of its p2 follower latch.
+    (Later passes may retime the follower away, so this only gates the
+    convert stage.)
+    """
+    module = ctx.module
+    for inst in module.latches():
+        if inst.attrs.get("group") != "b2b" or \
+                inst.attrs.get("role") != "leading":
+            continue
+        q_net_name = inst.conns.get("Q")
+        net = module.nets.get(q_net_name) if q_net_name else None
+        if net is None:
+            yield (inst.name, "b2b leading latch output is unconnected")
+            continue
+        followers = []
+        for load in net.loads:
+            if isinstance(load, Pin) and load.pin == "D":
+                cand = module.instances.get(load.instance)
+                if cand is not None and \
+                        cand.attrs.get("role") == "follower":
+                    followers.append(cand)
+        if len(net.loads) != 1 or len(followers) != 1:
+            yield (inst.name,
+                   f"b2b leading latch must drive exactly its p2 "
+                   f"follower, found {len(net.loads)} load(s)")
+            continue
+        follower = followers[0]
+        if follower.attrs.get("phase") != "p2":
+            yield (inst.name,
+                   f"b2b follower {follower.name} is on phase "
+                   f"{follower.attrs.get('phase')!r}, expected p2")
+
+
+@rule("phase.gated-clock-mixed-sinks", severity="error", category="phase")
+def check_gated_clock_sinks(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """No gated clock drives sinks on two different phases.
+
+    The conversion pass duplicates each inherited ICG per target phase;
+    a gate whose sink set spans phases would open/close the wrong
+    latches together.
+    """
+    for icg_name in ctx.icgs:
+        phases = {
+            phase
+            for sink in ctx.gated_sinks(icg_name)
+            if (phase := ctx.module.instances[sink].attrs.get("phase"))
+            is not None
+        }
+        if len(phases) > 1:
+            yield (icg_name,
+                   f"gated clock drives sinks on multiple phases: "
+                   f"{', '.join(sorted(phases))}")

@@ -1,0 +1,71 @@
+"""Retiming-conservation rule family.
+
+Forward retiming moves p2 latches across combinational logic; it must
+neither create nor destroy state.  These rules check the per-phase
+latch census against the :class:`~repro.retime.forward.RetimeResult`
+bookkeeping and that every latch still carries a recomputable initial
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.context import AnalysisContext
+from repro.lint.registry import rule
+
+
+@rule("retime.latch-conservation", severity="error", category="retime",
+      gates=("retime",))
+def check_latch_conservation(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """Retiming preserves the per-phase latch counts it reports.
+
+    The post-retime netlist census must equal the pass's own
+    ``latch_counts_after``, the overall delta must match
+    ``latch_delta``, and phases other than the movable one must be
+    untouched.
+    """
+    result = ctx.extra.get("retime")
+    if result is None:
+        return
+    before = getattr(result, "latch_counts_before", None)
+    after = getattr(result, "latch_counts_after", None)
+    if before is None or after is None:
+        return
+    from repro.retime.forward import phase_latch_counts
+    current = phase_latch_counts(ctx.module)
+    if current != after:
+        yield ("retime",
+               f"netlist latch census {current} disagrees with the "
+               f"retime pass's reported counts {after}")
+    delta = sum(after.values()) - sum(before.values())
+    if delta != result.latch_delta:
+        yield ("retime",
+               f"per-phase counts changed by {delta} but the pass "
+               f"reports latch_delta={result.latch_delta}")
+    movable = getattr(result, "movable_phase", None)
+    for phase in sorted(set(before) | set(after)):
+        if phase == movable:
+            continue
+        if before.get(phase, 0) != after.get(phase, 0):
+            yield (str(phase),
+                   f"retiming changed the {phase} latch count "
+                   f"({before.get(phase, 0)} -> {after.get(phase, 0)}) "
+                   f"but only {movable} latches are movable")
+
+
+@rule("retime.init-preserved", severity="error", category="retime",
+      gates=("convert", "retime", "cg", "final"))
+def check_init_preserved(ctx: AnalysisContext) -> Iterator[tuple[str, str]]:
+    """Every latch carries a binary initial state.
+
+    Conversion derives each latch's ``init`` from the source FF's reset
+    value and retiming recomputes it through the logic it crosses; a
+    missing or non-binary init means the equivalence-check start state
+    is undefined.
+    """
+    for inst in ctx.module.latches():
+        init = inst.attrs.get("init")
+        if init not in (0, 1, False, True):
+            yield (inst.name,
+                   f"latch init is {init!r}, expected 0 or 1")

@@ -1,0 +1,82 @@
+"""Waiver files: known, accepted lint findings.
+
+A waiver file is plain text, one waiver per line::
+
+    # comment lines and blanks are ignored
+    cg.fanout-cap              # waive a rule everywhere
+    phase.path-order  u1 -> *  # waive a rule at matching locations
+
+The first token is an ``fnmatch`` glob against the rule id; the rest of
+the line (before any ``#`` comment) is an optional glob against the
+finding's ``where``.  A finding is waived when any waiver matches both.
+Waived findings are still reported (separately) so a waiver never hides
+silently, but they do not count toward gate failures or exit codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.registry import Finding
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """One waiver: rule glob + optional location glob."""
+
+    rule: str
+    where: str = "*"
+    comment: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return fnmatchcase(finding.rule, self.rule) and \
+            fnmatchcase(finding.where, self.where)
+
+
+def parse_waivers(text: str) -> list[Waiver]:
+    """Parse waiver-file text; raises ValueError with the line number."""
+    waivers: list[Waiver] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line, _, comment = raw.partition("#")
+        line = line.strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        rule_glob = parts[0]
+        where_glob = parts[1].strip() if len(parts) > 1 else "*"
+        if not rule_glob:  # pragma: no cover - split(None) drops empties
+            raise ValueError(f"waiver line {lineno}: missing rule glob")
+        waivers.append(
+            Waiver(rule=rule_glob, where=where_glob,
+                   comment=comment.strip()))
+    return waivers
+
+
+def load_waivers(path: str | Path) -> list[Waiver]:
+    """Load a waiver file from disk."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise ValueError(f"cannot read waiver file {path}: {exc}") from exc
+    return parse_waivers(text)
+
+
+def is_waived(finding: Finding, waivers: Iterable[Waiver]) -> bool:
+    return any(w.matches(finding) for w in waivers)
+
+
+def split_waived(
+    findings: Sequence[Finding],
+    waivers: Sequence[Waiver],
+) -> tuple[tuple[Finding, ...], tuple[Finding, ...]]:
+    """Partition findings into (kept, waived)."""
+    if not waivers:
+        return tuple(findings), ()
+    kept: list[Finding] = []
+    waived: list[Finding] = []
+    for finding in findings:
+        (waived if is_waived(finding, waivers) else kept).append(finding)
+    return tuple(kept), tuple(waived)

@@ -11,7 +11,12 @@ from repro.netlist.core import (
     PortRef,
 )
 from repro.netlist.stats import NetlistStats, collect_stats
-from repro.netlist.traversal import FFGraph, comb_topo_order, ff_fanout_map
+from repro.netlist.traversal import (
+    FFGraph,
+    comb_topo_order,
+    ff_fanout_map,
+    seq_fanout_map,
+)
 from repro.netlist.validate import ValidationError, check, find_issues
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "FFGraph",
     "comb_topo_order",
     "ff_fanout_map",
+    "seq_fanout_map",
     "ValidationError",
     "check",
     "find_issues",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.library.cell import CellKind, PinDirection
+from repro.library.cell import CellKind
 from repro.netlist.core import Module, Pin
 
 #: Pin names that terminate a combinational path at a sequential cell.
@@ -149,6 +149,32 @@ def ff_fanout_map(module: Module) -> FFGraph:
     for port in module.data_input_ports():
         pi_bits |= masks[port]
     graph.pi_fanout = {ffs[i] for i in _bit_indices(pi_bits)}
+    return graph
+
+
+def seq_fanout_map(module: Module) -> FFGraph:
+    """Like :func:`ff_fanout_map`, but over *all* sequential cells.
+
+    After conversion the state elements are latches, so the phase-legality
+    lint rules need latch-to-latch (and mixed FF/latch) combinational
+    reachability; the bitmask sweep is shared with the FF-only variant.
+    """
+    seqs = [inst.name for inst in module.sequential_instances()]
+    masks = _net_to_ff_masks(module, seqs)
+
+    graph = FFGraph(ffs=seqs, fanout={name: set() for name in seqs})
+    for name in seqs:
+        inst = module.instances[name]
+        q_net = inst.conns.get("Q")
+        if q_net is None:
+            continue
+        bits = masks[q_net]
+        graph.fanout[name] = {seqs[i] for i in _bit_indices(bits)}
+
+    pi_bits = 0
+    for port in module.data_input_ports():
+        pi_bits |= masks[port]
+    graph.pi_fanout = {seqs[i] for i in _bit_indices(pi_bits)}
     return graph
 
 

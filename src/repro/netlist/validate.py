@@ -1,18 +1,20 @@
-"""Structural netlist validation.
+"""Structural netlist validation (compat wrapper over :mod:`repro.lint`).
 
-The conversion/retiming/clock-gating passes all assume a well-formed flat
-netlist: fully-connected pins, single-driver nets, and acyclic
-combinational logic (paths may only close through sequential cells).
-:func:`check` verifies those invariants and is called by tests after every
-rewriting pass.
+The structural checks that used to live here are now lint rules in
+:mod:`repro.lint.rules_structural` (the ``struct.*`` family), where
+they share the one-pass :class:`~repro.lint.context.AnalysisContext`
+with the phase/clock-gating/retiming families.  This module keeps the
+original ``find_issues`` / ``check`` / ``ValidationError`` surface so
+existing call sites and tests work unchanged: findings are translated
+back into :class:`Issue` records whose ``kind`` is the rule id minus
+the ``struct.`` prefix, with byte-identical messages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.library.cell import CellKind, PinDirection
-from repro.netlist.core import Module, Pin, PortRef
+from repro.netlist.core import Module
 
 
 @dataclass(frozen=True)
@@ -41,101 +43,24 @@ def find_issues(module: Module, allow_dangling_nets: bool = True) -> list[Issue]
     ``allow_dangling_nets`` tolerates driven nets with no loads (common
     mid-rewrite and after dead-logic removal).
     """
-    issues: list[Issue] = []
+    # Imported lazily: repro.lint imports repro.netlist at module scope.
+    from repro.lint.engine import run_lint
 
-    for inst in module.instances.values():
-        for pin in inst.cell.pins:
-            if pin.name not in inst.conns:
-                issues.append(
-                    Issue("unconnected-pin", inst.name,
-                          f"pin {pin.name} of cell {inst.cell.name} unconnected")
-                )
-        for pin_name, net_name in inst.conns.items():
-            net = module.nets.get(net_name)
-            if net is None:
-                issues.append(
-                    Issue("missing-net", inst.name,
-                          f"pin {pin_name} references unknown net {net_name}")
-                )
-                continue
-            ref = Pin(inst.name, pin_name)
-            direction = inst.cell.pin(pin_name).direction
-            if direction is PinDirection.OUTPUT and net.driver != ref:
-                issues.append(
-                    Issue("index-broken", net_name,
-                          f"driver index does not record {ref}")
-                )
-            if direction is PinDirection.INPUT and ref not in net.loads:
-                issues.append(
-                    Issue("index-broken", net_name,
-                          f"load index does not record {ref}")
-                )
-
-    for net in module.nets.values():
-        if net.loads and net.driver is None:
-            issues.append(
-                Issue("undriven-net", net.name,
-                      f"{len(net.loads)} load(s) but no driver")
-            )
-        if not allow_dangling_nets and net.driver is not None and not net.loads:
-            issues.append(Issue("dangling-net", net.name, "driven but unused"))
-        driver = net.driver
-        if isinstance(driver, PortRef) and module.ports.get(driver.port) is None:
-            issues.append(
-                Issue("missing-port", net.name,
-                      f"driven by unknown port {driver.port}")
-            )
-
-    issues.extend(_find_combinational_cycles(module))
-    return issues
-
-
-def _find_combinational_cycles(module: Module) -> list[Issue]:
-    """Detect cycles through combinational cells only.
-
-    Sequential cells (FFs, latches) and ICGs terminate paths: their outputs
-    are not combinationally dependent on their inputs for this purpose.
-    """
-    comb = {
-        name: inst
-        for name, inst in module.instances.items()
-        if inst.cell.kind is CellKind.COMB
-    }
-    # adjacency: comb instance -> comb instances fed by its output
-    successors: dict[str, list[str]] = {name: [] for name in comb}
-    for name, inst in comb.items():
-        out_net = inst.conns.get(inst.cell.output_pin)
-        if out_net is None:
-            continue
-        for load in module.nets[out_net].loads:
-            if isinstance(load, Pin) and load.instance in comb:
-                successors[name].append(load.instance)
-
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color = dict.fromkeys(comb, WHITE)
-    issues: list[Issue] = []
-    for start in comb:
-        if color[start] != WHITE:
-            continue
-        stack: list[tuple[str, int]] = [(start, 0)]
-        color[start] = GRAY
-        while stack:
-            node, idx = stack[-1]
-            if idx < len(successors[node]):
-                stack[-1] = (node, idx + 1)
-                nxt = successors[node][idx]
-                if color[nxt] == GRAY:
-                    issues.append(
-                        Issue("comb-cycle", nxt,
-                              "combinational cycle through this instance")
-                    )
-                elif color[nxt] == WHITE:
-                    color[nxt] = GRAY
-                    stack.append((nxt, 0))
-            else:
-                color[node] = BLACK
-                stack.pop()
-    return issues
+    result = run_lint(
+        module,
+        stage="final",
+        categories=("structural",),
+        allow_dangling=allow_dangling_nets,
+    )
+    prefix = "struct."
+    return [
+        Issue(
+            kind=f.rule[len(prefix):] if f.rule.startswith(prefix) else f.rule,
+            where=f.where,
+            message=f.message,
+        )
+        for f in result.findings
+    ]
 
 
 def check(module: Module, allow_dangling_nets: bool = True) -> None:

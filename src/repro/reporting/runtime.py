@@ -174,5 +174,8 @@ def format_stage_records(result: DesignResult) -> str:
         if events is not None:
             rate = float(record.summary.get("sim_events_per_s", 0.0))
             line += f"  sim {events} ev @ {rate / 1e6:.2f} Mev/s"
+        findings = record.summary.get("findings")
+        if findings is not None:
+            line += f"  lint {findings} finding(s)"
         lines.append(line)
     return "\n".join(lines)

@@ -2,12 +2,17 @@
 plus the completing backward move set."""
 
 from repro.retime.backward import BackwardReport, move_backward, retime_backward_pass
-from repro.retime.forward import RetimeResult, retime_forward
+from repro.retime.forward import (
+    RetimeResult,
+    phase_latch_counts,
+    retime_forward,
+)
 
 __all__ = [
     "BackwardReport",
     "move_backward",
     "retime_backward_pass",
     "RetimeResult",
+    "phase_latch_counts",
     "retime_forward",
 ]

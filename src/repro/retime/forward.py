@@ -46,10 +46,22 @@ class RetimeResult:
     timing_before: TimingReport | None = None
     timing_after: TimingReport | None = None
     area_moves: int = 0
+    movable_phase: str | None = None
+    latch_counts_before: dict[str, int] | None = None
+    latch_counts_after: dict[str, int] | None = None
 
     @property
     def latch_delta(self) -> int:
         return self.latches_added - self.latches_removed
+
+
+def phase_latch_counts(module: Module) -> dict[str, int]:
+    """Latch census keyed by declared phase (lint conservation check)."""
+    counts: dict[str, int] = {}
+    for inst in module.latches():
+        phase = str(inst.attrs.get("phase", "?"))
+        counts[phase] = counts.get(phase, 0) + 1
+    return dict(sorted(counts.items()))
 
 
 def _movable_latches(module: Module, movable_phase: str) -> set[str]:
@@ -192,7 +204,8 @@ def retime_forward(
     met -- the slack headroom this creates is what lets the latch design
     absorb PVT variation (the paper's robustness motivation).
     """
-    result = RetimeResult(module=module)
+    result = RetimeResult(module=module, movable_phase=movable_phase)
+    result.latch_counts_before = phase_latch_counts(module)
     result.timing_before = analyze(module, clocks)
     report = result.timing_before
 
@@ -242,6 +255,7 @@ def retime_forward(
         report = analyze(module, clocks)
 
     result.timing_after = report
+    result.latch_counts_after = phase_latch_counts(module)
     obs.add("retime.moves", result.moves)
     obs.annotate(timing_rounds=round_index)
     return result

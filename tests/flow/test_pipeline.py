@@ -39,8 +39,10 @@ class TestStageRecords:
 
     def test_every_stage_has_a_record(self, result):
         names = [record.stage for record in result.stages]
-        assert names == ["synth", "ilp", "convert", "retime", "cg",
-                         "hold_fix", "pnr", "sta", "sim", "power"]
+        assert names == ["synth", "lint_synth", "ilp", "convert",
+                         "lint_convert", "retime", "lint_retime", "cg",
+                         "lint_cg", "hold_fix", "pnr", "sta", "sim",
+                         "power"]
 
     def test_records_have_walltime_and_digests(self, result):
         for record in result.stages:
@@ -209,10 +211,11 @@ class TestPipelineWiring:
 
     def test_chain_shapes(self):
         assert [s.name for s in build_stages("ff")] == [
-            "synth", "clocks", "resize", "hold_fix", "pnr", "sta",
-            "verify", "sim", "power"]
+            "synth", "lint_synth", "clocks", "resize", "hold_fix", "pnr",
+            "sta", "verify", "sim", "power"]
         assert [s.name for s in build_stages("3p")] == [
-            "synth", "ilp", "convert", "retime", "cg", "resize",
+            "synth", "lint_synth", "ilp", "convert", "lint_convert",
+            "retime", "lint_retime", "cg", "lint_cg", "resize",
             "hold_fix", "pnr", "sta", "verify", "sim", "power"]
 
 

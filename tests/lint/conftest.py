@@ -1,0 +1,46 @@
+"""Hand-built 3-phase fixtures for the lint rule tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.library.generic import GENERIC
+from repro.netlist import Module
+
+
+def three_phase_module(name: str = "m") -> Module:
+    """An empty module with the three phase clocks declared."""
+    m = Module(name)
+    for phase in ("p1", "p2", "p3"):
+        m.add_input(phase, is_clock=True)
+    m.add_input("d")
+    return m
+
+
+def add_latch(m: Module, name: str, phase: str, d_net: str,
+              gate_net: str | None = None, **attrs) -> str:
+    """Add a latch on ``phase``; returns its Q net name."""
+    q_net = f"{name}_q"
+    m.add_net(q_net)
+    m.add_instance(
+        name, GENERIC["DLATCH"],
+        {"D": d_net, "G": gate_net or phase, "Q": q_net},
+        attrs={"phase": phase, "init": 0, **attrs},
+    )
+    return q_net
+
+
+def latch_pair(src_phase: str, dst_phase: str) -> Module:
+    """Two latches with a combinational INV between them."""
+    m = three_phase_module(f"pair_{src_phase}_{dst_phase}")
+    a_q = add_latch(m, "a", src_phase, "d")
+    m.add_net("inv_y")
+    m.add_instance("inv", GENERIC["INV"], {"A": a_q, "Y": "inv_y"})
+    b_q = add_latch(m, "b", dst_phase, "inv_y")
+    m.add_output("z", net_name=b_q)
+    return m
+
+
+@pytest.fixture
+def generic():
+    return GENERIC

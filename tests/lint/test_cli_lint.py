@@ -1,0 +1,63 @@
+"""The ``repro lint`` subcommand: formats, waivers, exit codes."""
+
+import json
+
+from repro.cli import main
+
+
+class TestCleanDesign:
+    def test_text_default_exits_zero(self, capsys):
+        assert main(["lint", "s1488"]) == 0
+        out = capsys.readouterr().out
+        assert "lint: s1488 [3p] stage synth" in out
+        assert "lint: s1488 [3p] stage final" in out
+        assert "no findings" in out
+
+    def test_json_format(self, capsys):
+        assert main(["lint", "s1488", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "s1488"
+        assert payload["summary"]["error"] == 0
+        stages = [r["stage"] for r in payload["results"]]
+        assert stages == ["synth", "convert", "retime", "cg", "final"]
+        assert all(r["rules_run"] > 0 for r in payload["results"])
+
+    def test_all_styles(self, capsys):
+        assert main(["lint", "s1488", "--style", "all",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        styles = {r["style"] for r in payload["results"]}
+        assert styles == {"ff", "ms", "3p", "pulsed"}
+        assert payload["summary"]["error"] == 0
+
+
+class TestExitCodes:
+    def test_unknown_design_exits_two(self, capsys):
+        assert main(["lint", "does-not-exist"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_bad_waiver_file_exits_two(self, tmp_path, capsys):
+        assert main(["lint", "s1488", "--waivers",
+                     str(tmp_path / "missing.waive")]) == 2
+        assert "cannot read waiver file" in capsys.readouterr().err
+
+    def test_waivers_are_applied(self, tmp_path, capsys):
+        # waive every rule: the run must stay clean and say so in JSON
+        waive_all = tmp_path / "all.waive"
+        waive_all.write_text("# blanket waiver for the test\n*\n")
+        assert main(["lint", "s1488", "--waivers", str(waive_all),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error"] == 0
+
+
+class TestDocsCatalogue:
+    def test_every_rule_documented_in_docs(self):
+        from pathlib import Path
+
+        from repro.lint import all_rules
+
+        doc = (Path(__file__).parents[2] / "docs" / "lint.md").read_text()
+        for rule in all_rules():
+            assert f"`{rule.id}`" in doc, \
+                f"rule {rule.id} missing from docs/lint.md"

@@ -1,0 +1,89 @@
+"""Registry integrity: ids, severities, categories, docs, selection."""
+
+import pytest
+
+from repro.lint import (
+    CATEGORIES,
+    SEVERITIES,
+    all_rules,
+    get_rule,
+    rule,
+    select_rules,
+    severity_rank,
+)
+from repro.lint.registry import GATES
+
+
+class TestCatalogue:
+    def test_rules_registered(self):
+        assert len(all_rules()) >= 15
+
+    def test_ids_unique_and_namespaced(self):
+        ids = [r.id for r in all_rules()]
+        assert len(ids) == len(set(ids))
+        prefixes = {"structural": "struct.", "phase": "phase.",
+                    "cg": "cg.", "retime": "retime."}
+        for r in all_rules():
+            assert r.id.startswith(prefixes[r.category]), r.id
+
+    def test_severities_and_categories_valid(self):
+        for r in all_rules():
+            assert r.severity in SEVERITIES, r.id
+            assert r.category in CATEGORIES, r.id
+            if r.gates is not None:
+                assert set(r.gates) <= set(GATES), r.id
+
+    def test_every_rule_documented(self):
+        for r in all_rules():
+            assert r.doc, f"rule {r.id} has no docstring"
+
+    def test_all_four_families_present(self):
+        assert {r.category for r in all_rules()} == set(CATEGORIES)
+
+    def test_get_rule(self):
+        assert get_rule("phase.path-order").severity == "error"
+        with pytest.raises(KeyError, match="no lint rule"):
+            get_rule("nope.nothing")
+
+
+class TestRegistration:
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError, match="duplicate lint rule id"):
+            @rule("phase.path-order", severity="error", category="phase")
+            def dup(ctx):
+                yield from ()
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            rule("x.y", severity="fatal", category="phase")
+
+    def test_bad_category_rejected(self):
+        with pytest.raises(ValueError, match="unknown category"):
+            rule("x.y", severity="error", category="misc")
+
+    def test_bad_gate_rejected(self):
+        with pytest.raises(ValueError, match="unknown gates"):
+            rule("x.y", severity="error", category="phase",
+                 gates=("place",))
+
+
+class TestSelection:
+    def test_gated_rules_only_at_their_gates(self):
+        synth_ids = {r.id for r in select_rules("synth")}
+        assert "phase.b2b-follower" not in synth_ids
+        assert "retime.latch-conservation" not in synth_ids
+        assert "struct.undriven-net" in synth_ids
+        convert_ids = {r.id for r in select_rules("convert")}
+        assert "phase.b2b-follower" in convert_ids
+        retime_ids = {r.id for r in select_rules("retime")}
+        assert "retime.latch-conservation" in retime_ids
+
+    def test_category_filter(self):
+        only = select_rules("final", categories=("structural",))
+        assert only and all(r.category == "structural" for r in only)
+
+    def test_severity_rank_orders(self):
+        assert severity_rank("info") < severity_rank("warn") \
+            < severity_rank("error")
+        with pytest.raises(ValueError):
+            severity_rank("catastrophic")

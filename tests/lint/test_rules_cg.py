@@ -1,0 +1,132 @@
+"""Clock-gating safety family: M1/M2 wiring, fanout cap, DDCG threshold."""
+
+from repro.lint import run_lint
+from repro.library.generic import GENERIC
+
+from tests.lint.conftest import add_latch, three_phase_module
+
+
+def rule_ids(result):
+    return {f.rule for f in result.findings}
+
+
+class TestM2Hazard:
+    def _m2(self, enable_from_p1_latch: bool) -> object:
+        m = three_phase_module()
+        m.add_net("gck")
+        if enable_from_p1_latch:
+            en_net = add_latch(m, "en_lat", "p1", "d")
+        else:
+            m.add_input("en")
+            en_net = "en"
+        m.add_instance("m2gate", GENERIC["ICG_AND"],
+                       {"CK": "p1", "EN": en_net, "GCK": "gck"},
+                       attrs={"m2": True})
+        add_latch(m, "lat", "p1", "d", gate_net="gck")
+        return m
+
+    def test_same_phase_enable_flagged(self):
+        result = run_lint(self._m2(enable_from_p1_latch=True), stage="cg")
+        finding = next(
+            f for f in result.findings if f.rule == "cg.m2-hazard")
+        assert finding.severity == "error"
+        assert finding.where == "m2gate"
+        assert "hazard" in finding.message
+
+    def test_pi_enable_clean(self):
+        result = run_lint(self._m2(enable_from_p1_latch=False), stage="cg")
+        assert "cg.m2-hazard" not in rule_ids(result)
+
+
+class TestM1Wiring:
+    def _m1(self, pb_net: str, ck_net: str = "p2"):
+        m = three_phase_module()
+        m.add_input("en")
+        m.add_net("gck")
+        m.add_instance("m1gate", GENERIC["ICG_M1"],
+                       {"CK": ck_net, "EN": "en", "GCK": "gck", "PB": pb_net},
+                       attrs={"phase": "p2", "p2_cg": True})
+        add_latch(m, "lat", "p2", "d", gate_net="gck")
+        return m
+
+    def test_correct_wiring_clean(self):
+        result = run_lint(self._m1(pb_net="p3"), stage="cg")
+        assert "cg.m1-wiring" not in rule_ids(result)
+
+    def test_pb_not_p3_flagged(self):
+        result = run_lint(self._m1(pb_net="p2"), stage="cg")
+        finding = next(
+            f for f in result.findings if f.rule == "cg.m1-wiring")
+        assert finding.where == "m1gate"
+        assert "expected p3" in finding.message
+
+    def test_ck_not_p2_flagged(self):
+        m = self._m1(pb_net="p3", ck_net="p1")
+        # keep the sink latch consistent so only the wiring rule fires
+        m.instances["lat"].attrs["phase"] = "p1"
+        result = run_lint(m, stage="cg")
+        assert any(f.rule == "cg.m1-wiring" and "expected p2" in f.message
+                   for f in result.findings)
+
+
+class TestFanoutCap:
+    def _group(self, n: int):
+        m = three_phase_module()
+        m.add_input("en")
+        m.add_net("gck")
+        m.add_instance("icg", GENERIC["ICG"],
+                       {"CK": "p2", "EN": "en", "GCK": "gck"})
+        for i in range(n):
+            add_latch(m, f"lat{i}", "p2", "d", gate_net="gck")
+        return m
+
+    def test_oversized_group_flagged_as_warning(self):
+        result = run_lint(self._group(33), stage="cg",
+                          extra={"max_fanout": 32})
+        finding = next(
+            f for f in result.findings if f.rule == "cg.fanout-cap")
+        assert finding.severity == "warn"
+        assert finding.where == "icg"
+        assert "33 sequential sinks" in finding.message
+        assert result.errors == 0  # a warning, not a gate-failing error
+
+    def test_group_at_cap_clean(self):
+        result = run_lint(self._group(32), stage="cg",
+                          extra={"max_fanout": 32})
+        assert "cg.fanout-cap" not in rule_ids(result)
+
+
+class TestDdcgThreshold:
+    def _ddcg(self):
+        m = three_phase_module()
+        m.add_input("en")
+        m.add_net("gck")
+        m.add_instance("ddcg_cg", GENERIC["ICG"],
+                       {"CK": "p2", "EN": "en", "GCK": "gck"},
+                       attrs={"phase": "p2", "ddcg": True})
+        add_latch(m, "hot", "p2", "d", gate_net="gck", ddcg=True)
+        return m
+
+    def test_hot_latch_flagged(self):
+        result = run_lint(
+            self._ddcg(), stage="cg",
+            extra={"activity": {"d": 50}, "cycles": 100,
+                   "ddcg_threshold": 0.01},
+        )
+        finding = next(
+            f for f in result.findings if f.rule == "cg.ddcg-threshold")
+        assert finding.severity == "warn"
+        assert finding.where == "hot"
+        assert "0.5000" in finding.message
+
+    def test_cold_latch_clean(self):
+        result = run_lint(
+            self._ddcg(), stage="cg",
+            extra={"activity": {"d": 0}, "cycles": 100,
+                   "ddcg_threshold": 0.01},
+        )
+        assert "cg.ddcg-threshold" not in rule_ids(result)
+
+    def test_rule_skips_without_profile(self):
+        result = run_lint(self._ddcg(), stage="cg")
+        assert "cg.ddcg-threshold" not in rule_ids(result)

@@ -1,0 +1,101 @@
+"""Waiver parsing, matching, and reporter output."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    LintResult,
+    Waiver,
+    apply_waivers,
+    format_findings_json,
+    format_findings_text,
+    is_waived,
+    load_waivers,
+    parse_waivers,
+    split_waived,
+)
+
+
+def _finding(rule="phase.path-order", where="a -> b", severity="error"):
+    return Finding(rule=rule, severity=severity, category="phase",
+                   where=where, message="illegal hop", stage="final")
+
+
+class TestParsing:
+    def test_full_file(self):
+        waivers = parse_waivers(
+            "# header comment\n"
+            "\n"
+            "cg.fanout-cap\n"
+            "phase.path-order  lat_* -> *   # known false path\n"
+        )
+        assert waivers == [
+            Waiver(rule="cg.fanout-cap", where="*", comment=""),
+            Waiver(rule="phase.path-order", where="lat_* -> *",
+                   comment="known false path"),
+        ]
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read waiver file"):
+            load_waivers(tmp_path / "nope.waive")
+
+    def test_load_roundtrip(self, tmp_path):
+        path = tmp_path / "w.waive"
+        path.write_text("struct.*\n")
+        assert load_waivers(path) == [Waiver(rule="struct.*")]
+
+
+class TestMatching:
+    def test_rule_glob(self):
+        assert is_waived(_finding(), [Waiver(rule="phase.*")])
+        assert not is_waived(_finding(), [Waiver(rule="cg.*")])
+
+    def test_where_glob(self):
+        assert is_waived(_finding(), [Waiver(rule="*", where="a -> *")])
+        assert not is_waived(_finding(), [Waiver(rule="*", where="b -> *")])
+
+    def test_split(self):
+        findings = (_finding(), _finding(rule="cg.m2-hazard", where="icg"))
+        kept, waived = split_waived(findings, (Waiver(rule="cg.*"),))
+        assert [f.rule for f in kept] == ["phase.path-order"]
+        assert [f.rule for f in waived] == ["cg.m2-hazard"]
+
+    def test_apply_waivers_moves_findings(self):
+        result = LintResult(design="m", stage="final",
+                            findings=(_finding(),))
+        waived = apply_waivers(result, (Waiver(rule="phase.*"),))
+        assert waived.findings == ()
+        assert len(waived.waived) == 1
+        assert waived.count_at_least("error") == 0
+
+
+class TestReporters:
+    def _results(self):
+        return [LintResult(design="m", stage="cg", style="3p",
+                           findings=(_finding(),),
+                           waived=(_finding(rule="cg.fanout-cap",
+                                            severity="warn"),),
+                           rules_run=17)]
+
+    def test_text_report(self):
+        text = format_findings_text("m", self._results())
+        assert "lint: m [3p] stage cg -- 1 error(s)" in text
+        assert "[phase.path-order] a -> b: illegal hop" in text
+        assert "1 finding(s) waived" in text
+
+    def test_text_report_clean(self):
+        clean = [LintResult(design="m", stage="final", findings=())]
+        assert "no findings" in format_findings_text("m", clean)
+
+    def test_json_report(self):
+        payload = json.loads(format_findings_json("m", self._results()))
+        assert payload["design"] == "m"
+        assert payload["summary"] == {
+            "error": 1, "warn": 0, "info": 0, "waived": 1}
+        [result] = payload["results"]
+        assert result["style"] == "3p"
+        assert result["stage"] == "cg"
+        assert result["findings"][0]["rule"] == "phase.path-order"
+        assert result["waived"][0]["rule"] == "cg.fanout-cap"
