@@ -288,24 +288,55 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     """Inspect or maintain a persistent on-disk artifact cache."""
+    import json
+
     from repro.flow.diskcache import DiskCache
 
     cache = DiskCache(args.dir)
     if args.action == "stats":
         stats = cache.stats()
+        if args.format == "json":
+            # the same serializer the serve daemon's /statsz uses, so
+            # one parser covers both surfaces
+            print(json.dumps(stats.to_dict(), indent=2))
+            return 0
         print(f"cache {stats.root}: {stats.entries} entries, "
               f"{stats.bytes / 1e6:.2f} MB")
         for stage in sorted(stats.stages):
             n, size = stats.stages[stage]
             print(f"  {stage:10} {n:6d} entries {size / 1e6:10.2f} MB")
     elif args.action == "gc":
-        removed = cache.gc(max_age_s=args.max_age_hours * 3600.0)
-        print(f"cache {cache.root}: removed {removed} entries older than "
+        report = cache.gc(max_age_s=args.max_age_hours * 3600.0,
+                          dry_run=args.dry_run)
+        verb = "would remove" if report.dry_run else "removed"
+        print(f"cache {cache.root}: {verb} {report.entries} entries "
+              f"({report.bytes / 1e6:.2f} MB) older than "
               f"{args.max_age_hours:g} h")
     elif args.action == "clear":
-        removed = cache.clear()
-        print(f"cache {cache.root}: removed {removed} entries")
+        report = cache.clear()
+        print(f"cache {cache.root}: removed {report.entries} entries "
+              f"({report.bytes / 1e6:.2f} MB)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the conversion-as-a-service daemon (see docs/serving.md)."""
+    def body() -> int:
+        from repro.flow.scheduler import JobScheduler
+        from repro.serve import JobManager, run_server
+
+        scheduler = JobScheduler(jobs=args.jobs, executor=args.executor,
+                                 cache_dir=args.cache_dir)
+        manager = JobManager(scheduler, workers=args.workers,
+                             queue_depth=args.queue_depth,
+                             job_dir=args.job_dir)
+        try:
+            run_server(manager, host=args.host, port=args.port,
+                       drain_timeout=args.drain_timeout, echo=_progress)
+        finally:
+            scheduler.close()
+        return 0
+    return _with_observability(args, body)
 
 
 def _cmd_fig4(args: argparse.Namespace) -> int:
@@ -447,7 +478,38 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="H",
                        help="gc: drop entries older than H hours "
                             "(default 168 = one week)")
+    cache.add_argument("--dry-run", action="store_true",
+                       help="gc: report what would be evicted (entries "
+                            "and bytes) without deleting anything")
+    cache.add_argument("--format", choices=("text", "json"), default="text",
+                       help="stats: output format (json matches the serve "
+                            "daemon's /statsz cache block)")
     cache.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the conversion-as-a-service HTTP daemon (submit jobs "
+             "with POST /jobs; see docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8437)
+    serve.add_argument("--workers", type=_positive_int, default=2,
+                       metavar="N",
+                       help="concurrent jobs drained from the queue "
+                            "(default 2)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=16,
+                       metavar="N",
+                       help="max queued jobs before submissions get "
+                            "429 (default 16)")
+    serve.add_argument("--job-dir", metavar="DIR", default=None,
+                       help="write one JSONL trace per job into DIR "
+                            "(inspect with 'repro trace DIR/<id>.jsonl')")
+    serve.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="S",
+                       help="on SIGTERM, wait at most S seconds for "
+                            "in-flight jobs (default: unbounded)")
+    _add_jobs_arg(serve)
+    _add_obs_args(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     fig4 = sub.add_parser("fig4", help="regenerate Fig. 4 (CPU workloads)")
     fig4.add_argument("--cycles", type=int, default=None)

@@ -16,10 +16,13 @@ from repro.flow.pipeline import (
     build_stages,
     module_digest,
 )
+from repro.flow.scheduler import JobScheduler, default_cache
 
 __all__ = [
     "StyleComparison",
     "compare_styles",
+    "JobScheduler",
+    "default_cache",
     "STYLES",
     "DesignResult",
     "FlowOptions",

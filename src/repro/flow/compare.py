@@ -10,14 +10,16 @@ the on-disk cache tier).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 
-from repro import obs
 from repro.flow.design_flow import DesignResult, FlowOptions
-from repro.flow.executor import FlowTask, make_executor
 from repro.flow.pipeline import ArtifactCache
+from repro.flow.scheduler import JobScheduler, default_cache
 from repro.netlist.core import Module
 from repro.power.model import savings
+
+#: compat alias; the helper moved to :mod:`repro.flow.scheduler`.
+_default_cache = default_cache
 
 
 @dataclass
@@ -93,16 +95,6 @@ class StyleComparison:
         }
 
 
-def _default_cache(cache_dir: str | None) -> ArtifactCache:
-    """A fresh cache, with a persistent disk tier when a dir is given
-    (so serial/thread runs against ``cache_dir`` warm up too)."""
-    if cache_dir is None:
-        return ArtifactCache()
-    from repro.flow.diskcache import DiskCache
-
-    return ArtifactCache(disk=DiskCache(cache_dir))
-
-
 def compare_styles(
     design: Module,
     options: FlowOptions | None = None,
@@ -121,28 +113,12 @@ def compare_styles(
     process workers share it through ``cache_dir`` instead (see
     :class:`~repro.flow.executor.ProcessExecutor`) -- and the results
     are identical bit for bit regardless of ``jobs`` or ``executor``.
+
+    Thin front-end over a throwaway :class:`JobScheduler` — the serve
+    daemon drives the very same scheduler, so CLI and service results
+    are the same bits.
     """
     base = options if options is not None else FlowOptions(**overrides)
-    if cache is None:
-        cache = _default_cache(cache_dir)
-    styles = ("ff", "ms", "3p")
-    with make_executor(executor, jobs, cache_dir=cache_dir) as ex:
-        with obs.span("flow.compare", design=design.name, jobs=jobs,
-                      executor=ex.name):
-            # Workers start with an empty span stack (worker threads) or
-            # an empty tracer (worker processes), so pass the compare
-            # span's id down explicitly: each style's ``flow.run`` span
-            # stays nested under this one in the exported trace.
-            parent = obs.current_span_id()
-            tasks = [
-                FlowTask(design, replace(base, style=style))
-                for style in styles
-            ]
-            results = ex.map(tasks, cache=cache, parent_span=parent)
-    by_style = dict(zip(styles, results))
-    return StyleComparison(
-        name=design.name,
-        ff=by_style["ff"],
-        ms=by_style["ms"],
-        three_phase=by_style["3p"],
-    )
+    with JobScheduler(jobs=jobs, executor=executor, cache_dir=cache_dir,
+                      cache=cache) as scheduler:
+        return scheduler.compare(design, base)

@@ -67,6 +67,28 @@ class DiskCacheStats:
     #: stage name -> (entries, bytes)
     stages: dict[str, tuple[int, int]] = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: the one serializer shared by ``repro cache
+        stats --format json`` and the serve daemon's ``/statsz``."""
+        return {
+            "root": self.root,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "stages": {
+                stage: {"entries": n, "bytes": size}
+                for stage, (n, size) in sorted(self.stages.items())
+            },
+        }
+
+
+@dataclass(frozen=True)
+class GcReport:
+    """What a ``gc`` pass removed — or, under ``dry_run``, would remove."""
+
+    entries: int = 0
+    bytes: int = 0
+    dry_run: bool = False
+
 
 class _FileLock:
     """Exclusive advisory lock on one key's sidecar file."""
@@ -187,27 +209,33 @@ class DiskCache:
             out.bytes += size
         return out
 
-    def gc(self, max_age_s: float) -> int:
+    def gc(self, max_age_s: float, dry_run: bool = False) -> GcReport:
         """Remove entries older than ``max_age_s`` (plus stale temp and
-        lock files); returns the number of entries removed."""
+        lock files); returns what was removed.  ``dry_run`` reports what
+        *would* be evicted — entries and bytes — without deleting."""
         cutoff = time.time() - max_age_s
         removed = 0
+        reclaimed = 0
         for path in self._entries():
             try:
-                if path.stat().st_mtime < cutoff:
-                    path.unlink()
+                stat = path.stat()
+                if stat.st_mtime < cutoff:
+                    if not dry_run:
+                        path.unlink()
                     removed += 1
+                    reclaimed += stat.st_size
             except OSError:
                 continue
-        for pattern in ("*/*/*.lock", "*/*/*.tmp*"):
-            for path in self.root.glob(pattern):
-                try:
-                    if path.stat().st_mtime < cutoff:
-                        path.unlink()
-                except OSError:
-                    continue
-        return removed
+        if not dry_run:
+            for pattern in ("*/*/*.lock", "*/*/*.tmp*"):
+                for path in self.root.glob(pattern):
+                    try:
+                        if path.stat().st_mtime < cutoff:
+                            path.unlink()
+                    except OSError:
+                        continue
+        return GcReport(entries=removed, bytes=reclaimed, dry_run=dry_run)
 
-    def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+    def clear(self) -> GcReport:
+        """Remove every entry; returns what was removed."""
         return self.gc(max_age_s=-1.0)

@@ -25,13 +25,22 @@ the disk tier stores/loads exact pickled snapshots.
 Tracing crosses the process boundary: each worker task runs under its
 own :class:`~repro.obs.tracer.Tracer` whose state is shipped back and
 merged into the parent trace (see :mod:`repro.obs.merge`), parented on
-the submitting span.
+the submitting span.  Thread workers re-enter the submitting thread's
+tracer scope (:func:`repro.obs.scoped`), so a per-job scoped trace (the
+serve daemon) stays scoped across the fan-out.
+
+Shutdown is clean: an exception raised while collecting results — a
+``KeyboardInterrupt``, a failed flow — cancels every not-yet-started
+task before propagating, and ``close()`` (or leaving the ``with``
+block) drains in-flight work so no orphaned worker process or pending
+future outlives the executor.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import tempfile
+import threading
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
@@ -102,14 +111,19 @@ class FlowExecutor:
     ) -> list[DesignResult]:
         raise NotImplementedError
 
-    def close(self) -> None:
-        pass
+    def close(self, cancel_pending: bool = False) -> None:
+        """Release the backend's resources.
+
+        ``cancel_pending`` additionally cancels tasks that have not
+        started (the interrupted-``map`` path); already-running tasks
+        are always drained, never abandoned.
+        """
 
     def __enter__(self) -> "FlowExecutor":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
-        self.close()
+        self.close(cancel_pending=exc_type is not None)
         return False
 
 
@@ -137,14 +151,30 @@ class ThreadExecutor(FlowExecutor):
     def map(self, tasks, cache=None, parent_span=None):
         if not tasks:
             return []
+        # Workers record into the *submitting thread's* tracer — which
+        # may be a per-job scoped one — not whatever happens to be
+        # installed process-wide when they run.
+        tracer = obs.get_tracer()
+
+        def run(task: FlowTask) -> DesignResult:
+            if tracer is None:
+                return run_flow(task.design, task.options, cache=cache,
+                                parent_span=parent_span)
+            with obs.scoped(tracer):
+                return run_flow(task.design, task.options, cache=cache,
+                                parent_span=parent_span)
+
         with ThreadPoolExecutor(
                 max_workers=min(self.jobs, len(tasks))) as pool:
-            futures = [
-                pool.submit(run_flow, t.design, t.options, cache=cache,
-                            parent_span=parent_span)
-                for t in tasks
-            ]
-            return [f.result() for f in futures]
+            futures = [pool.submit(run, t) for t in tasks]
+            try:
+                return [f.result() for f in futures]
+            except BaseException:
+                # a failed/interrupted batch must not leave queued tasks
+                # behind; running ones are drained by the pool's exit.
+                for future in futures:
+                    future.cancel()
+                raise
 
 
 # per-process cache registry for worker processes, keyed by cache dir:
@@ -196,14 +226,18 @@ class ProcessExecutor(FlowExecutor):
             cache_dir = self._tmp.name
         self.cache_dir = str(cache_dir)
         self._pool: ProcessPoolExecutor | None = None
+        # concurrent map() calls (the serve daemon's job workers) share
+        # one pool; guard its lazy creation.
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self, width: int) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, width),
-                mp_context=multiprocessing.get_context("spawn"),
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=min(self.jobs, width),
+                    mp_context=multiprocessing.get_context("spawn"),
+                )
+            return self._pool
 
     def map(self, tasks, cache=None, parent_span=None):
         if not tasks:
@@ -219,18 +253,24 @@ class ProcessExecutor(FlowExecutor):
         results: list[DesignResult] = []
         # collect (and merge traces) in submission order: deterministic
         # output regardless of which worker finishes first.
-        for future in futures:
-            result, state = future.result()
-            if state is not None and tracer is not None:
-                obs.merge_tracer_state(
-                    tracer, state, parent_span_id=parent_span)
-            results.append(result)
+        try:
+            for future in futures:
+                result, state = future.result()
+                if state is not None and tracer is not None:
+                    obs.merge_tracer_state(
+                        tracer, state, parent_span_id=parent_span)
+                results.append(result)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
         return results
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def close(self, cancel_pending: bool = False) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=cancel_pending)
         if self._tmp is not None:
             self._tmp.cleanup()
             self._tmp = None

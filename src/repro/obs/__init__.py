@@ -26,6 +26,15 @@ The installed tracer is **process-wide**: worker threads of a parallel
 ``compare_styles`` all record into it, each on its own span stack, and
 the exporters keep the per-thread nesting apart via thread ids.
 
+On top of the process-wide tracer, :func:`scoped` installs a tracer for
+the **current thread only**.  That is how the serve daemon keeps the
+spans of concurrent jobs apart: each job's worker thread runs under its
+own scoped tracer (exported as a per-job JSONL stream), and the
+finished state is merged into the daemon's process-wide tracer via
+:mod:`repro.obs.merge`.  The flow executors propagate the caller's
+scope into their worker threads, so a scoped job stays scoped even when
+its style runs fan out.
+
 See ``docs/observability.md`` for the span model, the metric name
 catalog, and the export formats.
 """
@@ -33,6 +42,7 @@ catalog, and the export formats.
 from __future__ import annotations
 
 import contextlib
+import threading
 
 from repro.obs.export import (
     chrome_trace_events,
@@ -53,7 +63,7 @@ from repro.obs.tracer import NULL_SPAN, NullSpan, Span, SpanRecord, Tracer
 __all__ = [
     "Tracer", "Span", "NullSpan", "SpanRecord", "NULL_SPAN",
     "span", "annotate", "add", "gauge", "record",
-    "enabled", "get_tracer", "install", "uninstall", "use_tracer",
+    "enabled", "get_tracer", "install", "uninstall", "use_tracer", "scoped",
     "current_span_id",
     "write_chrome_trace", "write_jsonl", "chrome_trace_events",
     "span_to_json", "tracer_state", "merge_tracer_state",
@@ -63,6 +73,22 @@ __all__ = [
 #: the process-wide active tracer; ``None`` means tracing is disabled and
 #: every helper below takes its (measured, <2%) fast path.
 _active: Tracer | None = None
+
+#: number of live :func:`scoped` blocks across all threads.  Zero (the
+#: common case) keeps the disabled fast path at one extra global read:
+#: the thread-local is only consulted while some thread holds a scope.
+_scope_count = 0
+_scope_lock = threading.Lock()
+_scoped_local = threading.local()
+
+
+def _current() -> Tracer | None:
+    """The tracer active *for this thread*: scoped first, then global."""
+    if _scope_count:
+        tracer = getattr(_scoped_local, "tracer", None)
+        if tracer is not None:
+            return tracer
+    return _active
 
 
 def install(tracer: Tracer) -> None:
@@ -78,16 +104,17 @@ def uninstall() -> None:
 
 
 def get_tracer() -> Tracer | None:
-    return _active
+    """The tracer this thread records into (scoped first, then global)."""
+    return _current()
 
 
 def enabled() -> bool:
-    return _active is not None
+    return _current() is not None
 
 
 @contextlib.contextmanager
 def use_tracer(tracer: Tracer):
-    """Install ``tracer`` for the duration of the ``with`` block."""
+    """Install ``tracer`` process-wide for the duration of the block."""
     global _active
     previous = _active
     _active = tracer
@@ -95,6 +122,31 @@ def use_tracer(tracer: Tracer):
         yield tracer
     finally:
         _active = previous
+
+
+@contextlib.contextmanager
+def scoped(tracer: Tracer):
+    """Install ``tracer`` for the **current thread** for the block.
+
+    Unlike :func:`use_tracer` this does not touch the process-wide
+    tracer: other threads keep recording wherever they were.  Scopes
+    nest (the previous scope is restored on exit), and the flow
+    executors re-enter the submitting thread's scope inside their
+    worker threads, so a scoped ``compare_styles`` stays scoped across
+    its fan-out.  This is the isolation primitive behind the serve
+    daemon's per-job traces.
+    """
+    global _scope_count
+    previous = getattr(_scoped_local, "tracer", None)
+    _scoped_local.tracer = tracer
+    with _scope_lock:
+        _scope_count += 1
+    try:
+        yield tracer
+    finally:
+        with _scope_lock:
+            _scope_count -= 1
+        _scoped_local.tracer = previous
 
 
 # -- instrumentation helpers (hot: keep the disabled path minimal) -----------
@@ -107,7 +159,7 @@ def span(name: str, _parent: int | None = None, **attrs):
     no-op singleton.  ``_parent`` explicitly links a cross-thread child
     to the submitting thread's span (see ``compare_styles``).
     """
-    tracer = _active
+    tracer = _current()
     if tracer is None:
         return NULL_SPAN
     return tracer.span(name, attrs, parent=_parent)
@@ -115,7 +167,7 @@ def span(name: str, _parent: int | None = None, **attrs):
 
 def annotate(**attrs) -> None:
     """Attach attributes to the innermost active span, if any."""
-    tracer = _active
+    tracer = _current()
     if tracer is None:
         return
     current = tracer.current_span()
@@ -125,7 +177,7 @@ def annotate(**attrs) -> None:
 
 def current_span_id() -> int | None:
     """Id of the innermost active span on this thread (for ``_parent``)."""
-    tracer = _active
+    tracer = _current()
     if tracer is None:
         return None
     return tracer.current_span_id()
@@ -133,21 +185,21 @@ def current_span_id() -> int | None:
 
 def add(name: str, value: float = 1.0) -> None:
     """Increment counter ``name``."""
-    tracer = _active
+    tracer = _current()
     if tracer is not None:
         tracer.metrics.add(name, value)
 
 
 def gauge(name: str, value: float) -> None:
     """Record a timestamped gauge sample."""
-    tracer = _active
+    tracer = _current()
     if tracer is not None:
         tracer.metrics.gauge(name, value)
 
 
 def record(name: str, value: float) -> None:
     """Observe a histogram value."""
-    tracer = _active
+    tracer = _current()
     if tracer is not None:
         tracer.metrics.record(name, value)
 
@@ -164,7 +216,9 @@ def null_op_seconds(iterations: int = 100_000) -> float:
 
     global _active
     previous = _active
+    previous_scope = getattr(_scoped_local, "tracer", None)
     _active = None
+    _scoped_local.tracer = None
     try:
         t0 = perf_counter()
         for _ in range(iterations):
@@ -174,5 +228,6 @@ def null_op_seconds(iterations: int = 100_000) -> float:
         elapsed = perf_counter() - t0
     finally:
         _active = previous
+        _scoped_local.tracer = previous_scope
     # one iteration = one span open/close + one counter add
     return elapsed / iterations

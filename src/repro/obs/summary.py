@@ -25,6 +25,12 @@ def load_spans(path: str) -> list[SpanRecord]:
     Both formats open with ``{``, so detection is structural: a Chrome
     trace is one JSON document; a JSONL log fails whole-file parsing
     (extra data after the first line) and is read line by line.
+
+    Anything that is not a well-formed trace — a truncated line, a
+    record that is not an object, a span without a name — raises
+    ``ValueError`` naming the offending line, never a raw
+    ``KeyError``/``AttributeError``: callers like ``repro trace`` turn
+    it into a one-line diagnostic.
     """
     with open(path, "r", encoding="utf-8") as fh:
         try:
@@ -39,10 +45,13 @@ def load_spans(path: str) -> list[SpanRecord]:
 
 def _from_chrome(payload: dict) -> list[SpanRecord]:
     spans = []
-    for event in payload.get("traceEvents", ()):
-        if event.get("ph") != "X":
+    for index, event in enumerate(payload.get("traceEvents", ()), start=1):
+        if not isinstance(event, dict) or event.get("ph") != "X":
             continue
-        args = dict(event.get("args", {}))
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"trace event {index} has no span name")
+        args = event.get("args", {})
+        args = dict(args) if isinstance(args, dict) else {}
         span_id = args.pop("span_id", None)
         parent_id = args.pop("parent_id", None)
         cpu_ms = args.pop("cpu_ms", 0.0)
@@ -62,13 +71,21 @@ def _from_chrome(payload: dict) -> list[SpanRecord]:
 
 def _from_jsonl(fh) -> list[SpanRecord]:
     spans = []
-    for line in fh:
+    for lineno, line in enumerate(fh, start=1):
         line = line.strip()
         if not line:
             continue
-        obj = json.loads(line)
-        if obj.get("type") != "span":
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"line {lineno} is not valid JSON (truncated trace?): "
+                f"{exc.msg}") from None
+        if not isinstance(obj, dict) or obj.get("type") != "span":
             continue
+        if not isinstance(obj.get("name"), str):
+            raise ValueError(f"span record on line {lineno} has no name")
+        attrs = obj.get("attrs", {})
         spans.append(SpanRecord(
             name=obj["name"],
             ts=obj.get("ts", 0.0),
@@ -78,7 +95,7 @@ def _from_jsonl(fh) -> list[SpanRecord]:
             tid=obj.get("tid", 0),
             span_id=obj.get("id", len(spans) + 1),
             parent_id=obj.get("parent"),
-            attrs=obj.get("attrs", {}),
+            attrs=attrs if isinstance(attrs, dict) else {},
         ))
     return spans
 

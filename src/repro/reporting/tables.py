@@ -10,10 +10,10 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable
 
-from repro import obs
 from repro.circuits import build, names, spec
 from repro.flow import ArtifactCache, FlowOptions, StyleComparison, compare_styles
-from repro.flow.executor import FlowTask, make_executor
+from repro.flow.executor import FlowTask
+from repro.flow.scheduler import JobScheduler
 from repro.reporting.paper_data import TABLE1, TABLE2
 
 _STYLES = ("ff", "ms", "3p")
@@ -67,16 +67,15 @@ def run_suite(
     """Run the per-design style comparison over a benchmark selection.
 
     The whole selection is scheduled as one flat (design x style) queue
-    on the chosen :mod:`~repro.flow.executor` backend, so ``jobs``
-    workers stay busy across design boundaries instead of fanning out
-    per design.  One content-addressed :class:`ArtifactCache` spans the
-    suite (each design's synthesis feeds its three style runs); process
-    workers share artifacts through ``cache_dir`` instead.  Results are
-    bit-for-bit identical for any ``jobs``/``executor`` combination.
+    on a :class:`~repro.flow.scheduler.JobScheduler` (the same core the
+    serve daemon runs on), so ``jobs`` workers stay busy across design
+    boundaries instead of fanning out per design.  One content-addressed
+    :class:`ArtifactCache` spans the suite (each design's synthesis
+    feeds its three style runs); process workers share artifacts through
+    ``cache_dir`` instead.  Results are bit-for-bit identical for any
+    ``jobs``/``executor`` combination.
     """
     targets = designs if designs is not None else names(suite)
-    from repro.flow.compare import _default_cache
-    cache = _default_cache(cache_dir)
     tasks: list[FlowTask] = []
     for name in targets:
         bench = spec(name)
@@ -88,11 +87,10 @@ def run_suite(
         tasks.extend(
             FlowTask(module, replace(base, style=style)) for style in _STYLES)
 
-    with make_executor(executor, jobs, cache_dir=cache_dir) as ex:
-        with obs.span("flow.suite", designs=len(targets), jobs=jobs,
-                      executor=ex.name):
-            parent = obs.current_span_id()
-            flat = ex.map(tasks, cache=cache, parent_span=parent)
+    with JobScheduler(jobs=jobs, executor=executor,
+                      cache_dir=cache_dir) as scheduler:
+        flat = scheduler.run_tasks(
+            tasks, span_name="flow.suite", designs=len(targets))
 
     results: dict[str, StyleComparison] = {}
     for index, name in enumerate(targets):

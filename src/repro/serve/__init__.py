@@ -1,0 +1,41 @@
+"""Conversion-as-a-service: the ``repro serve`` daemon.
+
+Wraps the FF -> 3-phase conversion flow in a long-running asyncio
+HTTP/JSON service (stdlib only).  Clients submit a design + style
+matrix, poll or stream job status, and fetch results; jobs feed the
+same :class:`~repro.flow.scheduler.JobScheduler` the CLI batch path
+uses, so daemon results are bit-identical to ``repro run`` — and served
+out of the shared :class:`~repro.flow.diskcache.DiskCache`, so an
+identical resubmission is instant machine-wide.
+
+Layers:
+
+* :mod:`repro.serve.jobs` — the async job layer: bounded queue, worker
+  threads, single-flight dedup of identical submissions, per-job trace
+  scoping, graceful drain;
+* :mod:`repro.serve.http` — the asyncio HTTP front-end: request
+  parsing, routing, the ``/jobs`` API, ``/healthz`` + ``/statsz``, and
+  SIGTERM-driven drain.
+
+See ``docs/serving.md`` for the API schema and deployment knobs.
+"""
+
+from repro.serve.http import ServeApp, run_server, start_in_thread
+from repro.serve.jobs import (
+    DrainingError,
+    Job,
+    JobManager,
+    QueueFullError,
+    job_key,
+)
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "QueueFullError",
+    "DrainingError",
+    "job_key",
+    "ServeApp",
+    "run_server",
+    "start_in_thread",
+]

@@ -1,0 +1,441 @@
+"""The async job layer between the HTTP front-end and the scheduler.
+
+A :class:`JobManager` owns a bounded FIFO of :class:`Job` submissions
+and a small pool of worker threads that drain it into a shared
+:class:`~repro.flow.scheduler.JobScheduler`.  Design points:
+
+* **backpressure** — the queue is bounded (``queue_depth``); a
+  submission against a full queue raises :class:`QueueFullError`, which
+  the HTTP layer turns into ``429 Too Many Requests``.  Running jobs
+  don't count against the bound — depth measures *waiting* work.
+* **single-flight dedup** — submissions are content-addressed
+  (:func:`job_key`: design + styles + resolved flow options).  While a
+  job with the same key is queued or running, an identical submission
+  returns *that* job instead of enqueueing a duplicate.  Finished jobs
+  are not deduped: a resubmission runs again, but every stage is served
+  from the artifact cache, so it completes near-instantly with zero
+  synthesis/simulation work (the warm-path guarantee CI asserts).
+* **per-job trace scoping** — each job runs under its own
+  :class:`~repro.obs.tracer.Tracer` installed thread-locally
+  (:func:`repro.obs.scoped`), so spans of concurrent jobs never
+  interleave.  The job's spans are exported as a per-job JSONL stream
+  (``<job_dir>/<job id>.jsonl``) and merged into the daemon's
+  process-wide tracer — tagged with the job id — via
+  :mod:`repro.obs.merge`.
+* **graceful drain** — :meth:`begin_drain` stops intake (submissions
+  raise :class:`DrainingError` -> ``503``), :meth:`drain` waits for the
+  queue and in-flight jobs to finish, and :meth:`close` stops the
+  workers.  SIGTERM in the HTTP layer triggers exactly this sequence.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import queue
+import threading
+import time
+from dataclasses import dataclass, field, fields, replace
+
+from repro import obs
+from repro.circuits import build, spec
+from repro.flow.design_flow import STYLES, DesignResult, FlowOptions
+from repro.flow.executor import FlowTask
+from repro.flow.scheduler import COMPARE_STYLES, JobScheduler
+from repro.power.model import savings
+
+#: job states; ``done``/``failed`` are terminal.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+TERMINAL = (DONE, FAILED)
+
+#: FlowOptions fields a submission may override.  ``style`` is per-task,
+#: ``library`` is an object, and the lint gate stays at the server's
+#: defaults — everything else is a plain value a JSON body can carry.
+_OVERRIDABLE = frozenset({
+    "period", "clock_gating_style", "assign_method", "retime", "retime_ms",
+    "sim_cycles", "warmup_cycles", "profile", "profile_cycles", "seed",
+    "sim_delay_model", "clock_uncertainty", "resize", "verify",
+})
+
+
+class QueueFullError(RuntimeError):
+    """The bounded job queue is at capacity (HTTP 429)."""
+
+
+class DrainingError(RuntimeError):
+    """The daemon is draining and accepts no new work (HTTP 503)."""
+
+
+def resolve_options(design: str, overrides: dict | None = None) -> FlowOptions:
+    """The flow options a submission resolves to.
+
+    Starts from the design's registered benchmark parameters (period,
+    workload, cycle budget) — the same defaults ``repro run`` uses — and
+    applies the whitelisted ``overrides``.  Unknown or non-overridable
+    keys raise ``ValueError``.
+    """
+    bench = spec(design)
+    options = FlowOptions(
+        period=bench.period,
+        profile=bench.workload,
+        sim_cycles=bench.sim_cycles,
+    )
+    if overrides:
+        bad = sorted(set(overrides) - _OVERRIDABLE)
+        if bad:
+            raise ValueError(
+                f"unknown or non-overridable option(s): {', '.join(bad)}")
+        options = replace(options, **overrides)
+    return options
+
+
+def job_key(design: str, styles: tuple[str, ...],
+            options: FlowOptions) -> str:
+    """Content address of a submission: what single-flight dedup keys on.
+
+    Two submissions collide exactly when they would produce identical
+    results: same design, same style set, same resolved options (the
+    library by name, the clock-gating config by value).
+    """
+    parts: list[str] = [design, ",".join(styles)]
+    for f in sorted(fields(options), key=lambda f: f.name):
+        value = getattr(options, f.name)
+        if f.name == "library":
+            value = value.name
+        parts.append(f"{f.name}={value!r}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+@dataclass
+class Job:
+    """One submission's full lifecycle record."""
+
+    id: str
+    key: str
+    design: str
+    styles: tuple[str, ...]
+    options: FlowOptions
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    #: style -> DesignResult once the job is done.
+    results: dict[str, DesignResult] = field(default_factory=dict)
+    trace_path: str | None = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: state-transition log, streamed by ``GET /jobs/<id>/events``.
+    events: list[dict] = field(default_factory=list)
+
+    def event(self, name: str, **extra) -> None:
+        self.events.append({"ts": round(time.time(), 6), "event": name,
+                            "state": self.state, **extra})
+
+    @property
+    def wall_s(self) -> float | None:
+        if self.started_at is None:
+            return None
+        end = self.finished_at if self.finished_at is not None else time.time()
+        return round(end - self.started_at, 6)
+
+    def status(self) -> dict:
+        """The JSON body of ``GET /jobs/<id>``."""
+        return {
+            "id": self.id,
+            "key": self.key,
+            "design": self.design,
+            "styles": list(self.styles),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_s": self.wall_s,
+            "error": self.error,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
+            "trace": self.trace_path,
+        }
+
+    def result_payload(self) -> dict:
+        """The JSON body of ``GET /jobs/<id>/result``.
+
+        Per-style rows carry exactly the quantities the CLI prints
+        (register count, area, the power decomposition), so a client
+        can diff daemon output against ``repro run`` bit for bit.
+        """
+        rows = {
+            style: {
+                "registers": result.stats.registers,
+                "area": result.area,
+                "power": result.power.as_row(),
+                "stages": [
+                    {"stage": record.stage, "cache_hit": record.cache_hit}
+                    for record in result.stages
+                ],
+            }
+            for style, result in self.results.items()
+        }
+        payload: dict[str, object] = {
+            "id": self.id,
+            "design": self.design,
+            "state": self.state,
+            "styles": rows,
+        }
+        if "3p" in self.results:
+            three = self.results["3p"].power
+            for base in ("ff", "ms"):
+                if base in self.results:
+                    payload[f"power_save_{base}"] = savings(
+                        self.results[base].power, three)
+        return payload
+
+
+class JobManager:
+    """Bounded job queue + worker pool over one shared scheduler."""
+
+    def __init__(
+        self,
+        scheduler: JobScheduler,
+        workers: int = 2,
+        queue_depth: int = 16,
+        job_dir: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.scheduler = scheduler
+        self.queue_depth = queue_depth
+        self.job_dir = job_dir
+        self.started_at = time.time()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._jobs: dict[str, Job] = {}
+        #: key -> job id for queued/running jobs (the dedup window).
+        self._active_by_key: dict[str, str] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._running = 0
+        self._draining = False
+        self._counters = {"submitted": 0, "deduped": 0, "rejected": 0,
+                          "completed": 0, "failed": 0}
+        self._idle = threading.Condition(self._lock)
+        self._workers = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"repro-serve-worker-{i}")
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- intake --------------------------------------------------------------
+
+    def submit(
+        self,
+        design: str,
+        styles: list[str] | tuple[str, ...] | None = None,
+        overrides: dict | None = None,
+    ) -> tuple[Job, bool]:
+        """Enqueue a submission; returns ``(job, deduped)``.
+
+        Raises ``KeyError`` for an unknown design, ``ValueError`` for
+        bad styles/options (HTTP 400), :class:`DrainingError` while
+        shutting down (503), :class:`QueueFullError` at capacity (429).
+        """
+        chosen = tuple(styles) if styles else COMPARE_STYLES
+        bad = sorted(set(chosen) - set(STYLES))
+        if bad:
+            raise ValueError(
+                f"unknown style(s): {', '.join(bad)} "
+                f"(choose from {', '.join(STYLES)})")
+        if len(set(chosen)) != len(chosen):
+            raise ValueError("duplicate styles in submission")
+        options = resolve_options(design, overrides)
+        key = job_key(design, chosen, options)
+        with self._lock:
+            if self._draining:
+                raise DrainingError("daemon is draining; resubmit later")
+            active = self._active_by_key.get(key)
+            if active is not None:
+                self._counters["deduped"] += 1
+                return self._jobs[active], True
+            job = Job(id=f"j{next(self._ids):06d}", key=key, design=design,
+                      styles=chosen, options=options)
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._counters["rejected"] += 1
+                raise QueueFullError(
+                    f"job queue full ({self.queue_depth} pending)") from None
+            self._jobs[job.id] = job
+            self._active_by_key[key] = job.id
+            self._counters["submitted"] += 1
+            job.event("queued")
+        return job, False
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    # -- the worker side -----------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            try:
+                if job is None:  # shutdown sentinel
+                    return
+                self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _run_job(self, job: Job) -> None:
+        with self._lock:
+            job.state = RUNNING
+            job.started_at = time.time()
+            self._running += 1
+            job.event("started")
+        tracer = obs.Tracer()
+        try:
+            module = build(job.design)
+            with obs.scoped(tracer):
+                with obs.span("job.run", job_id=job.id, design=job.design,
+                              styles=",".join(job.styles)):
+                    tasks = [
+                        FlowTask(module, replace(job.options, style=style))
+                        for style in job.styles
+                    ]
+                    results = self.scheduler.run_tasks(
+                        tasks, span_name="flow.compare",
+                        design=job.design, job_id=job.id)
+            job.results = dict(zip(job.styles, results))
+            for result in results:
+                for record in result.stages:
+                    if record.cache_hit:
+                        job.cache_hits += 1
+                    else:
+                        job.cache_misses += 1
+            state = DONE
+        except Exception as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            state = FAILED
+        finally:
+            self._export_trace(job, tracer)
+            with self._lock:
+                job.state = state
+                job.finished_at = time.time()
+                self._running -= 1
+                self._active_by_key.pop(job.key, None)
+                self._counters["completed" if state == DONE else "failed"] += 1
+                job.event("finished", wall_s=job.wall_s, error=job.error,
+                          cache_hits=job.cache_hits,
+                          cache_misses=job.cache_misses)
+                self._idle.notify_all()
+
+    def _export_trace(self, job: Job, tracer: obs.Tracer) -> None:
+        """Write the per-job JSONL stream and fold the job's spans —
+        tagged with the job id — into the daemon's ambient tracer."""
+        if self.job_dir is not None and tracer.spans:
+            import os
+
+            from repro.obs.export import write_jsonl
+
+            path = os.path.join(self.job_dir, f"{job.id}.jsonl")
+            try:
+                os.makedirs(self.job_dir, exist_ok=True)
+                write_jsonl(tracer, path)
+                job.trace_path = path
+            except OSError:
+                job.trace_path = None
+        # outside the scoped block, so this resolves the process-wide
+        # tracer (the daemon's --trace/--obs-jsonl collector), if any
+        parent = obs.get_tracer()
+        if parent is not None and tracer.spans:
+            for span in tracer.spans:
+                span.attrs.setdefault("job_id", job.id)
+            obs.merge_tracer_state(parent, obs.tracer_state(tracer))
+
+    # -- lifecycle / stats ---------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop intake; queued and running jobs keep going."""
+        with self._lock:
+            self._draining = True
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until queued + running jobs have finished.
+
+        Returns False if ``timeout`` expired with work still in flight.
+        """
+        self.begin_drain()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            # unfinished_tasks counts queued items plus the one each
+            # worker holds until its task_done(); _running covers the
+            # window between pickup and the state transition.
+            while self._queue.unfinished_tasks or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._idle.wait(timeout=0.1 if remaining is None
+                                else min(0.1, remaining))
+        return True
+
+    def close(self) -> None:
+        """Stop the workers (after any in-flight job they hold)."""
+        self.begin_drain()
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=30.0)
+
+    def stats(self) -> dict:
+        """The JSON body of ``GET /statsz``.
+
+        The ``cache`` block reuses the scheduler's serializer (memory
+        tier counters + :meth:`DiskCacheStats.to_dict` for the disk
+        tier) — the same shape ``repro cache stats --format json``
+        prints, so dashboards need one parser.
+        """
+        with self._lock:
+            jobs = {
+                "queued": self._queue.qsize(),
+                "running": self._running,
+                **self._counters,
+            }
+            draining = self._draining
+        hits = misses = 0
+        with self._lock:
+            for job in self._jobs.values():
+                hits += job.cache_hits
+                misses += job.cache_misses
+        total = hits + misses
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "draining": draining,
+            "jobs": jobs,
+            "queue": {"depth": jobs["queued"], "capacity": self.queue_depth},
+            "executor": {
+                "name": self.scheduler.executor_name,
+                "width": max(1, self.scheduler.jobs),
+                "inflight": self.scheduler.inflight,
+                "occupancy": round(self.scheduler.occupancy(), 4),
+                "tasks_done": self.scheduler.tasks_done,
+            },
+            "stage_cache": {
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": round(hits / total, 4) if total else None,
+            },
+            "cache": self.scheduler.cache_stats(),
+        }

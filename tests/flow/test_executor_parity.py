@@ -169,9 +169,25 @@ class TestDiskCache:
         stats = cache.stats()
         assert stats.entries == 2
         assert set(stats.stages) == {"synth", "sim"}
-        assert cache.gc(max_age_s=3600.0) == 0  # everything is fresh
-        assert cache.clear() == 2
+        assert cache.gc(max_age_s=3600.0).entries == 0  # everything is fresh
+        # a dry-run pass reports what a real gc would reclaim, deletes
+        # nothing, and matches the real pass that follows
+        dry = cache.gc(max_age_s=-1.0, dry_run=True)
+        assert dry.dry_run and dry.entries == 2 and dry.bytes > 0
+        assert cache.stats().entries == 2
+        wet = cache.clear()
+        assert (wet.entries, wet.bytes) == (dry.entries, dry.bytes)
         assert cache.stats().entries == 0
+
+    def test_stats_to_dict_is_json_ready(self, tmp_path):
+        import json
+
+        cache = DiskCache(tmp_path)
+        cache.store(("synth", 1), b"x" * 100)
+        payload = cache.stats().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["entries"] == 1
+        assert payload["stages"]["synth"]["entries"] == 1
 
     def test_atomic_store_leaves_no_temp_files(self, tmp_path):
         cache = DiskCache(tmp_path)

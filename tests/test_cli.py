@@ -22,6 +22,10 @@ class TestParser:
             ["fig4", "--cycles", "40"],
             ["runtime"],
             ["convert", "--bench", "x.bench", "--out", "y.v"],
+            ["cache", "stats", "--dir", ".cache", "--format", "json"],
+            ["cache", "gc", "--dir", ".cache", "--dry-run"],
+            ["serve", "--port", "8080", "--workers", "4",
+             "--queue-depth", "8", "--executor", "process"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.func)
@@ -113,3 +117,62 @@ class TestObservability:
         empty.write_text('{"traceEvents": []}')
         assert main(["trace", str(empty)]) == 1
         assert "no spans" in capsys.readouterr().err
+
+    def test_trace_command_truncated_jsonl(self, tmp_path, capsys):
+        """A torn/partial JSONL line exits 1 with a one-line error
+        naming the line — no traceback."""
+        torn = tmp_path / "torn.jsonl"
+        torn.write_text('{"type": "meta", "format": "repro-obs-jsonl-v1"}\n'
+                        '{"type": "span", "name": "stage.synth", "ts": 0.0,')
+        assert main(["trace", str(torn)]) == 1
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "line 2" in err
+        assert "Traceback" not in err
+
+    def test_trace_command_non_record_jsonl(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("[1, 2, 3]\nnot json at all\n")
+        assert main(["trace", str(bad)]) == 1
+        assert err_line_count(capsys.readouterr().err) == 1
+
+    def test_trace_command_empty_file(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", str(empty)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+
+def err_line_count(err: str) -> int:
+    return len([line for line in err.splitlines() if line.strip()])
+
+
+class TestCacheCli:
+    @pytest.fixture()
+    def cache_dir(self, tmp_path):
+        from repro.flow import DiskCache
+        cache = DiskCache(tmp_path)
+        cache.store(("synth", "a"), b"x" * 1000)
+        cache.store(("sim", "b"), b"y" * 1000)
+        return str(tmp_path)
+
+    def test_stats_json_uses_shared_serializer(self, cache_dir, capsys):
+        assert main(["cache", "stats", "--dir", cache_dir,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert set(payload["stages"]) == {"synth", "sim"}
+        # same shape the serve daemon's /statsz embeds
+        assert set(payload) == {"root", "entries", "bytes", "stages"}
+
+    def test_gc_dry_run_deletes_nothing(self, cache_dir, capsys):
+        from repro.flow import DiskCache
+        assert main(["cache", "gc", "--dir", cache_dir,
+                     "--max-age-hours", "0", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would remove 2 entries" in out
+        assert DiskCache(cache_dir).stats().entries == 2
+        # the real pass removes what the dry run promised
+        assert main(["cache", "gc", "--dir", cache_dir,
+                     "--max-age-hours", "0"]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert DiskCache(cache_dir).stats().entries == 0
