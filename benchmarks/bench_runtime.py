@@ -71,6 +71,28 @@ def test_runtime_comparison(benchmark, out_dir, obs_enabled):
                     hits += 1
                 else:
                     misses += 1
+
+    # Activity-profiling split: the "sim" and "cg" stages are the two
+    # that run stimulus through a simulator to collect toggle activity;
+    # their share of each design's flow wall time is what the batched
+    # (sim_lanes > 1) engine attacks.  Summed over the three styles.
+    activity_split = {}
+    for name, row in results.items():
+        sim_s = cg_s = total_s = 0.0
+        for result in (row.ff, row.ms, row.three_phase):
+            for record in result.stages:
+                total_s += record.wall_time
+                if record.stage == "sim":
+                    sim_s += record.wall_time
+                elif record.stage == "cg":
+                    cg_s += record.wall_time
+        activity_split[name] = {
+            "sim_s": round(sim_s, 4),
+            "cg_s": round(cg_s, 4),
+            "flow_s": round(total_s, 4),
+            "activity_share": round(
+                (sim_s + cg_s) / total_s, 4) if total_s else 0.0,
+        }
     write_bench_json("runtime", {
         "bench": "runtime",
         "designs": designs,
@@ -87,6 +109,7 @@ def test_runtime_comparison(benchmark, out_dir, obs_enabled):
             name: {k: round(v, 4) for k, v in row.items()}
             for name, row in summary.per_design.items()
         },
+        "activity_split": activity_split,
     })
 
     # The ILP is a tiny fraction of the flow and far below the paper's

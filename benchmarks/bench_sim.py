@@ -5,11 +5,20 @@ per delay model, checks the runs are bit-for-bit identical (sampled
 output streams, per-net toggle counts, events processed), and reports
 events/second plus the compiled/reference speedup.
 
+With lanes > 1 it also measures the bit-parallel batch engine: one
+word-packed pass simulating ``--lanes`` independent stimulus streams,
+reported as ``batch_events_per_s`` (per-lane events summed over the
+batch, per second of batch wall time) and ``batch_speedup`` (stimulus
+samples per second vs the single-vector compiled kernel).  Per-lane
+parity against solo compiled runs is asserted for a lane subset
+(``--check-lanes`` checks every lane -- what the CI smoke runs).
+
 Standalone on purpose -- no pytest-benchmark, no flow cache -- so CI can
 smoke it in a couple of seconds and a developer can profile with it:
 
     PYTHONPATH=src python benchmarks/bench_sim.py --design s13207 --cycles 60
     PYTHONPATH=src python benchmarks/bench_sim.py --design s1488 --cycles 6
+    PYTHONPATH=src python benchmarks/bench_sim.py --engine batch --lanes 64
 
 ``--obs`` additionally checks the observability overhead contract: a
 traced run counts its instrumentation calls (``Tracer.op_count``), the
@@ -28,8 +37,8 @@ from time import perf_counter
 
 from repro.circuits import build
 from repro.convert.clocks import ClockSpec
-from repro.sim.stimulus import generate_vectors
-from repro.sim.testbench import run_testbench
+from repro.sim.stimulus import generate_batch_stimulus, generate_vectors
+from repro.sim.testbench import run_batch_testbench, run_testbench
 
 
 def run_engine(module, clocks, vectors, delay_model, engine):
@@ -37,17 +46,69 @@ def run_engine(module, clocks, vectors, delay_model, engine):
         module, clocks, vectors, delay_model=delay_model, engine=engine
     )
     sim = result.simulator
+    # charge the activity read to the run: the toggles dict is the
+    # profiling deliverable (for the batch engine the deferred
+    # counter fold happens here, so excluding it would flatter it)
+    t0 = perf_counter()
+    toggles = sim.toggles
+    activity_s = perf_counter() - t0
     return {
         "samples": result.samples,
-        "toggles": sim.toggles,
+        "toggles": toggles,
         "events": sim.events_processed,
         "compile_s": sim.compile_seconds,
-        "run_s": sim.run_seconds,
+        "run_s": sim.run_seconds + activity_s,
         "events_per_s": sim.events_per_second,
     }
 
 
-def bench(design: str, cycles: int, seed: int) -> bool:
+def run_batch(module, clocks, stimulus, delay_model, check_lanes):
+    """One batched pass + per-lane parity vs solo compiled runs.
+
+    ``check_lanes`` selects which lanes get a full solo differential
+    (every one of a batch's lanes must match its solo run bit for bit;
+    checking all 64 costs 64 solo runs, so the default samples a few and
+    CI's smoke passes --check-lanes for the exhaustive version).
+    Returns (stats, solo compiled lane-0 stats for the speedup baseline).
+    """
+    result = run_batch_testbench(module, clocks, stimulus,
+                                 delay_model=delay_model)
+    sim = result.simulator
+    t0 = perf_counter()
+    _ = sim.toggles  # activity read: pays the deferred counter fold
+    activity_s = perf_counter() - t0
+    solo_times = []
+    identical = True
+    for lane in check_lanes:
+        solo_run = run_testbench(module, clocks, stimulus.lane_vectors[lane],
+                                 delay_model=delay_model, engine="compiled")
+        ssim = solo_run.simulator
+        t0 = perf_counter()
+        solo_toggles = ssim.toggles
+        solo_times.append(ssim.run_seconds + perf_counter() - t0)
+        identical = identical and (
+            result.lane_samples(lane) == solo_run.samples
+            and sim.lane_toggles(lane) == solo_toggles
+            and sim.lane_events(lane) == ssim.events_processed
+        )
+    # baseline: mean over the checked lanes' solo runs -- a single solo
+    # run of a small design is a couple of ms and timer-noise dominated
+    solo = {"run_s": sum(solo_times) / len(solo_times)}
+    stats = {
+        "lanes": stimulus.lanes,
+        "events": sim.events_processed,  # per-lane events, all lanes
+        "word_events": sim._engine.word_events,
+        "compile_s": sim.compile_seconds,
+        "run_s": sim.run_seconds + activity_s,
+        "events_per_s": sim.events_per_second,
+        "bit_for_bit": identical,
+        "lanes_checked": len(check_lanes),
+    }
+    return stats, solo
+
+
+def bench(design: str, cycles: int, seed: int, engines: tuple[str, ...],
+          lanes: int, check_all_lanes: bool) -> bool:
     module = build(design)
     clocks = ClockSpec.single(1000.0)
     vectors = generate_vectors(module, cycles, seed=seed)
@@ -57,6 +118,8 @@ def bench(design: str, cycles: int, seed: int) -> bool:
     ok = True
     rows: list[dict] = []
     for delay_model in ("unit", "cell"):
+        if "reference" not in engines:
+            break
         runs = {
             engine: run_engine(module, clocks, vectors, delay_model, engine)
             for engine in ("reference", "compiled")
@@ -92,11 +155,53 @@ def bench(design: str, cycles: int, seed: int) -> bool:
             round(speedup, 3) if speedup != float("inf") else None)
         rows[-1]["bit_for_bit"] = identical
 
+    if "batch" in engines and lanes > 1:
+        stimulus = generate_batch_stimulus(module, cycles, seed=seed,
+                                           lanes=lanes)
+        check_lanes = (list(range(lanes)) if check_all_lanes
+                       else sorted({0, 1, lanes - 1}))
+        for delay_model in ("unit", "cell"):
+            batch, solo = run_batch(module, clocks, stimulus, delay_model,
+                                    check_lanes)
+            ok = ok and batch["bit_for_bit"]
+            # throughput in the unit that matters for activity profiling:
+            # stimulus samples (lane-cycles) per second of wall time
+            samples_speedup = (
+                lanes * solo["run_s"] / batch["run_s"]
+                if batch["run_s"] > 0 else float("inf"))
+            events_per_s = batch["events_per_s"]
+            print(f"  [{delay_model:4}] batch x{lanes}: "
+                  f"{batch['events']} lane events "
+                  f"({batch['word_events']} word events)")
+            print(f"    batch     {events_per_s / 1e6:6.2f} Mev/s  "
+                  f"(compile {batch['compile_s'] * 1e3:6.1f} ms, "
+                  f"run {batch['run_s']:6.3f} s)")
+            print(f"    samples/s {samples_speedup:6.2f}x vs compiled  "
+                  f"parity[{batch['lanes_checked']} lanes] "
+                  f"{'OK' if batch['bit_for_bit'] else 'MISMATCH'}")
+            rows.append({
+                "delay_model": delay_model,
+                "engine": "batch",
+                "lanes": lanes,
+                "events": batch["events"],
+                "word_events": batch["word_events"],
+                "wall_s": round(batch["run_s"], 4),
+                "compile_s": round(batch["compile_s"], 4),
+                "mev_per_s": round(events_per_s / 1e6, 3),
+                "batch_events_per_s": round(events_per_s, 1),
+                "batch_speedup": (round(samples_speedup, 3)
+                                  if samples_speedup != float("inf")
+                                  else None),
+                "bit_for_bit": batch["bit_for_bit"],
+                "parity_lanes_checked": batch["lanes_checked"],
+            })
+
     record = {
         "bench": "sim",
         "design": design,
         "cycles": cycles,
         "seed": seed,
+        "lanes": lanes if "batch" in engines else 1,
         "ok": ok,
         "runs": rows,
     }
@@ -142,11 +247,28 @@ def main(argv=None) -> int:
                         help="testbench cycles per run (default 60)")
     parser.add_argument("--seed", type=int, default=7,
                         help="stimulus seed (default 7)")
+    parser.add_argument("--engine", choices=("all", "single", "batch"),
+                        default="all",
+                        help="'single' = reference+compiled comparison only, "
+                             "'batch' = batched engine only, "
+                             "'all' = both (default)")
+    parser.add_argument("--lanes", type=int, default=64,
+                        help="stimulus vectors per batched kernel pass "
+                             "(default 64; ignored with --engine single)")
+    parser.add_argument("--check-lanes", action="store_true",
+                        help="assert per-lane parity for every lane "
+                             "(default: lanes 0, 1, and the last)")
     parser.add_argument("--obs", action="store_true",
                         help="also assert the disabled-tracer overhead "
                              "bound (< 2%% of simulation wall time)")
     args = parser.parse_args(argv)
-    ok = bench(args.design, args.cycles, args.seed)
+    engines = {
+        "all": ("reference", "compiled", "batch"),
+        "single": ("reference", "compiled"),
+        "batch": ("batch",),
+    }[args.engine]
+    ok = bench(args.design, args.cycles, args.seed, engines,
+               args.lanes, args.check_lanes)
     if args.obs:
         ok = bench_obs(args.design, args.cycles, args.seed) and ok
     return 0 if ok else 1

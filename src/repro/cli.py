@@ -101,7 +101,17 @@ def _add_selection_args(parser: argparse.ArgumentParser) -> None:
                         help="explicit design list")
     parser.add_argument("--cycles", type=int, default=None,
                         help="override measurement cycles (smaller = faster)")
+    _add_sim_lanes_arg(parser)
     _add_jobs_arg(parser)
+
+
+def _add_sim_lanes_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sim-lanes", type=_positive_int, default=1, metavar="N",
+        dest="sim_lanes",
+        help="stimulus vectors per kernel pass in the activity-collecting "
+             "stages (1 = single-vector engines, up to 64 = bit-parallel "
+             "batch engine; see docs/sim_kernel.md)")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -123,6 +133,7 @@ def _run_one(args: argparse.Namespace) -> int:
         period=bench.period,
         profile=bench.workload,
         sim_cycles=args.cycles or bench.sim_cycles,
+        sim_lanes=args.sim_lanes,
     )
     comparison = compare_styles(module, options, jobs=args.jobs,
                                 executor=args.executor,
@@ -165,11 +176,14 @@ def _cache_line(results) -> str:
 
 
 def _run_selected(args: argparse.Namespace):
+    options = (FlowOptions(sim_lanes=args.sim_lanes)
+               if getattr(args, "sim_lanes", 1) > 1 else None)
     results = run_suite(
         suite=args.suite,
         designs=args.designs,
         sim_cycles=args.cycles,
         progress=_progress,
+        options=options,
         jobs=args.jobs,
         executor=args.executor,
         cache_dir=args.cache_dir,
@@ -379,7 +393,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                         clock_gating_style="gated").module
     result = convert_to_three_phase(mapped, FDSOI28, period=bench.period)
     default_min = minimum_period(
-        result.module, ClockSpec.default_three_phase, 50, 4 * bench.period)
+        result.module, ClockSpec.default_three_phase, 50, 4 * bench.period,
+        probes=args.probes)
     opt = optimize_schedule(result.module, result.clocks,
                             hi=4 * bench.period)
     print(f"design {args.design} (paper period {bench.period:.0f} ps)")
@@ -426,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one design in all three styles")
     run.add_argument("design")
     run.add_argument("--cycles", type=int, default=None)
+    _add_sim_lanes_arg(run)
     _add_jobs_arg(run)
     _add_obs_args(run)
     run.set_defaults(func=_cmd_run)
@@ -529,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
         "schedule",
         help="SMO-optimal phase schedule for a converted benchmark")
     schedule.add_argument("design")
+    schedule.add_argument(
+        "--probes", type=_positive_int, default=1, metavar="K",
+        help="candidate periods evaluated per minimum-period search step "
+             "(1 = bisection; K > 1 shrinks the bracket by K+1 per step)")
     schedule.set_defaults(func=_cmd_schedule)
 
     report = sub.add_parser(

@@ -60,6 +60,10 @@ class FlowOptions:
     profile_cycles: int = 64  # activity-profiling run for DDCG
     seed: int = 1
     sim_delay_model: str = "cell"
+    #: stimulus vectors simulated per kernel pass in the activity-collecting
+    #: stages (sim + cg profiling); 1 = single-vector engines (exact legacy
+    #: behavior), >1 = bit-parallel batch engine averaging per-lane toggles.
+    sim_lanes: int = 1
     #: clock skew charged to zero-gap launch/capture edge pairs during hold
     #: fixing; 0 disables the hold-fix pass.
     clock_uncertainty: float = 80.0

@@ -610,7 +610,7 @@ class ClockGatingStage(Stage):
 
     def options_key(self, options: "FlowOptions") -> Hashable:
         return (options.profile, options.profile_cycles, options.seed,
-                options.cg)
+                options.sim_lanes, options.cg)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.cg import apply_p2_clock_gating
@@ -657,7 +657,8 @@ class LintStage(Stage):
                       options.cg.ddcg_threshold, options.cg.max_fanout)
         if self.after in ("cg", "final"):
             # the DDCG re-check consumes the activity profile
-            key += (options.profile, options.profile_cycles, options.seed)
+            key += (options.profile, options.profile_cycles, options.seed,
+                    options.sim_lanes)
         return key
 
     def run(self, ctx: StageContext) -> dict[str, object]:
@@ -828,29 +829,51 @@ class SimulateStage(Stage):
 
     def options_key(self, options: "FlowOptions") -> Hashable:
         return (options.sim_cycles, options.warmup_cycles, options.profile,
-                options.seed, options.sim_delay_model)
+                options.seed, options.sim_delay_model, options.sim_lanes)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
-        from repro.sim import generate_vectors, run_testbench
+        from repro.sim import (
+            generate_batch_stimulus,
+            generate_vectors,
+            run_batch_testbench,
+            run_testbench,
+        )
 
         options = ctx.options
-        vectors = generate_vectors(
-            ctx.design, options.sim_cycles,
-            profile=options.profile, seed=options.seed,
-        )
-        bench = run_testbench(
-            ctx.module, ctx.clocks, vectors,
-            delay_model=options.sim_delay_model,
-            activity_warmup=options.warmup_cycles,
-        )
+        if options.sim_lanes > 1:
+            # one word-packed pass; downstream power reads the simulator's
+            # lane-averaged toggles dict through the same contract
+            stimulus = generate_batch_stimulus(
+                ctx.design, options.sim_cycles,
+                profile=options.profile, seed=options.seed,
+                lanes=options.sim_lanes,
+            )
+            bench = run_batch_testbench(
+                ctx.module, ctx.clocks, stimulus,
+                delay_model=options.sim_delay_model,
+                activity_warmup=options.warmup_cycles,
+            )
+        else:
+            vectors = generate_vectors(
+                ctx.design, options.sim_cycles,
+                profile=options.profile, seed=options.seed,
+            )
+            bench = run_testbench(
+                ctx.module, ctx.clocks, vectors,
+                delay_model=options.sim_delay_model,
+                activity_warmup=options.warmup_cycles,
+            )
         ctx.artifacts["bench"] = bench
         sim = bench.simulator
-        return {
+        summary = {
             "cycles": options.sim_cycles,
             "sim_events": sim.events_processed,
             "sim_compile_s": round(sim.compile_seconds, 6),
             "sim_events_per_s": round(sim.events_per_second, 1),
         }
+        if options.sim_lanes > 1:
+            summary["sim_lanes"] = options.sim_lanes
+        return summary
 
 
 class PowerStage(Stage):
@@ -890,21 +913,37 @@ def _profile_activity(
     signal activity that drove data-driven clock gating".  Also returns
     kernel throughput stats for the stage's :class:`StageRecord` summary.
     """
-    from repro.sim import generate_vectors, run_testbench
-
-    vectors = generate_vectors(
-        module, options.profile_cycles, profile=options.profile,
-        seed=options.seed,
+    from repro.sim import (
+        generate_batch_stimulus,
+        generate_vectors,
+        run_batch_testbench,
+        run_testbench,
     )
+
     warmup = min(8, options.profile_cycles // 4)
-    bench = run_testbench(module, clocks, vectors, delay_model="unit",
-                          activity_warmup=warmup)
+    if options.sim_lanes > 1:
+        stimulus = generate_batch_stimulus(
+            module, options.profile_cycles, profile=options.profile,
+            seed=options.seed, lanes=options.sim_lanes,
+        )
+        bench = run_batch_testbench(module, clocks, stimulus,
+                                    delay_model="unit",
+                                    activity_warmup=warmup)
+    else:
+        vectors = generate_vectors(
+            module, options.profile_cycles, profile=options.profile,
+            seed=options.seed,
+        )
+        bench = run_testbench(module, clocks, vectors, delay_model="unit",
+                              activity_warmup=warmup)
     sim = bench.simulator
     stats = {
         "sim_events": sim.events_processed,
         "sim_compile_s": round(sim.compile_seconds, 6),
         "sim_events_per_s": round(sim.events_per_second, 1),
     }
+    if options.sim_lanes > 1:
+        stats["sim_lanes"] = options.sim_lanes
     return sim.toggles, options.profile_cycles - warmup, stats
 
 

@@ -54,7 +54,7 @@ TERMINAL = (DONE, FAILED)
 _OVERRIDABLE = frozenset({
     "period", "clock_gating_style", "assign_method", "retime", "retime_ms",
     "sim_cycles", "warmup_cycles", "profile", "profile_cycles", "seed",
-    "sim_delay_model", "clock_uncertainty", "resize", "verify",
+    "sim_delay_model", "sim_lanes", "clock_uncertainty", "resize", "verify",
 })
 
 

@@ -1,18 +1,33 @@
 """Event-driven gate-level simulation, stimulus, and equivalence checking."""
 
+from repro.sim.batch import MAX_LANES, BatchKernel
 from repro.sim.equivalence import EquivalenceReport, check_equivalent, compare_streams
 from repro.sim.kernel import CompiledKernel
 from repro.sim.logic import X, eval_op
 from repro.sim.reference import ReferenceEngine
 from repro.sim.simulator import SimulationError, Simulator
-from repro.sim.stimulus import PROFILES, WorkloadProfile, generate_vectors
-from repro.sim.testbench import TestbenchResult, run_testbench
+from repro.sim.stimulus import (
+    PROFILES,
+    BatchStimulus,
+    WorkloadProfile,
+    derive_lane_seed,
+    generate_batch_stimulus,
+    generate_vectors,
+)
+from repro.sim.testbench import (
+    BatchTestbenchResult,
+    TestbenchResult,
+    run_batch_testbench,
+    run_testbench,
+)
 from repro.sim.vcd import VcdRecorder
 
 __all__ = [
     "EquivalenceReport",
     "check_equivalent",
     "compare_streams",
+    "BatchKernel",
+    "MAX_LANES",
     "CompiledKernel",
     "ReferenceEngine",
     "X",
@@ -20,9 +35,14 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "PROFILES",
+    "BatchStimulus",
     "WorkloadProfile",
+    "derive_lane_seed",
+    "generate_batch_stimulus",
     "generate_vectors",
+    "BatchTestbenchResult",
     "TestbenchResult",
+    "run_batch_testbench",
     "run_testbench",
     "VcdRecorder",
 ]

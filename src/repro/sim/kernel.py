@@ -90,6 +90,16 @@ class SimulationError(RuntimeError):
     pass
 
 
+def _unknown_net_message(name: str, known) -> str:
+    """Diagnostic for an unknown net name, suggesting the nearest match
+    (same convention as the Simulator's ``set_input``/``port_value``)."""
+    import difflib
+
+    close = difflib.get_close_matches(name, known, n=1)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    return f"cannot watch {name!r}: not a net of the module{hint}"
+
+
 def cell_delay(module: Module, inst, delay_model: str) -> float:
     """Transport delay of ``inst`` under ``delay_model``.
 
@@ -369,8 +379,14 @@ class CompiledKernel:
 
     def watch(self, nets: list[str]) -> list[tuple[float, str, int]]:
         """Record ``(time, net, value)`` changes on ``nets``; returns the sink."""
+        ids = set()
+        for n in nets:
+            i = self._net_id.get(n)
+            if i is None:
+                raise SimulationError(_unknown_net_message(n, self._net_id))
+            ids.add(i)
         sink: list[tuple[float, str, int]] = []
-        self._watchers.append(({self._net_id[n] for n in nets}, sink))
+        self._watchers.append((ids, sink))
         return sink
 
     # -- event loop ----------------------------------------------------------

@@ -166,6 +166,12 @@ class ReferenceEngine:
 
     def watch(self, nets: list[str]) -> list[tuple[float, str, int]]:
         """Record ``(time, net, value)`` changes on ``nets``; returns the sink."""
+        from repro.sim.kernel import _unknown_net_message
+
+        for n in nets:
+            if n not in self.module.nets:
+                raise SimulationError(
+                    _unknown_net_message(n, self.module.nets))
         sink: list[tuple[float, str, int]] = []
         self._watchers.append((set(nets), sink))
         return sink

@@ -40,18 +40,21 @@ from __future__ import annotations
 
 from repro import obs
 from repro.netlist.core import Module, PortRef
+from repro.sim.batch import BatchKernel
 from repro.sim.kernel import CompiledKernel, SimulationError
 from repro.sim.reference import ReferenceEngine
 from repro.convert.clocks import ClockSpec
 
 __all__ = ["SimulationError", "Simulator"]
 
-#: engine name -> implementation (both expose the same internal protocol:
+#: engine name -> implementation (all expose the same internal protocol:
 #: net_value/schedule/run_until/reset_activity/toggles_dict/watch plus the
-#: now/events_processed/compile_seconds/run_seconds counters).
+#: now/events_processed/compile_seconds/run_seconds counters; the batch
+#: engine adds the lane-aware calls).
 ENGINES = {
     "compiled": CompiledKernel,
     "reference": ReferenceEngine,
+    "batch": BatchKernel,
 }
 
 
@@ -76,6 +79,7 @@ class Simulator:
         count_activity: bool = True,
         event_limit: int = 200_000_000,
         engine: str = "compiled",
+        lanes: int = 1,
     ):
         try:
             engine_cls = ENGINES[engine]
@@ -84,16 +88,24 @@ class Simulator:
                 f"unknown simulation engine {engine!r}; "
                 f"available: {', '.join(sorted(ENGINES))}"
             ) from None
+        if lanes != 1 and engine != "batch":
+            raise ValueError(
+                f"engine {engine!r} is single-lane; lanes={lanes} requires "
+                "engine='batch'"
+            )
         self.module = module
         self.clocks = clocks
         self.count_activity = count_activity
         self.event_limit = event_limit
         self.engine = engine
+        self.lanes = lanes
         with obs.span("sim.compile", engine=engine,
-                      delay_model=delay_model) as sp:
+                      delay_model=delay_model, lanes=lanes) as sp:
+            kwargs = {"lanes": lanes} if engine == "batch" else {}
             self._engine = engine_cls(
                 module, clocks, delay_model=delay_model,
                 count_activity=count_activity, event_limit=event_limit,
+                **kwargs,
             )
             sp.set(nets=len(module.nets), instances=len(module.instances),
                    compile_s=round(self._engine.compile_seconds, 6))
@@ -140,7 +152,7 @@ class Simulator:
                 f"{net!r} is not a net of module {self.module.name!r}"
             ) from None
 
-    def port_value(self, port: str) -> int:
+    def _port_net(self, port: str) -> str:
         # net_of_port scans all nets per output port; on the first miss,
         # one scan fills the map for every port at once (connectivity is
         # frozen during simulation).
@@ -167,7 +179,22 @@ class Simulator:
                         f"{port!r} is not a port of module "
                         f"{self.module.name!r}"
                     ) from None
-        return self._engine.net_value(net)
+        return net
+
+    def port_value(self, port: str) -> int:
+        return self._engine.net_value(self._port_net(port))
+
+    def port_values(self, port: str) -> list[int]:
+        """Per-lane values of a port (batch engine only)."""
+        self._require_batch("port_values")
+        return self._engine.net_values(self._port_net(port))
+
+    def _require_batch(self, what: str) -> None:
+        if self.engine != "batch":
+            raise SimulationError(
+                f"{what} requires engine='batch' (this simulator runs "
+                f"engine={self.engine!r})"
+            )
 
     def set_input(self, port: str, value: int, time: float) -> None:
         """Schedule a primary-input change."""
@@ -182,6 +209,33 @@ class Simulator:
                 f"cannot set input {port!r}: not a net of module "
                 f"{self.module.name!r}"
             ) from None
+
+    def set_input_word(self, port: str, word: int, time: float) -> None:
+        """Schedule per-lane primary-input values packed as a lane word
+        (bit ``i`` drives lane ``i``; batch engine only)."""
+        self._require_batch("set_input_word")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({time} < {self.now})"
+            )
+        try:
+            self._engine.schedule_lanes(port, word, 0, time)
+        except KeyError:
+            raise SimulationError(
+                f"cannot set input {port!r}: not a net of module "
+                f"{self.module.name!r}"
+            ) from None
+
+    def lane_toggles(self, lane: int) -> dict[str, int]:
+        """Exact per-net toggle counts of one lane (batch engine only;
+        ``toggles`` returns the lane average)."""
+        self._require_batch("lane_toggles")
+        return self._engine.lane_toggles(lane)
+
+    def lane_events(self, lane: int) -> int:
+        """Events one lane would have processed solo (batch engine only)."""
+        self._require_batch("lane_events")
+        return self._engine.lane_events(lane)
 
     def reset_activity(self) -> None:
         """Zero toggle counters (call after warm-up, before measurement)."""

@@ -20,6 +20,31 @@ from repro.netlist.core import Module
 
 Vector = dict[str, int]
 
+_MASK64 = (1 << 64) - 1
+#: odd increment of the splitmix64 generator (golden-ratio constant).
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def derive_lane_seed(base_seed: int, lane: int) -> int:
+    """Independent, stable per-lane RNG seed for batched simulation.
+
+    Lane 0 keeps the base seed unchanged, so a one-lane batch is the
+    canonical single-vector run.  Other lanes go through a splitmix64
+    round: the naive ``base_seed + lane`` would collide across workload
+    profiles whose seeds sit close together (``random``=11 and ``pi``=31
+    share streams at 20 lanes apart), whereas splitmix's odd-gamma step
+    plus finalizer guarantees distinct streams for any two distinct
+    ``(base_seed mod 2**64, lane)`` pairs with lane < 2**6 -- the lane
+    deltas that could alias are multiples of ``gamma^-1`` mod 2**64,
+    astronomically larger than :data:`~repro.sim.batch.MAX_LANES`.
+    """
+    if lane == 0:
+        return base_seed
+    z = (base_seed + lane * _SPLITMIX_GAMMA) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
 
 @dataclass(frozen=True)
 class WorkloadProfile:
@@ -119,3 +144,55 @@ def generate_vectors(
                 vector[port] = state[port]
         vectors.append(vector)
     return vectors
+
+
+@dataclass(frozen=True)
+class BatchStimulus:
+    """``lanes`` independent stimulus streams, packed for the batch engine.
+
+    ``lane_vectors[lane][cycle]`` is the plain per-cycle vector lane
+    ``lane`` would receive in a solo run (seeded with
+    :func:`derive_lane_seed`); ``words[cycle]`` packs the same data as
+    ``port -> int`` lane-bit words (bit ``i`` = lane ``i``'s value), the
+    form :meth:`repro.sim.simulator.Simulator.set_input_word` consumes.
+    Port iteration order inside each word dict matches the per-lane
+    vectors, so batch input events coalesce and order exactly like the
+    solo runs' pushes.
+    """
+
+    lanes: int
+    lane_vectors: list[list[Vector]]
+    words: list[dict[str, int]]
+
+
+def generate_batch_stimulus(
+    module: Module,
+    n_cycles: int,
+    profile: WorkloadProfile | str = "random",
+    reset_cycles: int = 4,
+    seed: int | None = None,
+    lanes: int = 1,
+) -> BatchStimulus:
+    """Per-lane stimulus for a batched run.
+
+    Lane ``i`` is exactly ``generate_vectors(..., seed=derive_lane_seed(
+    base, i))`` -- the differential contract the batch engine's per-lane
+    parity tests rely on.  The base seed is ``seed`` if given, else the
+    profile's.
+    """
+    if isinstance(profile, str):
+        profile = PROFILES[profile]
+    base = seed if seed is not None else profile.seed
+    lane_vectors = [
+        generate_vectors(module, n_cycles, profile, reset_cycles,
+                         derive_lane_seed(base, lane))
+        for lane in range(lanes)
+    ]
+    words: list[dict[str, int]] = []
+    for cycle in range(n_cycles):
+        packed: dict[str, int] = {}
+        for lane, vectors in enumerate(lane_vectors):
+            for port, value in vectors[cycle].items():
+                packed[port] = packed.get(port, 0) | (value << lane)
+        words.append(packed)
+    return BatchStimulus(lanes=lanes, lane_vectors=lane_vectors, words=words)

@@ -21,7 +21,7 @@ from repro import obs
 from repro.netlist.core import Module
 from repro.convert.clocks import ClockSpec
 from repro.sim.simulator import Simulator
-from repro.sim.stimulus import Vector
+from repro.sim.stimulus import BatchStimulus, Vector
 
 #: fraction of the period after the boundary where vectors are applied.
 #: Must be > 1/4 (after the 3-phase p1 latches close, so PIs behave "as if
@@ -76,6 +76,73 @@ def run_testbench(
             sim.run_until(sample_time)
             result.samples.append(
                 {port: sim.port_value(port) for port in outputs})
+            if activity_warmup and cycle + 1 == activity_warmup:
+                sim.reset_activity()
+            sim.run_until((cycle + 1) * period)
+        sp.set(events=sim.events_processed,
+               events_per_s=round(sim.events_per_second, 1))
+    obs.gauge("sim.events_per_s", sim.events_per_second)
+    return result
+
+
+@dataclass
+class BatchTestbenchResult:
+    """Per-lane sampled output streams plus the batch simulator.
+
+    ``samples[cycle][port]`` is the list of per-lane values; use
+    :meth:`lane_samples` to recover the exact :class:`TestbenchResult`
+    sample stream lane ``i``'s solo run would have produced.
+    """
+
+    module: Module
+    lanes: int
+    samples: list[dict[str, list[int]]] = field(default_factory=list)
+    simulator: Simulator | None = None
+
+    def lane_samples(self, lane: int) -> list[Vector]:
+        return [
+            {port: values[lane] for port, values in sample.items()}
+            for sample in self.samples
+        ]
+
+    def stream(self, port: str, lane: int = 0) -> list[int]:
+        return [sample[port][lane] for sample in self.samples]
+
+
+def run_batch_testbench(
+    module: Module,
+    clocks: ClockSpec,
+    stimulus: BatchStimulus,
+    delay_model: str = "cell",
+    activity_warmup: int = 0,
+) -> BatchTestbenchResult:
+    """Simulate ``module`` over all lanes of ``stimulus`` in one pass.
+
+    The apply/sample/warmup schedule is identical to
+    :func:`run_testbench`, so lane ``i`` of the result is bit-for-bit the
+    solo run over ``stimulus.lane_vectors[i]``.
+    """
+    sim = Simulator(module, clocks, delay_model=delay_model,
+                    engine="batch", lanes=stimulus.lanes)
+    period = clocks.period
+    outputs = module.output_ports()
+    result = BatchTestbenchResult(
+        module=module, lanes=stimulus.lanes, simulator=sim)
+
+    with obs.span("sim.run", design=module.name, engine="batch",
+                  lanes=stimulus.lanes, cycles=len(stimulus.words),
+                  delay_model=delay_model) as sp:
+        for index, packed in enumerate(stimulus.words):
+            time = (0.0 if index == 0
+                    else index * period + INPUT_TIME_FRACTION * period)
+            for port, word in packed.items():
+                sim.set_input_word(port, word, time)
+
+        for cycle in range(len(stimulus.words)):
+            sample_time = (cycle + 1) * period - SAMPLE_GUARD_FRACTION * period
+            sim.run_until(sample_time)
+            result.samples.append(
+                {port: sim.port_values(port) for port in outputs})
             if activity_warmup and cycle + 1 == activity_warmup:
                 sim.reset_activity()
             sim.run_until((cycle + 1) * period)

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 from repro.convert.clocks import ClockSpec
 from repro.netlist.core import Module
 from repro.timing.graph import SeqEdge, TimingGraph, extract_timing_graph
-from repro.timing.sta import TimingReport, analyze
+from repro.timing.sta import TimingReport, _probe_search, analyze
 
 
 @dataclass(frozen=True)
@@ -121,8 +121,14 @@ def minimum_period_at(
     lo: float,
     hi: float,
     tolerance: float = 2.0,
+    probes: int = 1,
 ) -> float:
-    """Bisect the minimum setup-feasible period over a fixed delay graph."""
+    """Minimum setup-feasible period over a fixed delay graph.
+
+    ``probes=1`` is classic bisection; ``k > 1`` evaluates k evenly
+    spaced candidates per refinement step (see
+    :func:`repro.timing.sta.minimum_period`).
+    """
 
     def setup_ok(period: float) -> bool:
         report = analyze(module, clocks_builder(period), graph=graph)
@@ -131,14 +137,7 @@ def minimum_period_at(
 
     if not setup_ok(hi):
         raise ValueError(f"setup fails even at period {hi}")
-    low, high = lo, hi
-    while high - low > tolerance:
-        mid = (low + high) / 2
-        if setup_ok(mid):
-            high = mid
-        else:
-            low = mid
-    return high
+    return _probe_search(setup_ok, lo, hi, tolerance, probes)
 
 
 def sigma_tolerance(
@@ -188,16 +187,19 @@ def variation_study(
     corners: tuple[Corner, ...] = STANDARD_CORNERS,
     lo: float = 50.0,
     hi: float = 20_000.0,
+    probes: int = 1,
 ) -> VariationStudy:
     """Minimum period of ``module`` at each corner.
 
     ``clocks_builder(period)`` produces the style's clock spec (e.g.
-    ``ClockSpec.single`` or ``ClockSpec.default_three_phase``).
+    ``ClockSpec.single`` or ``ClockSpec.default_three_phase``);
+    ``probes`` is forwarded to :func:`minimum_period_at`.
     """
     base = extract_timing_graph(module)
     study = VariationStudy(design=module.name)
     for corner in corners:
         graph = derate_graph(base, corner)
-        period = minimum_period_at(module, clocks_builder, graph, lo, hi)
+        period = minimum_period_at(module, clocks_builder, graph, lo, hi,
+                                   probes=probes)
         study.results.append(CornerResult(corner, period))
     return study

@@ -282,17 +282,28 @@ def minimum_period(
     lo: float,
     hi: float,
     tolerance: float = 1.0,
+    probes: int = 1,
 ) -> float:
-    """Binary-search the smallest period where setup is met.
+    """Search the smallest period where setup is met.
 
     ``clocks_builder(period)`` returns the ClockSpec at that period (e.g.
     ``ClockSpec.single`` or ``ClockSpec.default_three_phase``); hold
     violations are ignored here since they are period-independent.
 
     The timing graph and the register -> phase map are extracted once and
-    shared across all binary-search probes; only the cheap per-register
-    edge arithmetic is redone at each candidate period.
+    shared across all probes; only the cheap per-register edge arithmetic
+    is redone at each candidate period.
+
+    ``probes`` is the number of candidate periods evaluated per
+    refinement step: 1 is classic bisection; ``k > 1`` is a k-ary search
+    that shrinks the bracket by ``k + 1`` per step (the batched-probing
+    analogue of the batch simulation engine -- useful when candidate
+    evaluations are farmed out or when fewer, wider steps are wanted).
+    Setup feasibility is monotone in the period, so every ``probes``
+    value converges to the same answer within ``tolerance``.
     """
+    if probes < 1:
+        raise ValueError(f"probes must be >= 1, got {probes}")
     graph = extract_timing_graph(module)
     phases: dict[str, str] | None = None
 
@@ -310,10 +321,24 @@ def minimum_period(
 
     if not setup_ok(hi):
         raise ValueError(f"setup fails even at period {hi}")
+    return _probe_search(setup_ok, lo, hi, tolerance, probes)
+
+
+def _probe_search(setup_ok, lo: float, hi: float, tolerance: float,
+                  probes: int) -> float:
+    """Shrink ``(lo, hi]`` (hi known-feasible) to ``tolerance`` by testing
+    ``probes`` evenly spaced candidates per step, ascending: feasibility
+    is monotone, so the first passing candidate bounds the answer above
+    and every tested candidate below it bounds it below."""
     while hi - lo > tolerance:
-        mid = (lo + hi) / 2
-        if setup_ok(mid):
-            hi = mid
-        else:
-            lo = mid
+        step = (hi - lo) / (probes + 1)
+        new_lo = lo
+        new_hi = hi
+        for i in range(1, probes + 1):
+            candidate = lo + step * i
+            if setup_ok(candidate):
+                new_hi = candidate
+                break
+            new_lo = candidate
+        lo, hi = new_lo, new_hi
     return hi
