@@ -6,10 +6,11 @@ cut it further (less CG-cell overhead), and DDCG mops up quiet latches.
 """
 
 from dataclasses import replace
+from time import perf_counter
 
 import pytest
 
-from conftest import cycles_override, emit, run_once
+from conftest import cycles_override, emit, run_once, write_bench_json
 from repro.cg import CgOptions
 from repro.circuits import build, spec
 from repro.flow import FlowOptions, run_flow
@@ -40,7 +41,17 @@ def test_cg_strategy_ablation(benchmark, design, out_dir):
             for label, cg in STRATEGIES.items()
         }
 
+    t0 = perf_counter()
     results = run_once(benchmark, run_all)
+    wall = perf_counter() - t0
+    write_bench_json(f"ablation_cg_{design}", {
+        "bench": f"ablation_cg_{design}",
+        "wall_s": round(wall, 4),
+        "clock_mw": {k: round(r.power.clock.total, 5)
+                     for k, r in results.items()},
+        "total_mw": {k: round(r.power.total, 5)
+                     for k, r in results.items()},
+    })
 
     lines = [f"p2 clock gating ablation on {design}:"]
     for label, result in results.items():

@@ -8,10 +8,11 @@ latches, and less 3-phase power.
 """
 
 from dataclasses import replace
+from time import perf_counter
 
 import pytest
 
-from conftest import cycles_override, emit, run_once
+from conftest import cycles_override, emit, run_once, write_bench_json
 from repro.circuits import build, spec
 from repro.convert import assign_phases
 from repro.flow import FlowOptions, run_flow
@@ -41,7 +42,17 @@ def test_gating_style_ablation(benchmark, design, out_dir):
                 module, replace(base, clock_gating_style=style))
         return assignments, flows
 
+    t0 = perf_counter()
     assignments, flows = run_once(benchmark, run_all)
+    wall = perf_counter() - t0
+    write_bench_json(f"ablation_gating_style_{design}", {
+        "bench": f"ablation_gating_style_{design}",
+        "wall_s": round(wall, 4),
+        "total_latches": {s: assignments[s].total_latches
+                          for s in ("enabled", "gated")},
+        "total_mw": {s: round(flows[s].power.total, 5)
+                     for s in ("enabled", "gated")},
+    })
 
     lines = [f"clock-gating style ablation on {design} (Fig. 2):"]
     for style in ("enabled", "gated"):

@@ -7,9 +7,11 @@ the uniform schedule exposes more hops to clock skew and needs more hold
 buffers, while both meet the same throughput.
 """
 
+from time import perf_counter
+
 import pytest
 
-from conftest import emit, run_once
+from conftest import emit, run_once, write_bench_json
 from repro.circuits import build
 from repro.convert import ClockSpec, convert_to_three_phase
 from repro.library import FDSOI28
@@ -42,7 +44,15 @@ def test_phase_schedule_ablation(benchmark, design, out_dir):
             results[label] = (timing, hold)
         return results
 
+    t0 = perf_counter()
     results = run_once(benchmark, run)
+    wall = perf_counter() - t0
+    write_bench_json(f"ablation_phases_{design}", {
+        "bench": f"ablation_phases_{design}",
+        "wall_s": round(wall, 4),
+        "hold_buffers": {label: hold.buffers_added
+                         for label, (_, hold) in results.items()},
+    })
 
     lines = [f"phase-schedule ablation on {design} @ {period:.0f} ps:"]
     for label, (timing, hold) in results.items():

@@ -8,10 +8,11 @@ saving at a fraction of the hold-fixing cost.
 """
 
 from dataclasses import replace
+from time import perf_counter
 
 import pytest
 
-from conftest import cycles_override, emit, run_once
+from conftest import cycles_override, emit, run_once, write_bench_json
 from repro.circuits import build, spec
 from repro.flow import FlowOptions, run_flow
 
@@ -32,7 +33,17 @@ def test_pulsed_vs_three_phase(benchmark, design, out_dir):
             for style in ("ff", "pulsed", "3p")
         }
 
+    t0 = perf_counter()
     results = run_once(benchmark, run_all)
+    wall = perf_counter() - t0
+    write_bench_json(f"ablation_pulsed_{design}", {
+        "bench": f"ablation_pulsed_{design}",
+        "wall_s": round(wall, 4),
+        "hold_buffers": {s: (r.hold.buffers_added if r.hold else 0)
+                         for s, r in results.items()},
+        "total_mw": {s: round(r.power.total, 5)
+                     for s, r in results.items()},
+    })
 
     lines = [f"pulsed-latch ablation on {design}:"]
     for style, result in results.items():

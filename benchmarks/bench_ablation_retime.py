@@ -6,9 +6,11 @@ borrowing budget; the minimum 3-phase period suffers.  Retiming splits
 the stage and restores the FF design's throughput (constraint C3).
 """
 
+from time import perf_counter
+
 import pytest
 
-from conftest import emit, run_once
+from conftest import emit, run_once, write_bench_json
 from repro.circuits import linear_pipeline
 from repro.convert import ClockSpec, convert_to_three_phase
 from repro.library import FDSOI28
@@ -37,7 +39,17 @@ def test_retiming_restores_throughput(benchmark, depth, out_dir):
             retimed.module, ClockSpec.default_three_phase, 50, 8000)
         return pmin_ff, pmin_nort, pmin_rt, rr
 
+    t0 = perf_counter()
     pmin_ff, pmin_nort, pmin_rt, rr = run_once(benchmark, run)
+    wall = perf_counter() - t0
+    write_bench_json(f"ablation_retime_d{depth}", {
+        "bench": f"ablation_retime_d{depth}",
+        "wall_s": round(wall, 4),
+        "pmin_ff_ps": round(pmin_ff, 1),
+        "pmin_noretime_ps": round(pmin_nort, 1),
+        "pmin_retimed_ps": round(pmin_rt, 1),
+        "moves": rr.moves,
+    })
 
     text = (
         f"retiming ablation (pipeline depth {depth}):\n"

@@ -1,17 +1,29 @@
 """Regenerate Fig. 4: RISC-V / ARM-M0 power on Dhrystone and Coremark."""
 
+from time import perf_counter
+
 import pytest
 
-from conftest import cycles_override, emit, run_once
+from conftest import cycles_override, emit, run_once, write_bench_json
 from repro.reporting import format_fig4, run_fig4
 from repro.reporting.fig4 import WORKLOADS
 
 
 def test_fig4(benchmark, out_dir):
+    t0 = perf_counter()
     result = run_once(
         benchmark, lambda: run_fig4(sim_cycles=cycles_override())
     )
+    wall = perf_counter() - t0
     emit(out_dir, "fig4.txt", format_fig4(result))
+    write_bench_json("fig4", {
+        "bench": "fig4",
+        "wall_s": round(wall, 4),
+        "avg_save_ff_pct": {
+            cpu: round(result.average_saving(cpu, "ff"), 3)
+            for cpu in ("riscv", "armm0")
+        },
+    })
 
     for cpu in ("riscv", "armm0"):
         vs_ff = result.average_saving(cpu, "ff")

@@ -5,9 +5,11 @@ agree on the optimum over the benchmark FF graphs; the greedy heuristic is
 never better.  pytest-benchmark records per-backend solve time.
 """
 
+from time import perf_counter
+
 import pytest
 
-from conftest import emit, run_once
+from conftest import emit, run_once, write_bench_json
 from repro.circuits import build, names
 from repro.convert.phase_ilp import solve_greedy, solve_ilp, solve_via_mis
 from repro.library import FDSOI28
@@ -45,7 +47,16 @@ def test_solver_backend(benchmark, backend, graphs, out_dir):
     def run_all():
         return {name: solve(graphs[name]) for name in subset}
 
+    t0 = perf_counter()
     results = run_once(benchmark, run_all)
+    wall = perf_counter() - t0
+    write_bench_json(f"ilp_{backend}", {
+        "bench": f"ilp_{backend}",
+        "wall_s": round(wall, 4),
+        "solve": {name: {"solve_s": round(a.solve_seconds, 6),
+                         "objective": a.objective}
+                  for name, a in results.items()},
+    })
 
     optimum = {name: solve_via_mis(graph).objective
                for name, graph in graphs.items()}

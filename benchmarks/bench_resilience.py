@@ -6,9 +6,11 @@ error detection logic."  Measured with Bubble-Razor-style protection
 implementations of the same designs.
 """
 
+from time import perf_counter
+
 import pytest
 
-from conftest import emit, run_once
+from conftest import emit, run_once, write_bench_json
 from repro.circuits import build, spec
 from repro.convert import convert_to_master_slave, convert_to_three_phase
 from repro.library import FDSOI28
@@ -34,9 +36,18 @@ def test_error_detection_overhead(benchmark, design, out_dir):
         check(p3.module)
         return (ms_report, p3_report, ms_base, p3_base)
 
+    t0 = perf_counter()
     ms_report, p3_report, ms_base, p3_base = run_once(benchmark, run)
+    wall = perf_counter() - t0
 
     saving = 100 * (1 - p3_report.protected / ms_report.protected)
+    write_bench_json(f"resilience_{design}", {
+        "bench": f"resilience_{design}",
+        "wall_s": round(wall, 4),
+        "detectors": {"ms": ms_report.protected,
+                      "p3": p3_report.protected},
+        "detector_saving_pct": round(saving, 3),
+    })
     text = (
         f"error-detection overhead on {design} (protect-all policy):\n"
         f"  M-S : {ms_report.protected:5d} detectors, "

@@ -30,10 +30,11 @@ what the same run pays with tracing off, and the bound must stay below
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from time import perf_counter
+
+from repro.bench.recorder import write_bench_json
 
 from repro.circuits import build
 from repro.convert.clocks import ClockSpec
@@ -205,16 +206,25 @@ def bench(design: str, cycles: int, seed: int, engines: tuple[str, ...],
         "ok": ok,
         "runs": rows,
     }
-    path = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
-    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    path = write_bench_json("sim", record,
+                            root=Path(__file__).resolve().parent.parent)
     print(f"wrote {path}")
     return ok
 
 
 def bench_obs(design: str, cycles: int, seed: int,
               limit: float = 0.02) -> bool:
-    """Assert the disabled-tracer overhead bound (< ``limit`` of wall)."""
+    """Assert the observability overhead bounds (< ``limit`` of wall).
+
+    Two contracts:
+
+    * disabled tracer: instrumentation ops x measured null-op cost must
+      bound below ``limit`` of the traced run's wall time;
+    * resource monitor: the background sampler's duty cycle (measured
+      per-sample cost / sampling interval -- the fraction of one core
+      the sampler thread occupies) must stay below ``limit``, and a
+      monitored run must actually attribute a peak RSS to its span.
+    """
     from repro import obs
 
     module = build(design)
@@ -236,6 +246,35 @@ def bench_obs(design: str, cycles: int, seed: int,
           f"{per_op * 1e9:.1f} ns/op disabled, run {wall:.3f} s")
     print(f"    disabled-tracer overhead bound {100 * overhead:.4f}% "
           f"(< {100 * limit:.0f}% {'OK' if ok else 'EXCEEDED'})")
+
+    # monitored run: same workload under a background resource sampler
+    mon_tracer = obs.Tracer()
+    attrs: dict = {}
+    with obs.use_tracer(mon_tracer):
+        with obs.monitored(mon_tracer) as monitor:
+            with obs.span("bench.sim_obs"):
+                window = obs.resource_window()
+                run_testbench(module, clocks, vectors,
+                              delay_model="cell", engine="compiled")
+                if window is not None:
+                    attrs = window.close()
+            # per-sample cost measured directly: N forced samples timed
+            reps = 200
+            t0 = perf_counter()
+            for _ in range(reps):
+                monitor._take_sample()
+            per_sample = (perf_counter() - t0) / reps
+    duty = per_sample / monitor.interval_s
+    attributed = attrs.get("peak_rss_bytes", 0) > 0
+    mon_ok = duty < limit and attributed
+    ok = ok and mon_ok
+    print(f"  [mon ] {monitor.samples_taken} samples @ "
+          f"{monitor.interval_s * 1e3:.0f} ms, "
+          f"{per_sample * 1e6:.1f} us/sample, "
+          f"peak rss {attrs.get('peak_rss_bytes', 0) / 1e6:.1f} MB")
+    print(f"    monitor duty cycle {100 * duty:.4f}% "
+          f"(< {100 * limit:.0f}% "
+          f"{'OK' if mon_ok else 'EXCEEDED/UNATTRIBUTED'})")
     return ok
 
 

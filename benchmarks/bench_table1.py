@@ -6,10 +6,12 @@ check-against-paper assertions pin the headline result: the 3-phase
 conversion reproduces the published latch counts through our ILP.
 """
 
+from time import perf_counter
+
 import pytest
 
 from conftest import (cycles_override, emit, jobs_override, run_once,
-                      selected_designs)
+                      selected_designs, write_bench_json)
 from repro.reporting import format_table1, run_suite
 from repro.reporting.paper_data import TABLE1
 
@@ -22,11 +24,22 @@ def test_table1_suite(benchmark, suite, out_dir):
     if not designs:
         pytest.skip(f"no designs selected for suite {suite}")
 
+    t0 = perf_counter()
     results = run_once(
         benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES,
                               jobs=jobs_override())
     )
+    wall = perf_counter() - t0
     emit(out_dir, f"table1_{suite}.txt", format_table1(results))
+    n = len(results)
+    write_bench_json(f"table1_{suite}", {
+        "bench": f"table1_{suite}",
+        "designs": n,
+        "cycles": _CYCLES,
+        "wall_s": round(wall, 4),
+        "avg_reg_save_2ff_pct": round(
+            sum(c.reg_saving_vs_2ff for c in results.values()) / n, 3),
+    })
 
     for name, cmp in results.items():
         paper = TABLE1[name]

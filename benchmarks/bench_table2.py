@@ -8,10 +8,12 @@ assertions check what the paper's conclusions rest on, not absolute mW:
 * control-dominated ISCAS circuits benefit least.
 """
 
+from time import perf_counter
+
 import pytest
 
 from conftest import (cycles_override, emit, jobs_override, run_once,
-                      selected_designs)
+                      selected_designs, write_bench_json)
 from repro.reporting import format_table2, run_suite
 
 _CYCLES = cycles_override()
@@ -23,10 +25,12 @@ def test_table2_suite(benchmark, suite, out_dir):
     if not designs:
         pytest.skip(f"no designs selected for suite {suite}")
 
+    t0 = perf_counter()
     results = run_once(
         benchmark, lambda: run_suite(designs=designs, sim_cycles=_CYCLES,
                               jobs=jobs_override())
     )
+    wall = perf_counter() - t0
     emit(out_dir, f"table2_{suite}.txt", format_table2(results))
 
     n = len(results)
@@ -45,3 +49,11 @@ def test_table2_suite(benchmark, suite, out_dir):
     assert avg_clock_ff > 5.0, f"{suite}: clock saving too small"
     print(f"\n{suite}: avg 3-P total saving {avg_save_ff:.1f}% vs FF, "
           f"{avg_save_ms:.1f}% vs M-S (clock {avg_clock_ff:.1f}%)")
+    write_bench_json(f"table2_{suite}", {
+        "bench": f"table2_{suite}",
+        "designs": n,
+        "wall_s": round(wall, 4),
+        "avg_save_ff_pct": round(avg_save_ff, 3),
+        "avg_save_ms_pct": round(avg_save_ms, 3),
+        "avg_clock_save_ff_pct": round(avg_clock_ff, 3),
+    })

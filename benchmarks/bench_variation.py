@@ -14,9 +14,11 @@ absorbs local slow-downs an FF design must margin for.  Two measurements:
   as soon as one stage's draw eats its stage slack.
 """
 
+from time import perf_counter
+
 import pytest
 
-from conftest import emit, run_once
+from conftest import emit, run_once, write_bench_json
 from repro.circuits import linear_pipeline
 from repro.convert import (
     ClockSpec,
@@ -54,8 +56,17 @@ def test_variation_tolerance(benchmark, depth, out_dir):
             converted.module, ClockSpec.default_three_phase)
         return period, ff_tol, ms_tol, p3_tol, ff_study, p3_study
 
+    t0 = perf_counter()
     period, ff_tol, ms_tol, p3_tol, ff_study, p3_study = run_once(
         benchmark, run)
+    wall = perf_counter() - t0
+    write_bench_json(f"variation_d{depth}", {
+        "bench": f"variation_d{depth}",
+        "wall_s": round(wall, 4),
+        "sigma_tolerance": {"ff": round(ff_tol, 4),
+                            "ms": round(ms_tol, 4),
+                            "p3": round(p3_tol, 4)},
+    })
 
     text = (
         f"PVT variation study (pipeline depth {depth}, operating period "

@@ -76,12 +76,12 @@ def cache_dir_override() -> str | None:
 
 def write_bench_json(name: str, payload: dict) -> Path:
     """Write a machine-readable perf record ``BENCH_<name>.json`` at the
-    repo root (the perf trajectory CI uploads and PRs compare)."""
-    import json
+    repo root (the perf trajectory CI records into
+    ``benchmarks/history.jsonl`` via ``repro bench record``)."""
+    from repro.bench.recorder import write_bench_json as _write
 
-    path = Path(__file__).resolve().parent.parent / f"BENCH_{name}.json"
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    path = _write(name, payload,
+                  root=Path(__file__).resolve().parent.parent)
     print(f"wrote {path}")
     return path
 

@@ -1,0 +1,267 @@
+"""Noise-aware benchmark comparison: diff two revisions, gate on one.
+
+The raw material is :mod:`repro.bench.history` entries.  Comparison is
+per-bench, per-metric:
+
+* each side is reduced to the **median of its last N entries** (default
+  3) so one noisy run cannot fail -- or mask -- a regression;
+* a metric's *direction* comes from its name
+  (:func:`metric_direction`): ``*_s``/``*_seconds``/``*_bytes`` are
+  lower-better, ``*per_s``/``*speedup``/``*rate``/``*throughput`` are
+  higher-better, anything else is informational and never gated;
+* the gate fires when the median moves the *wrong* way by more than the
+  threshold percentage -- overridable per metric with fnmatch patterns
+  (``{"sim.runs.*.wall_s": 25.0}``) -- and, for seconds metrics, by
+  more than ``min_abs_s`` absolute, which keeps sub-millisecond timer
+  jitter from tripping a percentage gate on tiny baselines.
+
+``repro bench diff`` renders :func:`format_deltas`; ``repro bench
+check`` exits non-zero when any delta has ``regressed=True``.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+
+#: substrings/suffixes that mark a metric as higher-is-better.  Checked
+#: before the lower-is-better suffixes because ``events_per_s`` also
+#: ends with ``_s``.
+_HIGHER_MARKERS = ("per_s", "speedup", "throughput")
+_HIGHER_SUFFIXES = ("rate",)
+_LOWER_SUFFIXES = ("_s", "_seconds", "_bytes")
+_SECONDS_SUFFIXES = ("_s", "_seconds")
+
+
+def metric_direction(metric: str) -> str | None:
+    """``"lower"``, ``"higher"``, or ``None`` (informational).
+
+    Decided from the metric's leaf name: ``runs.0.wall_s`` -> ``wall_s``.
+    """
+    leaf = metric.rsplit(".", 1)[-1].lower()
+    if any(marker in leaf for marker in _HIGHER_MARKERS):
+        return "higher"
+    if leaf.endswith(_HIGHER_SUFFIXES):
+        return "higher"
+    if leaf.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return None
+
+
+def is_seconds_metric(metric: str) -> bool:
+    leaf = metric.rsplit(".", 1)[-1].lower()
+    return (leaf.endswith(_SECONDS_SUFFIXES)
+            and metric_direction(metric) == "lower")
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between baseline and current revisions."""
+
+    bench: str
+    metric: str
+    direction: str | None  # "lower" | "higher" | None (informational)
+    baseline: float  # median over the baseline side's entries
+    current: float  # median over the current side's entries
+    delta_pct: float  # signed percent change vs baseline
+    tolerance_pct: float  # the threshold this metric was gated against
+    regressed: bool  # moved the wrong way past tolerance (gate fires)
+    improved: bool  # moved the right way past tolerance
+    n_baseline: int  # entries the baseline median covers
+    n_current: int  # entries the current median covers
+
+    @property
+    def key(self) -> str:
+        return f"{self.bench}.{self.metric}"
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def tolerance_for(
+    metric_key: str,
+    tolerances: dict[str, float] | None,
+    default: float,
+) -> float:
+    """The gate percentage for ``bench.metric`` (first fnmatch wins)."""
+    if tolerances:
+        for pattern in sorted(tolerances):
+            if fnmatch.fnmatchcase(metric_key, pattern):
+                return float(tolerances[pattern])
+    return default
+
+
+def group_by_bench(entries: list[dict]) -> dict[str, list[dict]]:
+    grouped: dict[str, list[dict]] = {}
+    for entry in entries:
+        grouped.setdefault(str(entry.get("bench", "?")), []).append(entry)
+    return grouped
+
+
+def split_by_sha(
+    entries: list[dict],
+    baseline_sha: str | None = None,
+) -> tuple[list[dict], list[dict]]:
+    """Split one history into (baseline, current) sides by revision.
+
+    The *current* side is the most recently recorded distinct sha; the
+    baseline is ``baseline_sha`` (prefix match) when given, else the
+    distinct sha recorded just before the current one.  Raises
+    ``ValueError`` when the history cannot supply both sides.
+    """
+    ordered = sorted(entries, key=lambda e: float(e.get("ts") or 0.0))
+    sha_order: list[str] = []
+    for entry in ordered:
+        sha = str(entry.get("sha") or "")
+        if sha and sha not in sha_order:
+            sha_order.append(sha)
+    if not sha_order:
+        raise ValueError("history has no entries with a recorded sha")
+    current_sha = sha_order[-1]
+    if baseline_sha is not None:
+        matches = [s for s in sha_order if s.startswith(baseline_sha)]
+        if not matches:
+            raise ValueError(
+                f"no history entries match baseline sha {baseline_sha!r}")
+        base_sha = matches[-1]
+    else:
+        if len(sha_order) < 2:
+            raise ValueError(
+                "history has a single revision; record a baseline first or "
+                "pass --baseline-history/--baseline-sha")
+        base_sha = sha_order[-2]
+    baseline = [e for e in ordered if str(e.get("sha") or "") == base_sha]
+    current = [e for e in ordered if str(e.get("sha") or "") == current_sha]
+    return baseline, current
+
+
+def _medians(
+    entries: list[dict], runs: int
+) -> tuple[dict[str, float], dict[str, int]]:
+    """Per-metric median (and sample count) over the last ``runs`` entries."""
+    recent = sorted(entries, key=lambda e: float(e.get("ts") or 0.0))[-runs:]
+    series: dict[str, list[float]] = {}
+    for entry in recent:
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        for name, value in metrics.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                series.setdefault(str(name), []).append(float(value))
+    medians = {name: _median(values) for name, values in series.items()}
+    counts = {name: len(values) for name, values in series.items()}
+    return medians, counts
+
+
+def compare_entries(
+    baseline_entries: list[dict],
+    current_entries: list[dict],
+    threshold_pct: float = 5.0,
+    tolerances: dict[str, float] | None = None,
+    runs: int = 3,
+    min_abs_s: float = 0.0,
+) -> list[MetricDelta]:
+    """Per-metric deltas for every bench present on both sides."""
+    base_by_bench = group_by_bench(baseline_entries)
+    cur_by_bench = group_by_bench(current_entries)
+    deltas: list[MetricDelta] = []
+    for bench in sorted(set(base_by_bench) & set(cur_by_bench)):
+        base_med, base_n = _medians(base_by_bench[bench], runs)
+        cur_med, cur_n = _medians(cur_by_bench[bench], runs)
+        for metric in sorted(set(base_med) & set(cur_med)):
+            base, cur = base_med[metric], cur_med[metric]
+            if base != 0.0:
+                delta_pct = (cur - base) / abs(base) * 100.0
+            else:
+                delta_pct = 0.0 if cur == 0.0 else float("inf")
+            direction = metric_direction(metric)
+            tol = tolerance_for(f"{bench}.{metric}", tolerances,
+                                threshold_pct)
+            regressed = improved = False
+            if direction == "lower":
+                regressed = delta_pct > tol
+                improved = delta_pct < -tol
+            elif direction == "higher":
+                regressed = delta_pct < -tol
+                improved = delta_pct > tol
+            # absolute floor: a percentage gate on a 2 ms baseline is
+            # pure timer noise -- require the medians to differ by a
+            # real amount of wall time too.
+            if (regressed and min_abs_s > 0.0 and is_seconds_metric(metric)
+                    and abs(cur - base) < min_abs_s):
+                regressed = False
+            deltas.append(MetricDelta(
+                bench=bench, metric=metric, direction=direction,
+                baseline=base, current=cur, delta_pct=delta_pct,
+                tolerance_pct=tol, regressed=regressed, improved=improved,
+                n_baseline=base_n.get(metric, 0),
+                n_current=cur_n.get(metric, 0)))
+    return deltas
+
+
+def _fmt_value(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e6 or abs(v) < 1e-3:
+        return f"{v:.3e}"
+    return f"{v:.6g}"
+
+
+def format_deltas(deltas: list[MetricDelta], gated_only: bool = False) -> str:
+    """A fixed-width text table of deltas (``repro bench diff`` output)."""
+    rows: list[tuple[str, str, str, str, str, str]] = []
+    for d in deltas:
+        if gated_only and d.direction is None:
+            continue
+        if d.regressed:
+            verdict = "REGRESSED"
+        elif d.improved:
+            verdict = "improved"
+        elif d.direction is None:
+            verdict = "info"
+        else:
+            verdict = "ok"
+        arrow = {"lower": "v better", "higher": "^ better", None: "-"}
+        pct = ("n/a" if d.delta_pct in (float("inf"), float("-inf"))
+               else f"{d.delta_pct:+.1f}%")
+        rows.append((d.key, _fmt_value(d.baseline), _fmt_value(d.current),
+                     pct, arrow[d.direction], verdict))
+    if not rows:
+        return "no comparable metrics\n"
+    header = ("metric", "baseline", "current", "delta", "direction",
+              "verdict")
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i])
+                               for i, c in enumerate(row)))
+    regressions = [d for d in deltas if d.regressed]
+    if regressions:
+        lines.append("")
+        lines.append(f"{len(regressions)} regression(s) past tolerance:")
+        for d in regressions:
+            lines.append(
+                f"  {d.key}: {_fmt_value(d.baseline)} -> "
+                f"{_fmt_value(d.current)} ({d.delta_pct:+.1f}%, "
+                f"tolerance {d.tolerance_pct:g}%)")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "MetricDelta",
+    "compare_entries",
+    "format_deltas",
+    "group_by_bench",
+    "is_seconds_metric",
+    "metric_direction",
+    "split_by_sha",
+    "tolerance_for",
+]

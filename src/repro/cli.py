@@ -68,21 +68,46 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
                              "(load in Perfetto / chrome://tracing)")
     parser.add_argument("--obs-jsonl", metavar="FILE", default=None,
                         help="write spans and metrics as JSON lines")
+    parser.add_argument("--metrics-out", metavar="FILE", default=None,
+                        dest="metrics_out",
+                        help="write the run's metrics as Prometheus text "
+                             "exposition (same families the serve daemon's "
+                             "/metricsz exposes)")
+    parser.add_argument("--monitor", action="store_true",
+                        help="sample RSS/CPU/GC in the background and "
+                             "attribute peaks to pipeline stages")
+    parser.add_argument("--monitor-interval", type=float, default=None,
+                        metavar="S", dest="monitor_interval",
+                        help="resource sampling interval in seconds "
+                             "(implies --monitor; default 0.05)")
 
 
 def _with_observability(args: argparse.Namespace, body) -> int:
-    """Run ``body()`` under a tracer when --trace/--obs-jsonl ask for one."""
+    """Run ``body()`` under a tracer when an --obs flag asks for one.
+
+    ``--trace``/``--obs-jsonl`` export the trace, ``--metrics-out``
+    renders its metrics as Prometheus text, and ``--monitor`` (or an
+    explicit ``--monitor-interval``) attaches a background resource
+    sampler whose peaks land in stage records and all three exports.
+    """
     trace_path = getattr(args, "trace", None)
     jsonl_path = getattr(args, "obs_jsonl", None)
-    if not trace_path and not jsonl_path:
+    metrics_path = getattr(args, "metrics_out", None)
+    monitor_interval = getattr(args, "monitor_interval", None)
+    monitor = getattr(args, "monitor", False) or monitor_interval is not None
+    if not any((trace_path, jsonl_path, metrics_path, monitor)):
         return body()
+    import contextlib
+
     from repro import obs
     from repro.obs.export import write_chrome_trace, write_jsonl
 
     tracer = obs.Tracer()
     try:
         with obs.use_tracer(tracer):
-            status = body()
+            with (obs.monitored(tracer, interval_s=monitor_interval)
+                  if monitor else contextlib.nullcontext()):
+                status = body()
     finally:
         if trace_path:
             write_chrome_trace(tracer, trace_path)
@@ -91,6 +116,10 @@ def _with_observability(args: argparse.Namespace, body) -> int:
         if jsonl_path:
             write_jsonl(tracer, jsonl_path)
             _progress(f"wrote JSONL trace: {jsonl_path}")
+        if metrics_path:
+            from repro.obs.promexpo import registry_from_tracer, write_metrics
+            write_metrics(registry_from_tracer(tracer), metrics_path)
+            _progress(f"wrote metrics exposition: {metrics_path}")
     return status
 
 
@@ -286,7 +315,7 @@ def _lint_one(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.summary import load_spans
-    from repro.reporting import format_trace_summary
+    from repro.reporting import format_trace_summary, summarize_trace
 
     try:
         spans = load_spans(args.file)
@@ -296,7 +325,81 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if not spans:
         print(f"{args.file}: no spans recorded", file=sys.stderr)
         return 1
-    print(format_trace_summary(spans, top=args.top))
+    if args.format == "json":
+        import json
+
+        # same serializer the text path renders, so the two formats
+        # cannot drift apart
+        print(json.dumps(summarize_trace(spans, top=args.top), indent=2))
+    else:
+        print(format_trace_summary(spans, top=args.top))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Record, diff, or gate the benchmark perf history.
+
+    See docs/benchmarking.md for the history format and the noise
+    model behind ``check``.
+    """
+    import glob
+    import json
+
+    from repro.bench import compare, history
+
+    if args.action == "record":
+        files = args.files or sorted(glob.glob("BENCH_*.json"))
+        if not files:
+            print("no BENCH_*.json files to record "
+                  "(run pytest benchmarks/ first)", file=sys.stderr)
+            return 1
+        sha = args.sha or history.current_git_sha() or "unknown"
+        entries = history.record_files(files, args.history, sha=sha,
+                                       note=args.note)
+        metrics = sum(len(e["metrics"]) for e in entries)
+        print(f"recorded {len(entries)} bench(es), {metrics} metrics "
+              f"@ {sha[:12]} -> {args.history}")
+        return 0
+
+    # diff / check share the baseline-selection logic
+    current = history.load_history(args.history)
+    if not current:
+        print(f"no usable history at {args.history}", file=sys.stderr)
+        return 2
+    try:
+        if args.baseline_history:
+            baseline = history.load_history(args.baseline_history)
+            if not baseline:
+                print(f"no usable baseline history at "
+                      f"{args.baseline_history}", file=sys.stderr)
+                return 2
+        else:
+            baseline, current = compare.split_by_sha(
+                current, baseline_sha=args.baseline_sha)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    tolerances = None
+    if getattr(args, "tolerances", None):
+        with open(args.tolerances, encoding="utf-8") as fh:
+            tolerances = json.load(fh)
+    deltas = compare.compare_entries(
+        baseline, current,
+        threshold_pct=args.threshold,
+        tolerances=tolerances,
+        runs=args.runs,
+        min_abs_s=args.min_abs_s,
+    )
+    print(compare.format_deltas(deltas, gated_only=args.gated_only),
+          end="")
+    if args.action == "check":
+        regressions = [d for d in deltas if d.regressed]
+        if regressions:
+            _progress(f"bench check: {len(regressions)} regression(s) "
+                      f"past --threshold {args.threshold:g}%")
+            return 1
+        _progress("bench check: ok")
     return 0
 
 
@@ -341,9 +444,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         scheduler = JobScheduler(jobs=args.jobs, executor=args.executor,
                                  cache_dir=args.cache_dir)
+        # --monitor-interval doubles as the per-job sampler cadence;
+        # per-job monitoring is on by default (0.05 s).
+        interval = args.monitor_interval
         manager = JobManager(scheduler, workers=args.workers,
                              queue_depth=args.queue_depth,
-                             job_dir=args.job_dir)
+                             job_dir=args.job_dir,
+                             monitor_interval=(0.05 if interval is None
+                                               else interval))
         try:
             run_server(manager, host=args.host, port=args.port,
                        drain_timeout=args.drain_timeout, echo=_progress)
@@ -483,7 +591,62 @@ def build_parser() -> argparse.ArgumentParser:
                                     "written by --trace / --obs-jsonl")
     trace.add_argument("--top", type=_positive_int, default=15, metavar="N",
                        help="show the N hottest span names (default 15)")
+    trace.add_argument("--format", choices=("text", "json"), default="text",
+                       help="output format (json emits the same summary "
+                            "the text view renders)")
     trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench",
+        help="record benchmark snapshots into a history and gate on "
+             "regressions (see docs/benchmarking.md)")
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    b_record = bench_sub.add_parser(
+        "record", help="append BENCH_*.json snapshots to the history")
+    b_record.add_argument("files", nargs="*", metavar="FILE",
+                          help="BENCH_*.json files (default: glob the "
+                               "current directory)")
+    b_record.add_argument("--history", default="benchmarks/history.jsonl",
+                          metavar="FILE",
+                          help="history file to append to "
+                               "(default benchmarks/history.jsonl)")
+    b_record.add_argument("--sha", default=None,
+                          help="revision to stamp (default: git HEAD)")
+    b_record.add_argument("--note", default=None,
+                          help="free-form note stored with the entries")
+    for action, help_text in (
+        ("diff", "render per-metric deltas between two revisions"),
+        ("check", "exit non-zero on noise-aware regressions"),
+    ):
+        p = bench_sub.add_parser(action, help=help_text)
+        p.add_argument("--history", default="benchmarks/history.jsonl",
+                       metavar="FILE",
+                       help="history holding the current revision's runs")
+        p.add_argument("--baseline-history", default=None, metavar="FILE",
+                       dest="baseline_history",
+                       help="separate history file supplying the baseline "
+                            "side (e.g. a committed seed baseline)")
+        p.add_argument("--baseline-sha", default=None, dest="baseline_sha",
+                       help="baseline revision within --history "
+                            "(prefix match; default: the distinct sha "
+                            "recorded before the newest one)")
+        p.add_argument("--threshold", type=float, default=5.0, metavar="PCT",
+                       help="gate when a metric moves the wrong way by "
+                            "more than PCT percent (default 5)")
+        p.add_argument("--tolerances", default=None, metavar="FILE",
+                       help="JSON file of per-metric overrides: "
+                            '{"bench.metric.glob": pct, ...}')
+        p.add_argument("--runs", type=_positive_int, default=3, metavar="N",
+                       help="median over the last N entries per side "
+                            "(default 3)")
+        p.add_argument("--min-abs-s", type=float, default=0.0, metavar="S",
+                       dest="min_abs_s",
+                       help="ignore seconds-metric regressions smaller "
+                            "than S seconds absolute (timer-noise floor)")
+        p.add_argument("--gated-only", action="store_true", dest="gated_only",
+                       help="hide informational (direction-less) metrics")
+        p.set_defaults(func=_cmd_bench)
+    b_record.set_defaults(func=_cmd_bench)
 
     cache = sub.add_parser(
         "cache", help="inspect or maintain an on-disk artifact cache")

@@ -195,15 +195,21 @@ def _run_task_in_worker(payload: tuple) -> tuple:
     """Top-level worker entry (must be importable for spawn pickling).
 
     Returns ``(DesignResult, tracer state | None)``; the state carries
-    the worker's spans/metrics back for merging into the parent trace.
+    the worker's spans/metrics -- and, when the parent had a resource
+    monitor, the worker's own resource samples -- back for merging into
+    the parent trace.
     """
-    design, options, cache_dir, traced = payload
+    design, options, cache_dir, traced, monitor_interval = payload
     cache = _worker_cache(cache_dir)
     if not traced:
         return run_flow(design, options, cache=cache), None
     tracer = obs.Tracer()
     with obs.use_tracer(tracer):
-        result = run_flow(design, options, cache=cache)
+        if monitor_interval is not None:
+            with obs.monitored(tracer, interval_s=monitor_interval):
+                result = run_flow(design, options, cache=cache)
+        else:
+            result = run_flow(design, options, cache=cache)
     return result, obs.tracer_state(tracer)
 
 
@@ -243,11 +249,14 @@ class ProcessExecutor(FlowExecutor):
         if not tasks:
             return []
         tracer = obs.get_tracer()
+        monitor = getattr(tracer, "monitor", None)
+        monitor_interval = monitor.interval_s if monitor is not None else None
         pool = self._ensure_pool(len(tasks))
         futures = [
             pool.submit(
                 _run_task_in_worker,
-                (t.design, t.options, self.cache_dir, tracer is not None))
+                (t.design, t.options, self.cache_dir, tracer is not None,
+                 monitor_interval))
             for t in tasks
         ]
         results: list[DesignResult] = []

@@ -377,6 +377,12 @@ class Pipeline:
         okey = stage.options_key(ctx.options)
         with obs.span(f"stage.{stage.name}", stage=stage.name,
                       style=ctx.options.style, design=ctx.design.name) as sp:
+            # Resource accounting rides the span: None unless a
+            # ResourceMonitor is attached to this thread's tracer, in
+            # which case close() yields peak_rss_bytes/cpu_util/gc
+            # entries that land in the summary -- and through the
+            # scalar sp.set() below, in the span attrs and exporters.
+            window = obs.resource_window()
             if ctx.cache is not None and okey is not None:
                 key = (stage.name, ctx.library.name, ctx.design_digest,
                        clocks_key(ctx.clocks), input_digest, okey)
@@ -407,6 +413,8 @@ class Pipeline:
             else:
                 summary = stage.run(ctx)
             wall = time.monotonic() - t0
+            if window is not None:
+                summary = {**summary, **window.close()}
             if lock_wait is not None:
                 # Single-flight lock wait is not productive stage time;
                 # report it on its own so a cached stage that blocked on

@@ -51,6 +51,7 @@ from repro.obs.export import (
     write_jsonl,
 )
 from repro.obs.merge import merge_tracer_state, tracer_state
+from repro.obs.monitor import ResourceMonitor, ResourceSample, ResourceWindow
 from repro.obs.summary import (
     SpanStat,
     aggregate,
@@ -65,6 +66,8 @@ __all__ = [
     "span", "annotate", "add", "gauge", "record",
     "enabled", "get_tracer", "install", "uninstall", "use_tracer", "scoped",
     "current_span_id",
+    "ResourceMonitor", "ResourceSample", "ResourceWindow",
+    "resource_window", "monitored",
     "write_chrome_trace", "write_jsonl", "chrome_trace_events",
     "span_to_json", "tracer_state", "merge_tracer_state",
     "load_spans", "aggregate", "self_times", "children_by_stage", "SpanStat",
@@ -202,6 +205,45 @@ def record(name: str, value: float) -> None:
     tracer = _current()
     if tracer is not None:
         tracer.metrics.record(name, value)
+
+
+def resource_window(span_id: int | None = None) -> ResourceWindow | None:
+    """Open a resource-accounting window on this thread's tracer.
+
+    Returns ``None`` (one global read + two attribute checks -- the
+    monitored analogue of the disabled-span fast path) unless the
+    current tracer has a live :class:`ResourceMonitor` attached.  With
+    a monitor, the window is attributed to ``span_id`` (defaulting to
+    the innermost active span) and ``close()`` returns the
+    ``peak_rss_bytes`` / ``cpu_util`` / ``gc_collections`` summary
+    entries the pipeline folds into its :class:`StageRecord`.
+    """
+    tracer = _current()
+    if tracer is None:
+        return None
+    monitor = tracer.monitor
+    if monitor is None:
+        return None
+    if span_id is None:
+        span_id = tracer.current_span_id()
+    return monitor.window(span_id=span_id)
+
+
+@contextlib.contextmanager
+def monitored(tracer: Tracer, interval_s: float | None = None):
+    """Attach a started :class:`ResourceMonitor` to ``tracer`` for the
+    duration of the block (the collection-site companion of
+    :func:`use_tracer`/:func:`scoped`)."""
+    from repro.obs.monitor import DEFAULT_INTERVAL_S
+
+    monitor = ResourceMonitor(
+        tracer,
+        interval_s=DEFAULT_INTERVAL_S if interval_s is None else interval_s)
+    monitor.start()
+    try:
+        yield monitor
+    finally:
+        monitor.stop()
 
 
 def null_op_seconds(iterations: int = 100_000) -> float:

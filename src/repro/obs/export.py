@@ -2,15 +2,19 @@
 
 **JSONL** (``write_jsonl``): one JSON object per line, machine-first.
 Line types: a ``meta`` header (pid, epoch, format version), one ``span``
-line per finished span (all times in seconds), and ``counter`` /
-``gauge`` / ``histogram`` lines for the final metric state.
+line per finished span (all times in seconds), one ``resource`` line per
+sample of an attached :class:`~repro.obs.monitor.ResourceMonitor`
+(rss/cpu/gc with the attributed span id), and ``counter`` / ``gauge`` /
+``histogram`` lines for the final metric state.
 
 **Chrome trace** (``write_chrome_trace``): the ``trace_event`` format
 consumed by Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.
 Spans become complete (``"ph": "X"``) events with microsecond
 timestamps; per-thread tracks carry the worker nesting of parallel style
-runs; gauges become counter-track (``"ph": "C"``) events.  Open the file
-in Perfetto via "Open trace file".
+runs; gauges become counter-track (``"ph": "C"``) events, and resource
+samples render as a per-process ``mem.rss_mb`` counter track (each
+sample keeps its own pid, so merged worker processes get their own
+memory track).  Open the file in Perfetto via "Open trace file".
 """
 
 from __future__ import annotations
@@ -58,9 +62,20 @@ def write_jsonl(tracer: Tracer, path: str) -> None:
             "format": JSONL_FORMAT,
             "pid": tracer.pid,
             "spans": len(tracer.spans),
+            "samples": len(tracer.samples),
         })
         for span in tracer.spans:
             _dump_line(fh, span_to_json(span))
+        for sample in tracer.samples:
+            _dump_line(fh, {
+                "type": "resource",
+                "ts": round(sample.ts, 9),
+                "rss_bytes": sample.rss_bytes,
+                "cpu_s": round(sample.cpu_s, 6),
+                "gc_collections": sample.gc_collections,
+                "pid": sample.pid,
+                "span": sample.span_id,
+            })
         for name, value in sorted(metrics["counters"].items()):
             _dump_line(fh, {"type": "counter", "name": name, "value": value})
         for name, series in sorted(metrics["gauges"].items()):
@@ -87,9 +102,11 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
         "ph": "M", "pid": tracer.pid, "tid": 0,
         "name": "process_name", "args": {"name": "repro flow"},
     }]
-    # merged worker-process spans keep their own pid: give each foreign
-    # pid its own Perfetto process track
-    for pid in sorted({s.pid for s in tracer.spans} - {tracer.pid}):
+    # merged worker-process spans (and resource samples) keep their own
+    # pid: give each foreign pid its own Perfetto process track
+    foreign = ({s.pid for s in tracer.spans}
+               | {s.pid for s in tracer.samples}) - {tracer.pid}
+    for pid in sorted(foreign):
         events.append({
             "ph": "M", "pid": pid, "tid": 0,
             "name": "process_name",
@@ -126,6 +143,14 @@ def chrome_trace_events(tracer: Tracer) -> list[dict]:
                 "span_id": span.span_id,
                 "parent_id": span.parent_id,
             },
+        })
+    # per-process memory counter tracks: each sample keeps its own pid,
+    # so merged worker timelines show up as separate Perfetto tracks
+    for sample in tracer.samples:
+        events.append({
+            "ph": "C", "name": "mem.rss_mb", "pid": sample.pid, "tid": 0,
+            "ts": round(sample.ts * 1e6, 3),
+            "args": {"value": round(sample.rss_bytes / 1e6, 3)},
         })
     metrics = tracer.metrics.snapshot()
     for name, series in sorted(metrics["gauges"].items()):

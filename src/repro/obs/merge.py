@@ -18,7 +18,12 @@ and the parent folds it in (:func:`merge_tracer_state`):
   Chrome exporter renders each worker process as its own Perfetto
   process track;
 * **metrics** -- counters/histograms accumulate, gauge series
-  concatenate (timestamps rebased).
+  concatenate (timestamps rebased);
+* **resource samples** -- a worker's memory/CPU timeline merges with
+  timestamps rebased and span attributions remapped through the same
+  id map as the spans, so a stage's memory track survives the process
+  boundary (a sample whose span did not ship degrades to unattributed
+  rather than dangling).
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ def tracer_state(tracer: Tracer) -> dict:
         "pid": tracer.pid,
         "epoch_unix": tracer.epoch_unix,
         "spans": list(tracer.spans),
+        "samples": list(tracer.samples),
         "metrics": tracer.metrics.raw(),
     }
 
@@ -75,7 +81,18 @@ def merge_tracer_state(
             span_id=id_map[span.span_id],
             parent_id=parent,
         ))
+    # Resource samples rebase like spans; the span attribution is
+    # remapped through the same id map (``.get`` on both sides keeps
+    # pre-sampler states mergeable and degrades an unshipped span to
+    # "unattributed" instead of a dangling id).
+    merged_samples = [
+        replace(sample, ts=sample.ts + ts_shift,
+                span_id=(id_map.get(sample.span_id)
+                         if sample.span_id is not None else None))
+        for sample in state.get("samples", ())
+    ]
     with tracer._lock:
         tracer.spans.extend(merged)
+        tracer.samples.extend(merged_samples)
     tracer.metrics.merge_raw(state["metrics"], ts_shift=ts_shift)
     return len(merged)

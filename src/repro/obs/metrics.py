@@ -13,11 +13,20 @@ Three metric kinds, matching what the flow needs to report:
 
 All operations are thread-safe and O(1) (histograms append; summaries
 are computed at export time).
+
+On top of :class:`MetricSet` (a per-tracer store drained at export
+time) this module provides the *live* instrument family behind the
+serve daemon's ``GET /metricsz``: :class:`LabeledCounter`,
+:class:`Gauge`, :class:`Histogram` (fixed Prometheus buckets plus a
+bounded rolling window of recent raw values), and the
+:class:`Registry` that owns them.  The text rendering itself lives in
+:mod:`repro.obs.promexpo`.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -64,11 +73,21 @@ class MetricSet:
             )
 
     def histogram_summary(self, name: str) -> dict[str, float]:
-        """count/min/max/mean/p50/p95 of histogram ``name``."""
+        """count/min/max/mean/p50/p95 of histogram ``name``.
+
+        Percentiles use the **nearest-rank** method on the sorted
+        values: ``p50``/``p95`` are ``values[min(n - 1, int(p * n))]``
+        -- an actually-observed value, never an interpolation, biased
+        at most one rank low.  An empty (or unknown) histogram returns
+        a fully zeroed summary -- every key present, all values 0 --
+        so callers can index ``summary["p95"]`` without guarding on
+        ``count`` first.
+        """
         with self._lock:
             values = sorted(self.histograms.get(name, ()))
         if not values:
-            return {"count": 0}
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0}
         n = len(values)
 
         def pct(p: float) -> float:
@@ -122,3 +141,235 @@ class MetricSet:
             "gauges": gauges,
             "histograms": {n: self.histogram_summary(n) for n in hist_names},
         }
+
+
+# ---------------------------------------------------------------------------
+# live instruments (the /metricsz registry)
+
+#: Prometheus-style duration buckets (seconds): 5 ms .. 60 s covers
+#: everything from a cached stage restore to a cold full-suite flow.
+DURATION_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                    1.0, 2.5, 5.0, 10.0, 30.0, 60.0)
+
+#: byte buckets for the peak-RSS histograms: 16 MB .. 8 GB, powers of 2.
+BYTE_BUCKETS = tuple(float(16 * (1 << 20) * (1 << i)) for i in range(10))
+
+#: how many recent observations a rolling window keeps by default.
+DEFAULT_WINDOW = 512
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class LabeledCounter:
+    """Monotonic counter with optional label dimensions.
+
+    ``inc(value, **labels)`` accumulates one series per distinct label
+    set; a label-free counter is the single series with an empty key.
+    """
+
+    __slots__ = ("_values", "_lock")
+
+    def __init__(self) -> None:
+        self._values: dict[LabelKey, float] = {}
+        self._lock = threading.Lock()
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        key = _label_key({k: str(v) for k, v in labels.items()})
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def series(self) -> list[tuple[LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+
+class Gauge:
+    """Point-in-time value: either ``set()`` explicitly or backed by a
+    zero-argument callback sampled at scrape time."""
+
+    __slots__ = ("_value", "_fn", "_lock")
+
+    def __init__(self, fn=None) -> None:
+        self._value = 0.0
+        self._fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def value(self) -> float:
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:
+                return 0.0
+        with self._lock:
+            return self._value
+
+
+class RollingHistogram:
+    """One label set's histogram: cumulative Prometheus buckets over the
+    full lifetime plus a bounded window of recent raw observations.
+
+    The bucket counts/sum/count are never reset (Prometheus requires
+    monotone cumulative series); the rolling window backs local quantile
+    summaries (:meth:`window_summary`, nearest-rank like
+    :meth:`MetricSet.histogram_summary`) without unbounded growth.
+    """
+
+    __slots__ = ("buckets", "_bucket_counts", "_count", "_sum",
+                 "_window", "_lock")
+
+    def __init__(self, buckets: tuple[float, ...] = DURATION_BUCKETS,
+                 window: int = DEFAULT_WINDOW) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self._bucket_counts = [0] * len(self.buckets)
+        self._count = 0
+        self._sum = 0.0
+        self._window: deque[float] = deque(maxlen=max(1, window))
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+            self._window.append(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le bound, count)`` pairs; +Inf is implicit
+        (it equals :attr:`count`)."""
+        with self._lock:
+            return list(zip(self.buckets, self._bucket_counts))
+
+    def window_summary(self) -> dict[str, float]:
+        """Nearest-rank summary of the recent-observation window (the
+        same shape :meth:`MetricSet.histogram_summary` returns)."""
+        with self._lock:
+            values = sorted(self._window)
+        if not values:
+            return {"count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0}
+        n = len(values)
+
+        def pct(p: float) -> float:
+            return values[min(n - 1, int(p * n))]
+
+        return {"count": n, "min": values[0], "max": values[-1],
+                "mean": sum(values) / n, "p50": pct(0.50), "p95": pct(0.95)}
+
+
+class Histogram:
+    """A labeled family of :class:`RollingHistogram` children.
+
+    ``observe(value, **labels)`` routes to (creating on first use) the
+    child for that label set; a label-free histogram has one child
+    under the empty key.
+    """
+
+    __slots__ = ("buckets", "window", "_children", "_lock")
+
+    def __init__(self, buckets: tuple[float, ...] = DURATION_BUCKETS,
+                 window: int = DEFAULT_WINDOW) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.window = window
+        self._children: dict[LabelKey, RollingHistogram] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: object) -> RollingHistogram:
+        key = _label_key({k: str(v) for k, v in labels.items()})
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = RollingHistogram(self.buckets, self.window)
+                self._children[key] = child
+            return child
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.labels(**labels).observe(value)
+
+    def series(self) -> list[tuple[LabelKey, RollingHistogram]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+
+@dataclass(frozen=True)
+class RegisteredMetric:
+    """One named instrument with its exposition metadata."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    instrument: object
+    #: constant labels stamped on every series (e.g. a gauge's identity).
+    labels: LabelKey = ()
+
+
+class Registry:
+    """Thread-safe collection of live instruments for one process.
+
+    ``counter``/``gauge``/``histogram`` create-or-return by name (the
+    same name always maps to the same instrument, so instrumentation
+    sites don't need to thread handles around).  :meth:`collect`
+    snapshots the catalog for the Prometheus renderer.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, RegisteredMetric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, kind: str, help_text: str,
+                  factory, labels: LabelKey = ()):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind}")
+                return existing.instrument
+            metric = RegisteredMetric(name, kind, help_text, factory(),
+                                      labels=labels)
+            self._metrics[name] = metric
+            return metric.instrument
+
+    def counter(self, name: str, help_text: str = "") -> LabeledCounter:
+        return self._register(name, "counter", help_text, LabeledCounter)
+
+    def gauge(self, name: str, help_text: str = "", fn=None,
+              labels: dict[str, str] | None = None) -> Gauge:
+        return self._register(name, "gauge", help_text,
+                              lambda: Gauge(fn=fn),
+                              labels=_label_key(labels or {}))
+
+    def histogram(self, name: str, help_text: str = "",
+                  buckets: tuple[float, ...] = DURATION_BUCKETS,
+                  window: int = DEFAULT_WINDOW) -> Histogram:
+        return self._register(name, "histogram", help_text,
+                              lambda: Histogram(buckets, window))
+
+    def collect(self) -> list[RegisteredMetric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]

@@ -1,0 +1,261 @@
+"""Background resource sampler: peak RSS, CPU utilization, GC counts.
+
+The ROADMAP's scale-sweep item needs honest *wall time and peak RSS per
+stage* curves, which span timing alone cannot provide.  A
+:class:`ResourceMonitor` is a daemon thread attached to one
+:class:`~repro.obs.tracer.Tracer` that wakes every ``interval_s``
+seconds, reads
+
+* resident set size from ``/proc/self/statm`` (one 4 KB read; falls
+  back to ``resource.getrusage`` on platforms without procfs),
+* cumulative process CPU time (``ru_utime + ru_stime``),
+* the total GC collection count across generations,
+
+and appends a :class:`ResourceSample` to ``tracer.samples``.  Samples
+are tagged with the span id of the innermost open *resource window* at
+sampling time, which is how memory tracks stay attributed to stages
+after a cross-process merge (:mod:`repro.obs.merge` remaps the ids).
+
+Attribution is pull-based to keep the hot path cheap: the pipeline
+opens a :class:`ResourceWindow` per stage (via
+:func:`repro.obs.resource_window`, a no-op returning ``None`` when no
+monitor is attached) and ``close()`` folds ``peak_rss_bytes`` /
+``cpu_util`` / ``gc_collections`` into the stage summary.  Peak RSS is
+the max over the window's in-interval samples plus fresh samples taken
+at open and close, so a stage shorter than the sampling interval still
+reports a real peak.
+
+Overhead: one sample is a procfs read + two syscalls (~tens of
+microseconds); at the default 50 ms interval that is well under the
+<2% instrumentation bound ``benchmarks/bench_sim.py --obs`` enforces
+(the monitor's duty cycle is asserted there too).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-posix
+    _resource = None
+
+try:
+    _PAGE_SIZE = os.sysconf("SC_PAGE_SIZE")
+except (AttributeError, ValueError, OSError):  # pragma: no cover
+    _PAGE_SIZE = 4096
+
+#: default sampling interval (seconds); ~20 Hz is fine-grained enough
+#: to catch per-stage peaks while keeping the duty cycle negligible.
+DEFAULT_INTERVAL_S = 0.05
+
+#: sample-list bound: at capacity the monitor halves the stored history
+#: (every second sample) and doubles its interval, keeping timeline
+#: coverage while bounding memory on very long runs.
+MAX_SAMPLES = 100_000
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size in bytes (0 if unobtainable)."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * _PAGE_SIZE
+    except (OSError, ValueError, IndexError):
+        pass
+    if _resource is not None:
+        peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KB on Linux, bytes on macOS -- and it is the
+        # *peak*, not current, so this fallback over-reports between
+        # peaks; procfs is the accurate path.
+        return int(peak) * (1 if sys.platform == "darwin" else 1024)
+    return 0
+
+
+def process_cpu_seconds() -> float:
+    """Cumulative user+system CPU seconds of this process."""
+    if _resource is not None:
+        ru = _resource.getrusage(_resource.RUSAGE_SELF)
+        return ru.ru_utime + ru.ru_stime
+    times = os.times()  # pragma: no cover - non-posix fallback
+    return times.user + times.system
+
+
+def gc_collection_count() -> int:
+    """Total garbage collections across all generations so far."""
+    return sum(int(s.get("collections", 0)) for s in gc.get_stats())
+
+
+@dataclass(frozen=True)
+class ResourceSample:
+    """One point of the process resource timeline.
+
+    ``ts`` is seconds since the owning tracer's epoch (same clock as
+    span timestamps); ``span_id`` is the innermost open resource window
+    at sampling time, or None for unattributed samples.
+    """
+
+    ts: float
+    rss_bytes: int
+    cpu_s: float
+    gc_collections: int
+    pid: int
+    span_id: int | None = None
+
+
+class ResourceWindow:
+    """Resource accounting over one region (typically a stage).
+
+    Opened via :meth:`ResourceMonitor.window`; ``close()`` returns the
+    stage-summary dict.  Windows take an eager sample at both ends so
+    the peak is meaningful even when the region is shorter than the
+    sampling interval.
+    """
+
+    __slots__ = ("_monitor", "span_id", "_t0", "_cpu0", "_gc0", "_open",
+                 "_rss0")
+
+    def __init__(self, monitor: "ResourceMonitor",
+                 span_id: int | None = None) -> None:
+        self._monitor = monitor
+        self.span_id = span_id
+        self._open = True
+        first = monitor._take_sample(span_id=span_id)
+        self._t0 = perf_counter()
+        self._cpu0 = first.cpu_s
+        self._gc0 = first.gc_collections
+        self._rss0 = first.rss_bytes
+        monitor._push_window(self)
+
+    def close(self) -> dict[str, object]:
+        """End the window; returns the resource summary entries."""
+        if not self._open:
+            raise RuntimeError("resource window closed twice")
+        self._open = False
+        monitor = self._monitor
+        monitor._pop_window(self)
+        last = monitor._take_sample(span_id=self.span_id)
+        wall = perf_counter() - self._t0
+        cpu = max(0.0, last.cpu_s - self._cpu0)
+        peak = max(self._rss0, last.rss_bytes,
+                   monitor._window_peak(self._t0, self.span_id))
+        return {
+            "peak_rss_bytes": int(peak),
+            "cpu_util": round(cpu / wall, 4) if wall > 0 else 0.0,
+            "gc_collections": last.gc_collections - self._gc0,
+        }
+
+
+class ResourceMonitor:
+    """Daemon sampler thread bound to one tracer.
+
+    ``start()`` attaches the monitor to the tracer (making
+    :func:`repro.obs.resource_window` live for code running under it)
+    and launches the thread; ``stop()`` detaches and joins.  Usable as
+    a context manager.
+    """
+
+    def __init__(self, tracer, interval_s: float = DEFAULT_INTERVAL_S,
+                 max_samples: int = MAX_SAMPLES) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        self.tracer = tracer
+        self.interval_s = float(interval_s)
+        self.max_samples = max(2, int(max_samples))
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        #: innermost-last stack of open windows (across threads; when
+        #: more than one is open a sample is attributed to the newest).
+        self._windows: list[ResourceWindow] = []
+        self.samples_taken = 0
+
+    # -- sampling ------------------------------------------------------------
+
+    def _current_span_id(self) -> int | None:
+        with self._lock:
+            return self._windows[-1].span_id if self._windows else None
+
+    def _take_sample(self, span_id: int | None = None) -> ResourceSample:
+        if span_id is None:
+            span_id = self._current_span_id()
+        tracer = self.tracer
+        sample = ResourceSample(
+            ts=perf_counter() - tracer.epoch,
+            rss_bytes=read_rss_bytes(),
+            cpu_s=process_cpu_seconds(),
+            gc_collections=gc_collection_count(),
+            pid=tracer.pid,
+            span_id=span_id,
+        )
+        with tracer._lock:
+            tracer.samples.append(sample)
+            if len(tracer.samples) >= self.max_samples:
+                # decimate: keep every second sample, slow down 2x
+                tracer.samples[:] = tracer.samples[::2]
+                self.interval_s *= 2.0
+        self.samples_taken += 1
+        return sample
+
+    def _window_peak(self, since_ts_perf: float,
+                     span_id: int | None) -> int:
+        """Max sampled RSS since ``since_ts_perf`` (perf_counter time)."""
+        floor = since_ts_perf - self.tracer.epoch
+        with self.tracer._lock:
+            return max(
+                (s.rss_bytes for s in self.tracer.samples
+                 if s.ts >= floor and s.pid == self.tracer.pid),
+                default=0,
+            )
+
+    # -- window bookkeeping --------------------------------------------------
+
+    def window(self, span_id: int | None = None) -> ResourceWindow:
+        return ResourceWindow(self, span_id=span_id)
+
+    def _push_window(self, window: ResourceWindow) -> None:
+        with self._lock:
+            self._windows.append(window)
+
+    def _pop_window(self, window: ResourceWindow) -> None:
+        with self._lock:
+            if window in self._windows:
+                self._windows.remove(window)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._take_sample()
+
+    def start(self) -> "ResourceMonitor":
+        if self._thread is not None:
+            return self
+        self.tracer.monitor = self
+        self._stop.clear()
+        self._take_sample()  # t=0 baseline
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True, name="repro-obs-monitor")
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        thread, self._thread = self._thread, None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._take_sample()  # final point so the track reaches the end
+        if getattr(self.tracer, "monitor", None) is self:
+            self.tracer.monitor = None
+
+    def __enter__(self) -> "ResourceMonitor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

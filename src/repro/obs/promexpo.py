@@ -1,0 +1,189 @@
+"""Prometheus text exposition (version 0.0.4) for a metrics Registry.
+
+Renders the live instruments of :class:`repro.obs.metrics.Registry`
+into the ``text/plain; version=0.0.4`` format every Prometheus-family
+scraper understands::
+
+    # HELP repro_http_requests_total HTTP requests by endpoint
+    # TYPE repro_http_requests_total counter
+    repro_http_requests_total{endpoint="/jobs",method="POST",status="202"} 4
+    # TYPE repro_stage_seconds histogram
+    repro_stage_seconds_bucket{stage="synth",le="0.25"} 3
+    repro_stage_seconds_bucket{stage="synth",le="+Inf"} 5
+    repro_stage_seconds_sum{stage="synth"} 1.75
+    repro_stage_seconds_count{stage="synth"} 5
+
+Two consumers:
+
+* the serve daemon's ``GET /metricsz`` renders its live registry
+  (:class:`~repro.serve.jobs.JobManager` instruments it continuously);
+* the batch CLI's ``--metrics-out FILE`` converts a finished run's
+  tracer into a one-shot registry (:func:`registry_from_tracer`) and
+  writes the same exposition, so one Grafana dashboard covers both
+  surfaces.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    DURATION_BUCKETS,
+    Gauge,
+    Histogram,
+    LabeledCounter,
+    Registry,
+)
+
+#: the Content-Type a /metricsz response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_SAN = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = "repro_") -> str:
+    """A dotted internal metric name as a legal Prometheus name."""
+    sanitized = _NAME_SAN.sub("_", name)
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] == "_"):
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labels(pairs) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _value(v: float) -> str:
+    f = float(v)
+    if f != f:  # NaN
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def render_registry(registry: Registry) -> str:
+    """The registry's full state as Prometheus text exposition."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        instrument = metric.instrument
+        if isinstance(instrument, LabeledCounter):
+            series = instrument.series() or [((), 0.0)]
+            for labels, value in series:
+                lines.append(
+                    f"{metric.name}{_labels(labels)} {_value(value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(
+                f"{metric.name}{_labels(metric.labels)} "
+                f"{_value(instrument.value())}")
+        elif isinstance(instrument, Histogram):
+            for labels, child in instrument.series():
+                for bound, count in child.bucket_counts():
+                    bucket_labels = list(labels) + [("le", _value(bound))]
+                    lines.append(
+                        f"{metric.name}_bucket{_labels(bucket_labels)} "
+                        f"{count}")
+                inf_labels = list(labels) + [("le", "+Inf")]
+                lines.append(
+                    f"{metric.name}_bucket{_labels(inf_labels)} "
+                    f"{child.count}")
+                lines.append(
+                    f"{metric.name}_sum{_labels(labels)} "
+                    f"{_value(child.total)}")
+                lines.append(
+                    f"{metric.name}_count{_labels(labels)} {child.count}")
+        else:  # pragma: no cover - registry only creates the three kinds
+            raise TypeError(f"unknown instrument {type(instrument).__name__}")
+    return "\n".join(lines) + "\n"
+
+
+def registry_from_tracer(tracer, prefix: str = "repro_") -> Registry:
+    """A one-shot Registry built from a finished run's tracer.
+
+    * counters become ``<prefix><name>_total``;
+    * gauges keep their last sampled value;
+    * histogram observations replay into duration-bucket histograms;
+    * ``stage.*`` spans become per-stage duration histograms
+      (``<prefix>stage_seconds{stage,style}``) and, when the span
+      carries ``peak_rss_bytes`` (a monitored run), per-stage peak-RSS
+      histograms -- the same two families the serve daemon exposes, so
+      batch and daemon runs land on one dashboard.
+    """
+    registry = Registry()
+    raw = tracer.metrics.raw()
+    for name in sorted(raw["counters"]):
+        counter = registry.counter(
+            metric_name(name + "_total", prefix),
+            f"total of internal counter {name}")
+        counter.inc(raw["counters"][name])
+    for name in sorted(raw["gauges"]):
+        series = raw["gauges"][name]
+        if not series:
+            continue
+        gauge = registry.gauge(metric_name(name, prefix),
+                               f"last sampled value of gauge {name}")
+        gauge.set(series[-1][1])
+    for name in sorted(raw["histograms"]):
+        hist = registry.histogram(
+            metric_name(name, prefix),
+            f"observations of internal histogram {name}")
+        child = hist.labels()
+        for value in raw["histograms"][name]:
+            child.observe(value)
+    stage_seconds = registry.histogram(
+        prefix + "stage_seconds",
+        "wall-clock seconds per executed pipeline stage")
+    stage_rss = registry.histogram(
+        prefix + "stage_peak_rss_bytes",
+        "peak resident set size per monitored pipeline stage",
+        buckets=BYTE_BUCKETS)
+    for span in tracer.spans:
+        if not span.name.startswith("stage."):
+            continue
+        stage = span.name[len("stage."):]
+        style = str(span.attrs.get("style", ""))
+        stage_seconds.observe(span.dur, stage=stage, style=style)
+        peak = span.attrs.get("peak_rss_bytes")
+        if isinstance(peak, (int, float)):
+            stage_rss.observe(float(peak), stage=stage)
+    if tracer.samples:
+        registry.gauge(
+            prefix + "process_peak_rss_bytes",
+            "max sampled resident set size over the run",
+            fn=lambda t=tracer: max(s.rss_bytes for s in t.samples))
+    return registry
+
+
+def write_metrics(registry: Registry, path: str) -> None:
+    """Write the exposition to ``path`` (the CLI's ``--metrics-out``)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_registry(registry))
+
+
+__all__ = [
+    "CONTENT_TYPE",
+    "DURATION_BUCKETS",
+    "BYTE_BUCKETS",
+    "metric_name",
+    "render_registry",
+    "registry_from_tracer",
+    "write_metrics",
+]

@@ -142,6 +142,12 @@ class Tracer:
         self.epoch_unix = time.time()
         self.pid = os.getpid()
         self.spans: list[SpanRecord] = []
+        #: resource timeline (ResourceSample list) appended by an
+        #: attached ResourceMonitor; merged samples keep their own pid.
+        self.samples: list = []
+        #: the live ResourceMonitor sampling into this tracer, if any
+        #: (set by ``ResourceMonitor.start``); gates ``resource_window``.
+        self.monitor = None
         self.metrics = MetricSet(epoch=self.epoch)
         self._lock = threading.Lock()
         self._ids = itertools.count(1)

@@ -8,6 +8,7 @@ from repro.reporting.runtime import (
     format_stage_records,
     format_trace_summary,
     summarize_runtime,
+    summarize_trace,
 )
 from repro.reporting.tables import (
     format_table1,
@@ -26,6 +27,7 @@ __all__ = [
     "format_stage_records",
     "format_trace_summary",
     "summarize_runtime",
+    "summarize_trace",
     "format_table1",
     "format_table2",
     "run_benchmark",

@@ -120,40 +120,69 @@ def format_runtime(summary: RuntimeSummary) -> str:
     return "\n".join(lines)
 
 
-def format_trace_summary(spans, top: int = 15) -> str:
-    """Profile view of a span trace: hottest names, then per-stage drill-down.
+def summarize_trace(spans, top: int = 15) -> dict:
+    """Profile of a span trace as plain data (one source for text & JSON).
 
     ``spans`` is a list of :class:`~repro.obs.tracer.SpanRecord` -- either
     live from a tracer or loaded back from an exported file via
-    :func:`repro.obs.summary.load_spans`.
+    :func:`repro.obs.summary.load_spans`.  Both renderings of ``repro
+    trace`` (``--format text`` and ``--format json``) come from this
+    one dict, so they can never drift apart.
     """
     from repro.obs.summary import aggregate, children_by_stage
 
+    summary: dict = {"spans": len(spans), "top": [], "stages": {}}
     if not spans:
+        return summary
+    for stat in aggregate(spans)[:top]:
+        summary["top"].append({
+            "name": stat.name,
+            "count": stat.count,
+            "self_s": round(stat.self_total, 6),
+            "total_s": round(stat.total, 6),
+            "cpu_s": round(stat.cpu_total, 6),
+            "mean_ms": round(1e3 * stat.mean, 4),
+        })
+    for stage, children in children_by_stage(spans).items():
+        hot = aggregate(children)[0]
+        summary["stages"][stage] = {
+            "sub_spans": len(children),
+            "hottest": {
+                "name": hot.name,
+                "count": hot.count,
+                "self_s": round(hot.self_total, 6),
+            },
+        }
+    return summary
+
+
+def format_trace_summary(spans, top: int = 15) -> str:
+    """Text rendering of :func:`summarize_trace` (same data, human shape)."""
+    summary = summarize_trace(spans, top=top)
+    if not summary["spans"]:
         return "trace summary: no spans recorded"
 
     lines = [
-        f"trace summary: {len(spans)} spans",
+        f"trace summary: {summary['spans']} spans",
         f"  {'span':24} {'count':>6} {'self(s)':>9} {'total(s)':>9} "
         f"{'cpu(s)':>8} {'mean(ms)':>9}",
     ]
-    for stat in aggregate(spans)[:top]:
+    for row in summary["top"]:
         lines.append(
-            f"  {stat.name:24} {stat.count:6d} {stat.self_total:9.4f} "
-            f"{stat.total:9.4f} {stat.cpu_total:8.4f} "
-            f"{1e3 * stat.mean:9.3f}"
+            f"  {row['name']:24} {row['count']:6d} {row['self_s']:9.4f} "
+            f"{row['total_s']:9.4f} {row['cpu_s']:8.4f} "
+            f"{row['mean_ms']:9.3f}"
         )
 
-    drill = children_by_stage(spans)
-    if drill:
+    if summary["stages"]:
         lines.append("  per-stage drill-down (hottest sub-span per stage):")
-        for stage in sorted(drill):
-            ranked = aggregate(drill[stage])
-            hot = ranked[0]
+        for stage in sorted(summary["stages"]):
+            info = summary["stages"][stage]
+            hot = info["hottest"]
             lines.append(
-                f"    {stage:16} {len(drill[stage]):4d} sub-spans; "
-                f"hottest {hot.name} ({hot.count}x, "
-                f"self {hot.self_total:.4f}s)"
+                f"    {stage:16} {info['sub_spans']:4d} sub-spans; "
+                f"hottest {hot['name']} ({hot['count']}x, "
+                f"self {hot['self_s']:.4f}s)"
             )
     return "\n".join(lines)
 
@@ -177,5 +206,11 @@ def format_stage_records(result: DesignResult) -> str:
         findings = record.summary.get("findings")
         if findings is not None:
             line += f"  lint {findings} finding(s)"
+        peak = record.summary.get("peak_rss_bytes")
+        if peak is not None:
+            line += f"  rss {float(peak) / 1e6:.1f}MB"
+            cpu = record.summary.get("cpu_util")
+            if cpu is not None:
+                line += f" cpu {100.0 * float(cpu):.0f}%"
         lines.append(line)
     return "\n".join(lines)

@@ -12,8 +12,12 @@ Routes:
 ========  =======================  =============================================
 method    path                     behaviour
 ========  =======================  =============================================
-GET       ``/healthz``             liveness (+ ``draining`` flag)
+GET       ``/healthz``             liveness + identity (version, pid, uptime_s,
+                                   ``draining`` flag)
 GET       ``/statsz``              queue / executor / cache counters
+GET       ``/metricsz``            Prometheus text exposition (the only
+                                   non-JSON response; see docs/observability.md
+                                   for the metric catalogue)
 POST      ``/jobs``                submit ``{"design", "styles"?, "options"?}``
                                    -> 202 queued, 200 deduped to an active job,
                                    400 bad request, 404 unknown design,
@@ -23,6 +27,11 @@ GET       ``/jobs/<id>``           one job's status
 GET       ``/jobs/<id>/result``    per-style rows (409 until done, 500 failed)
 GET       ``/jobs/<id>/events``    NDJSON event stream until terminal
 ========  =======================  =============================================
+
+Every request is accounted into the manager's metrics registry
+(``repro_http_requests_total`` / ``repro_http_request_seconds``) with
+the path normalized to its route shape (``/jobs/:id/result``), so the
+label cardinality stays bounded no matter how many jobs exist.
 
 ``run_server`` is the CLI entry point: it installs SIGTERM/SIGINT
 handlers that stop intake, drain queued + running jobs, and only then
@@ -38,7 +47,10 @@ import contextlib
 import json
 import signal
 import threading
+from time import perf_counter
 
+from repro.obs.promexpo import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.promexpo import render_registry
 from repro.serve.jobs import (
     DONE,
     FAILED,
@@ -69,6 +81,18 @@ def _head(status: int, content_type: str = "application/json",
     return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
 
 
+def _route_label(path: str | None) -> str:
+    """Normalize a request path to its route shape for metric labels
+    (job ids collapse to ``:id`` so cardinality stays bounded)."""
+    if not path:
+        return "?"
+    if path.startswith("/jobs/"):
+        _job_id, _, tail = path[len("/jobs/"):].partition("/")
+        return f"/jobs/:id/{tail}" if tail else "/jobs/:id"
+    known = ("/healthz", "/statsz", "/metricsz", "/jobs")
+    return path if path in known else "<other>"
+
+
 class ServeApp:
     """Routing + JSON encoding over one :class:`JobManager`."""
 
@@ -79,7 +103,9 @@ class ServeApp:
 
     async def handle(self, reader: asyncio.StreamReader,
                      writer: asyncio.StreamWriter) -> None:
-        """One connection: read a request, dispatch, close."""
+        """One connection: read a request, dispatch, account, close."""
+        t0 = perf_counter()
+        method = path = None
         try:
             try:
                 method, path, body = await self._read_request(reader)
@@ -94,6 +120,12 @@ class ServeApp:
                     self._send(writer, 500,
                                {"error": f"{type(exc).__name__}: {exc}"})
         finally:
+            if method is not None:
+                with contextlib.suppress(Exception):
+                    self.manager.observe_http(
+                        method, _route_label(path),
+                        getattr(writer, "_repro_status", 0),
+                        perf_counter() - t0)
             with contextlib.suppress(Exception):
                 await writer.drain()
                 writer.close()
@@ -123,6 +155,7 @@ class ServeApp:
               payload: dict | list) -> None:
         body = (json.dumps(payload) + "\n").encode()
         writer.write(_head(status, length=len(body)) + body)
+        writer._repro_status = status  # picked up by handle()'s accounting
 
     # -- routing -------------------------------------------------------------
 
@@ -132,11 +165,20 @@ class ServeApp:
             if method != "GET":
                 return self._send(writer, 405, {"error": "GET only"})
             return self._send(writer, 200, {
-                "status": "ok", "draining": self.manager.draining})
+                "status": "ok", "draining": self.manager.draining,
+                **self.manager.identity()})
         if path == "/statsz":
             if method != "GET":
                 return self._send(writer, 405, {"error": "GET only"})
             return self._send(writer, 200, self.manager.stats())
+        if path == "/metricsz":
+            if method != "GET":
+                return self._send(writer, 405, {"error": "GET only"})
+            body_text = render_registry(self.manager.registry).encode()
+            writer.write(_head(200, content_type=_PROM_CONTENT_TYPE,
+                               length=len(body_text)) + body_text)
+            writer._repro_status = 200
+            return None
         if path == "/jobs":
             if method == "POST":
                 return self._submit(writer, body)
@@ -217,6 +259,7 @@ class ServeApp:
         """NDJSON event stream; ends when the job reaches a terminal
         state (the closed connection is the end-of-stream marker)."""
         writer.write(_head(200, content_type="application/x-ndjson"))
+        writer._repro_status = 200
         sent = 0
         while True:
             events = list(job.events)

@@ -32,16 +32,19 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import os
 import queue
 import threading
 import time
 from dataclasses import dataclass, field, fields, replace
 
-from repro import obs
+from repro import __version__, obs
 from repro.circuits import build, spec
 from repro.flow.design_flow import STYLES, DesignResult, FlowOptions
 from repro.flow.executor import FlowTask
 from repro.flow.scheduler import COMPARE_STYLES, JobScheduler
+from repro.obs.metrics import BYTE_BUCKETS, Registry
+from repro.obs.monitor import read_rss_bytes
 from repro.power.model import savings
 
 #: job states; ``done``/``failed`` are terminal.
@@ -169,7 +172,11 @@ class Job:
                 "area": result.area,
                 "power": result.power.as_row(),
                 "stages": [
-                    {"stage": record.stage, "cache_hit": record.cache_hit}
+                    {"stage": record.stage, "cache_hit": record.cache_hit,
+                     "wall_s": round(record.wall_time, 6),
+                     **({"peak_rss_bytes":
+                         record.summary["peak_rss_bytes"]}
+                        if "peak_rss_bytes" in record.summary else {})}
                     for record in result.stages
                 ],
             }
@@ -199,6 +206,7 @@ class JobManager:
         workers: int = 2,
         queue_depth: int = 16,
         job_dir: str | None = None,
+        monitor_interval: float | None = 0.05,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -207,6 +215,9 @@ class JobManager:
         self.scheduler = scheduler
         self.queue_depth = queue_depth
         self.job_dir = job_dir
+        #: per-job ResourceMonitor sampling interval; None disables the
+        #: sampler (jobs then report no peak_rss_bytes).
+        self.monitor_interval = monitor_interval
         self.started_at = time.time()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self._jobs: dict[str, Job] = {}
@@ -218,6 +229,7 @@ class JobManager:
         self._draining = False
         self._counters = {"submitted": 0, "deduped": 0, "rejected": 0,
                           "completed": 0, "failed": 0}
+        self._init_registry()
         self._idle = threading.Condition(self._lock)
         self._workers = [
             threading.Thread(target=self._worker, daemon=True,
@@ -226,6 +238,84 @@ class JobManager:
         ]
         for worker in self._workers:
             worker.start()
+
+    # -- metrics / identity --------------------------------------------------
+
+    def _init_registry(self) -> None:
+        """The live instrument catalog behind ``GET /metricsz``
+        (rendered by :mod:`repro.obs.promexpo`; documented in
+        docs/observability.md)."""
+        reg = self.registry = Registry()
+        reg.gauge("repro_build_info",
+                  "daemon identity; the value is always 1",
+                  fn=lambda: 1.0,
+                  labels={"version": __version__})
+        reg.gauge("repro_process_uptime_seconds",
+                  "seconds since the job manager started",
+                  fn=lambda: time.time() - self.started_at)
+        reg.gauge("repro_process_rss_bytes",
+                  "current resident set size of the daemon process",
+                  fn=read_rss_bytes)
+        reg.gauge("repro_queue_depth", "jobs waiting in the bounded queue",
+                  fn=self._queue.qsize)
+        reg.gauge("repro_queue_capacity",
+                  "bound of the job queue (submissions beyond it get 429)",
+                  fn=lambda: float(self.queue_depth))
+        reg.gauge("repro_jobs_running", "jobs currently executing",
+                  fn=lambda: float(self._running))
+        reg.gauge("repro_executor_inflight",
+                  "style-flow tasks in flight on the shared executor",
+                  fn=lambda: float(self.scheduler.inflight))
+        reg.gauge("repro_executor_occupancy",
+                  "in-flight tasks over executor width (0..1)",
+                  fn=self.scheduler.occupancy)
+        self._m_http = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint, method, and status")
+        self._m_http_latency = reg.histogram(
+            "repro_http_request_seconds",
+            "request handling latency by endpoint")
+        self._m_jobs = reg.counter(
+            "repro_jobs_total",
+            "job intake and completion outcomes "
+            "(submitted/deduped/rejected/completed/failed)")
+        self._m_cache = reg.counter(
+            "repro_stage_cache_total",
+            "stage-level artifact cache outcomes across jobs")
+        self._m_stage_seconds = reg.histogram(
+            "repro_stage_seconds",
+            "wall-clock seconds per executed pipeline stage")
+        self._m_stage_rss = reg.histogram(
+            "repro_stage_peak_rss_bytes",
+            "peak resident set size per monitored pipeline stage",
+            buckets=BYTE_BUCKETS)
+
+    def identity(self) -> dict:
+        """The shared identity block of ``/healthz`` and ``/statsz``:
+        load balancers and the ``/metricsz`` scrape agree on who and
+        how long-lived this daemon is."""
+        return {
+            "version": __version__,
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+        }
+
+    def observe_http(self, method: str, endpoint: str, status: int,
+                     seconds: float) -> None:
+        """Per-request accounting, called by the HTTP layer."""
+        self._m_http.inc(method=method, endpoint=endpoint, status=status)
+        self._m_http_latency.observe(seconds, endpoint=endpoint)
+
+    def _observe_job_result(self, result) -> None:
+        """Fold one style run's StageRecords into the stage metrics."""
+        for record in result.stages:
+            self._m_stage_seconds.observe(record.wall_time,
+                                          stage=record.stage)
+            self._m_cache.inc(outcome="hit" if record.cache_hit
+                              else "miss")
+            peak = record.summary.get("peak_rss_bytes")
+            if isinstance(peak, (int, float)):
+                self._m_stage_rss.observe(float(peak), stage=record.stage)
 
     # -- intake --------------------------------------------------------------
 
@@ -257,6 +347,7 @@ class JobManager:
             active = self._active_by_key.get(key)
             if active is not None:
                 self._counters["deduped"] += 1
+                self._m_jobs.inc(outcome="deduped")
                 return self._jobs[active], True
             job = Job(id=f"j{next(self._ids):06d}", key=key, design=design,
                       styles=chosen, options=options)
@@ -264,11 +355,13 @@ class JobManager:
                 self._queue.put_nowait(job)
             except queue.Full:
                 self._counters["rejected"] += 1
+                self._m_jobs.inc(outcome="rejected")
                 raise QueueFullError(
                     f"job queue full ({self.queue_depth} pending)") from None
             self._jobs[job.id] = job
             self._active_by_key[key] = job.id
             self._counters["submitted"] += 1
+            self._m_jobs.inc(outcome="submitted")
             job.event("queued")
         return job, False
 
@@ -299,20 +392,31 @@ class JobManager:
             self._running += 1
             job.event("started")
         tracer = obs.Tracer()
+        monitor = (obs.ResourceMonitor(tracer, self.monitor_interval)
+                   if self.monitor_interval else None)
         try:
             module = build(job.design)
-            with obs.scoped(tracer):
-                with obs.span("job.run", job_id=job.id, design=job.design,
-                              styles=",".join(job.styles)):
-                    tasks = [
-                        FlowTask(module, replace(job.options, style=style))
-                        for style in job.styles
-                    ]
-                    results = self.scheduler.run_tasks(
-                        tasks, span_name="flow.compare",
-                        design=job.design, job_id=job.id)
+            if monitor is not None:
+                monitor.start()
+            try:
+                with obs.scoped(tracer):
+                    with obs.span("job.run", job_id=job.id,
+                                  design=job.design,
+                                  styles=",".join(job.styles)):
+                        tasks = [
+                            FlowTask(module,
+                                     replace(job.options, style=style))
+                            for style in job.styles
+                        ]
+                        results = self.scheduler.run_tasks(
+                            tasks, span_name="flow.compare",
+                            design=job.design, job_id=job.id)
+            finally:
+                if monitor is not None:
+                    monitor.stop()
             job.results = dict(zip(job.styles, results))
             for result in results:
+                self._observe_job_result(result)
                 for record in result.stages:
                     if record.cache_hit:
                         job.cache_hits += 1
@@ -330,6 +434,8 @@ class JobManager:
                 self._running -= 1
                 self._active_by_key.pop(job.key, None)
                 self._counters["completed" if state == DONE else "failed"] += 1
+                self._m_jobs.inc(
+                    outcome="completed" if state == DONE else "failed")
                 job.event("finished", wall_s=job.wall_s, error=job.error,
                           cache_hits=job.cache_hits,
                           cache_misses=job.cache_misses)
@@ -339,8 +445,6 @@ class JobManager:
         """Write the per-job JSONL stream and fold the job's spans —
         tagged with the job id — into the daemon's ambient tracer."""
         if self.job_dir is not None and tracer.spans:
-            import os
-
             from repro.obs.export import write_jsonl
 
             path = os.path.join(self.job_dir, f"{job.id}.jsonl")
@@ -421,7 +525,7 @@ class JobManager:
                 misses += job.cache_misses
         total = hits + misses
         return {
-            "uptime_s": round(time.time() - self.started_at, 3),
+            **self.identity(),
             "draining": draining,
             "jobs": jobs,
             "queue": {"depth": jobs["queued"], "capacity": self.queue_depth},

@@ -1,0 +1,218 @@
+"""The benchmark history store and the noise-aware regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench import compare, history
+from repro.bench.recorder import write_bench_json
+from repro.cli import main
+
+
+class TestFlatten:
+    def test_numeric_leaves_with_dotted_keys(self):
+        flat = history.flatten_metrics({
+            "wall_s": 1.5,
+            "cache": {"hits": 3, "misses": 0},
+            "ok": True,  # bools are not metrics
+            "note": "text",  # strings are not metrics
+        })
+        assert flat == {"wall_s": 1.5, "cache.hits": 3.0,
+                        "cache.misses": 0.0}
+
+    def test_list_items_keyed_by_identity_fields(self):
+        flat = history.flatten_metrics({
+            "runs": [
+                {"engine": "compiled", "delay_model": "unit", "wall_s": 0.2},
+                {"engine": "batch", "delay_model": "unit", "wall_s": 0.1},
+            ],
+        })
+        # stable keys even if the list is reordered
+        assert flat["runs.compiled.unit.wall_s"] == 0.2
+        assert flat["runs.batch.unit.wall_s"] == 0.1
+
+    def test_anonymous_list_items_fall_back_to_index(self):
+        flat = history.flatten_metrics({"xs": [1.0, 2.0]})
+        assert flat == {"xs.0": 1.0, "xs.1": 2.0}
+
+
+class TestHistoryStore:
+    def test_record_and_load_roundtrip(self, tmp_path):
+        bench_file = write_bench_json("demo", {"wall_s": 2.0},
+                                      root=tmp_path)
+        hist = tmp_path / "history.jsonl"
+        entries = history.record_files([bench_file], hist, sha="abc123")
+        assert len(entries) == 1
+        loaded = history.load_history(hist)
+        assert loaded == entries
+        entry = loaded[0]
+        assert entry["bench"] == "demo"
+        assert entry["sha"] == "abc123"
+        assert entry["metrics"] == {"wall_s": 2.0}
+        assert entry["host"]["cpus"] >= 1
+        assert entry["format"] == history.HISTORY_FORMAT
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        hist = tmp_path / "history.jsonl"
+        good = history.make_entry("b", {"x_s": 1.0}, sha="aaa")
+        hist.write_text(
+            json.dumps(good) + "\n" + "not json\n" + "\n"
+            + json.dumps({"format": "other"}) + "\n")
+        assert len(history.load_history(hist)) == 1
+
+    def test_missing_history_loads_empty(self, tmp_path):
+        assert history.load_history(tmp_path / "nope.jsonl") == []
+
+
+class TestDirections:
+    @pytest.mark.parametrize("metric,expected", [
+        ("wall_s", "lower"),
+        ("runs.compiled.unit.wall_s", "lower"),
+        ("latency_p99_s", "lower"),
+        ("peak_rss_bytes", "lower"),
+        ("events_per_s", "higher"),  # per_s wins over the _s suffix
+        ("batch_events_per_s", "higher"),
+        ("speedup_vs_reference", "higher"),
+        ("cache_hit_rate", "higher"),
+        ("total_latches", None),
+        ("detector_saving_pct", None),
+    ])
+    def test_metric_direction(self, metric, expected):
+        assert compare.metric_direction(metric) == expected
+
+
+def _entries(bench, sha, ts0, payloads):
+    return [history.make_entry(bench, payload, sha=sha, ts=ts0 + i)
+            for i, payload in enumerate(payloads)]
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        base = _entries("sim", "aaa", 100.0, [{"wall_s": 1.0}] * 3)
+        cur = _entries("sim", "bbb", 200.0, [{"wall_s": 1.0}] * 3)
+        deltas = compare.compare_entries(base, cur, threshold_pct=5.0)
+        assert len(deltas) == 1
+        assert not deltas[0].regressed
+
+    def test_ten_percent_slowdown_regresses(self):
+        base = _entries("sim", "aaa", 100.0, [{"wall_s": 1.0}] * 3)
+        cur = _entries("sim", "bbb", 200.0, [{"wall_s": 1.1}] * 3)
+        (delta,) = compare.compare_entries(base, cur, threshold_pct=5.0)
+        assert delta.regressed
+        assert delta.delta_pct == pytest.approx(10.0)
+
+    def test_median_absorbs_one_noisy_run(self):
+        base = _entries("sim", "aaa", 100.0, [{"wall_s": 1.0}] * 3)
+        cur = _entries("sim", "bbb", 200.0,
+                       [{"wall_s": 1.0}, {"wall_s": 5.0}, {"wall_s": 1.0}])
+        (delta,) = compare.compare_entries(base, cur, threshold_pct=5.0)
+        assert not delta.regressed  # median is still 1.0
+
+    def test_throughput_drop_regresses(self):
+        base = _entries("sim", "aaa", 100.0, [{"events_per_s": 1000.0}] * 3)
+        cur = _entries("sim", "bbb", 200.0, [{"events_per_s": 800.0}] * 3)
+        (delta,) = compare.compare_entries(base, cur, threshold_pct=5.0)
+        assert delta.direction == "higher"
+        assert delta.regressed
+
+    def test_informational_metrics_never_gate(self):
+        base = _entries("t1", "aaa", 100.0, [{"total_latches": 100}] * 3)
+        cur = _entries("t1", "bbb", 200.0, [{"total_latches": 500}] * 3)
+        (delta,) = compare.compare_entries(base, cur, threshold_pct=5.0)
+        assert delta.direction is None
+        assert not delta.regressed
+
+    def test_min_abs_floor_suppresses_timer_noise(self):
+        base = _entries("sim", "aaa", 100.0, [{"tiny_s": 0.002}] * 3)
+        cur = _entries("sim", "bbb", 200.0, [{"tiny_s": 0.003}] * 3)
+        (gated,) = compare.compare_entries(base, cur, threshold_pct=5.0)
+        assert gated.regressed  # +50%, no floor
+        (floored,) = compare.compare_entries(base, cur, threshold_pct=5.0,
+                                             min_abs_s=0.01)
+        assert not floored.regressed
+
+    def test_per_metric_tolerance_override(self):
+        base = _entries("sim", "aaa", 100.0, [{"wall_s": 1.0}] * 3)
+        cur = _entries("sim", "bbb", 200.0, [{"wall_s": 1.1}] * 3)
+        (delta,) = compare.compare_entries(
+            base, cur, threshold_pct=5.0,
+            tolerances={"sim.wall*": 25.0})
+        assert delta.tolerance_pct == 25.0
+        assert not delta.regressed
+
+    def test_split_by_sha_default_and_explicit(self):
+        entries = (_entries("sim", "aaa", 100.0, [{"wall_s": 1.0}])
+                   + _entries("sim", "bbb", 200.0, [{"wall_s": 2.0}])
+                   + _entries("sim", "ccc", 300.0, [{"wall_s": 3.0}]))
+        base, cur = compare.split_by_sha(entries)
+        assert {e["sha"] for e in base} == {"bbb"}
+        assert {e["sha"] for e in cur} == {"ccc"}
+        base, cur = compare.split_by_sha(entries, baseline_sha="aa")
+        assert {e["sha"] for e in base} == {"aaa"}
+
+    def test_split_single_revision_raises(self):
+        entries = _entries("sim", "aaa", 100.0, [{"wall_s": 1.0}])
+        with pytest.raises(ValueError):
+            compare.split_by_sha(entries)
+
+    def test_format_deltas_mentions_regressions(self):
+        base = _entries("sim", "aaa", 100.0, [{"wall_s": 1.0}] * 3)
+        cur = _entries("sim", "bbb", 200.0, [{"wall_s": 2.0}] * 3)
+        deltas = compare.compare_entries(base, cur, threshold_pct=5.0)
+        text = compare.format_deltas(deltas)
+        assert "REGRESSED" in text
+        assert "sim.wall_s" in text
+
+
+class TestCli:
+    """The acceptance criterion, end-to-end through ``repro bench``:
+    a deliberate 10% slowdown fails ``check``; an identical re-run
+    passes."""
+
+    def _record(self, tmp_path, monkeypatch, payload, sha):
+        monkeypatch.chdir(tmp_path)
+        write_bench_json("smoke", payload, root=tmp_path)
+        code = main(["bench", "record", "--sha", sha,
+                     "--history", str(tmp_path / "history.jsonl")])
+        assert code == 0
+
+    def test_slowdown_fails_identical_rerun_passes(
+            self, tmp_path, monkeypatch, capsys):
+        hist = str(tmp_path / "history.jsonl")
+        self._record(tmp_path, monkeypatch, {"wall_s": 1.0}, "aaa")
+        self._record(tmp_path, monkeypatch, {"wall_s": 1.0}, "bbb")
+        assert main(["bench", "check", "--history", hist,
+                     "--threshold", "5"]) == 0
+
+        # a deliberate 10% slowdown on the next revision
+        self._record(tmp_path, monkeypatch, {"wall_s": 1.1}, "ccc")
+        assert main(["bench", "check", "--history", hist,
+                     "--baseline-sha", "bbb", "--threshold", "5"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+
+    def test_diff_against_separate_baseline_history(
+            self, tmp_path, monkeypatch, capsys):
+        baseline_hist = str(tmp_path / "baseline.jsonl")
+        hist = str(tmp_path / "history.jsonl")
+        monkeypatch.chdir(tmp_path)
+        write_bench_json("smoke", {"wall_s": 1.0}, root=tmp_path)
+        assert main(["bench", "record", "--sha", "seed",
+                     "--history", baseline_hist]) == 0
+        write_bench_json("smoke", {"wall_s": 0.5}, root=tmp_path)
+        assert main(["bench", "record", "--sha", "now",
+                     "--history", hist]) == 0
+        assert main(["bench", "diff", "--history", hist,
+                     "--baseline-history", baseline_hist]) == 0
+        out = capsys.readouterr().out
+        assert "improved" in out
+
+    def test_record_with_no_files_errors(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench", "record",
+                     "--history", str(tmp_path / "h.jsonl")]) == 1
+
+    def test_check_without_history_errors(self, tmp_path):
+        assert main(["bench", "check",
+                     "--history", str(tmp_path / "none.jsonl"),
+                     "--threshold", "5"]) == 2

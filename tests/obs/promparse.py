@@ -1,0 +1,92 @@
+"""A strict mini-parser for Prometheus text exposition (format 0.0.4).
+
+Used by the tests to *validate* what ``/metricsz`` and ``--metrics-out``
+emit rather than just grepping for substrings: every non-comment line
+must parse as ``name{labels} value``, every ``# TYPE`` must name a known
+kind, and histogram series must satisfy the cumulative-bucket
+invariants.
+"""
+
+from __future__ import annotations
+
+import re
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>-?[0-9][0-9eE.+-]*|[+-]Inf|NaN)$")
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_KINDS = ("counter", "gauge", "histogram")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse (and validate) an exposition; raises AssertionError on any
+    malformed line.  Returns ``{"types": {name: kind},
+    "samples": [(name, {label: value}, float), ...]}``."""
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            assert len(line.split(" ", 3)) == 4, f"bad HELP line: {line!r}"
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            assert len(parts) == 4, f"bad TYPE line: {line!r}"
+            _, _, name, kind = parts
+            assert kind in _KINDS, f"unknown metric kind: {line!r}"
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line!r}"
+        match = _SAMPLE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels: dict[str, str] = {}
+        raw = match.group("labels")
+        if raw:
+            pairs = _LABEL.findall(raw)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in pairs)
+            assert rebuilt == raw, f"malformed labels: {raw!r}"
+            labels = dict(pairs)
+        samples.append((match.group("name"), labels,
+                        _parse_value(match.group("value"))))
+    return {"types": types, "samples": samples}
+
+
+def sample_values(parsed: dict, name: str, **labels) -> list[float]:
+    """Values of all samples of ``name`` whose labels include ``labels``."""
+    return [value for sample_name, sample_labels, value
+            in parsed["samples"]
+            if sample_name == name
+            and all(sample_labels.get(k) == v for k, v in labels.items())]
+
+
+def assert_histogram_invariants(parsed: dict, name: str) -> None:
+    """Cumulative buckets non-decreasing; +Inf bucket equals _count."""
+    series: dict[tuple, list[tuple[float, float]]] = {}
+    counts: dict[tuple, float] = {}
+    for sample_name, labels, value in parsed["samples"]:
+        key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+        if sample_name == f"{name}_bucket":
+            series.setdefault(key, []).append(
+                (_parse_value(labels["le"]), value))
+        elif sample_name == f"{name}_count":
+            counts[key] = value
+    assert series, f"no bucket samples for {name}"
+    for key, buckets in series.items():
+        ordered = sorted(buckets)
+        values = [count for _, count in ordered]
+        assert values == sorted(values), \
+            f"{name}{key}: buckets not cumulative: {ordered}"
+        assert ordered[-1][0] == float("inf"), f"{name}{key}: no +Inf bucket"
+        assert ordered[-1][1] == counts.get(key), \
+            f"{name}{key}: +Inf bucket != _count"

@@ -1,0 +1,97 @@
+"""Cross-process merge: timestamp rebasing and sample re-attribution.
+
+Two worker states with *different* epoch offsets merge into one parent
+timeline; resource samples must rebase by each state's own shift and
+keep pointing at the remapped span ids (never at dangling worker ids).
+"""
+
+from repro import obs
+from repro.obs.monitor import ResourceSample
+
+
+def _worker_state(epoch_offset: float, parent: obs.Tracer):
+    """A finished worker tracer state whose epoch is ``epoch_offset``
+    seconds from the parent's (positive = worker started later)."""
+    worker = obs.Tracer()
+    with obs.use_tracer(worker):
+        with obs.span("stage.work"):
+            pass
+    span = worker.spans[0]
+    worker.samples.extend([
+        ResourceSample(ts=1.0, rss_bytes=100, cpu_s=0.1,
+                       gc_collections=0, pid=worker.pid,
+                       span_id=span.span_id),
+        ResourceSample(ts=2.0, rss_bytes=200, cpu_s=0.2,
+                       gc_collections=0, pid=worker.pid,
+                       span_id=987654),  # a span that never shipped
+        ResourceSample(ts=3.0, rss_bytes=300, cpu_s=0.3,
+                       gc_collections=1, pid=worker.pid, span_id=None),
+    ])
+    state = obs.tracer_state(worker)
+    state["epoch_unix"] = parent.epoch_unix + epoch_offset
+    return state
+
+
+def test_mixed_ts_shifts_rebase_independently():
+    parent = obs.Tracer()
+    early = _worker_state(-10.0, parent)  # started 10 s before the parent
+    late = _worker_state(+5.0, parent)  # started 5 s after
+
+    obs.merge_tracer_state(parent, early)
+    obs.merge_tracer_state(parent, late)
+
+    assert len(parent.samples) == 6
+    early_ts = [s.ts for s in parent.samples[:3]]
+    late_ts = [s.ts for s in parent.samples[3:]]
+    assert early_ts == [-9.0, -8.0, -7.0]
+    assert late_ts == [6.0, 7.0, 8.0]
+    # spans rebased by the same per-state shifts
+    assert parent.spans[0].ts == early["spans"][0].ts - 10.0
+    assert parent.spans[1].ts == late["spans"][0].ts + 5.0
+
+
+def test_sample_span_ids_remap_with_the_spans():
+    parent = obs.Tracer()
+    with obs.use_tracer(parent):
+        with obs.span("submit"):  # advance the parent's id counter
+            pass
+    state = _worker_state(2.0, parent)
+    worker_span_id = state["spans"][0].span_id
+
+    obs.merge_tracer_state(parent, state)
+
+    merged_span = parent.spans[-1]
+    assert merged_span.span_id != worker_span_id  # fresh parent-side id
+    attributed, unshipped, unattributed = parent.samples
+    # attribution follows the span to its new id...
+    assert attributed.span_id == merged_span.span_id
+    # ...an unshipped span degrades to unattributed, never dangling...
+    assert unshipped.span_id is None
+    # ...and an unattributed sample stays that way.
+    assert unattributed.span_id is None
+
+
+def test_pre_sampler_state_still_merges():
+    """States from older workers (no ``samples`` key) remain mergeable."""
+    parent = obs.Tracer()
+    state = _worker_state(0.0, parent)
+    del state["samples"]
+    merged = obs.merge_tracer_state(parent, state)
+    assert merged == 1
+    assert parent.samples == []
+
+
+def test_merged_samples_survive_export_roundtrip(tmp_path):
+    """Merged samples render as memory counter events in the Chrome trace."""
+    import json
+
+    parent = obs.Tracer()
+    obs.merge_tracer_state(parent, _worker_state(1.0, parent))
+    path = tmp_path / "trace.json"
+    obs.write_chrome_trace(parent, str(path))
+    events = json.loads(path.read_text())["traceEvents"]
+    counters = [e for e in events if e.get("ph") == "C"
+                and e["name"] == "mem.rss_mb"]
+    assert len(counters) == 3
+    sample_pids = {s.pid for s in parent.samples}
+    assert {e["pid"] for e in counters} == sample_pids

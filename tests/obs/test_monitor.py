@@ -1,0 +1,146 @@
+"""The background resource sampler and its stage attribution."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.monitor import (
+    ResourceMonitor,
+    gc_collection_count,
+    process_cpu_seconds,
+    read_rss_bytes,
+)
+
+
+class TestProbes:
+    def test_rss_is_positive(self):
+        assert read_rss_bytes() > 1 << 20  # a CPython process is > 1 MB
+
+    def test_cpu_is_monotonic(self):
+        first = process_cpu_seconds()
+        sum(i * i for i in range(200_000))
+        assert process_cpu_seconds() >= first >= 0.0
+
+    def test_gc_count_nonnegative(self):
+        assert gc_collection_count() >= 0
+
+
+class TestMonitor:
+    def test_samples_land_on_the_tracer(self):
+        tracer = obs.Tracer()
+        with ResourceMonitor(tracer, interval_s=0.005) as monitor:
+            time.sleep(0.05)
+        assert monitor.samples_taken >= 3  # baseline + ticks + final
+        assert len(tracer.samples) == monitor.samples_taken
+        for sample in tracer.samples:
+            assert sample.rss_bytes > 0
+            assert sample.pid == tracer.pid
+
+    def test_start_attaches_stop_detaches(self):
+        tracer = obs.Tracer()
+        monitor = ResourceMonitor(tracer, interval_s=0.01)
+        assert tracer.monitor is None
+        monitor.start()
+        assert tracer.monitor is monitor
+        monitor.stop()
+        assert tracer.monitor is None
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceMonitor(obs.Tracer(), interval_s=0.0)
+
+    def test_decimation_bounds_memory(self):
+        tracer = obs.Tracer()
+        monitor = ResourceMonitor(tracer, interval_s=0.01, max_samples=16)
+        for _ in range(64):
+            monitor._take_sample()
+        assert len(tracer.samples) < 16
+        assert monitor.interval_s > 0.01  # slowed down at least once
+
+    def test_window_summary_shape(self):
+        tracer = obs.Tracer()
+        with ResourceMonitor(tracer, interval_s=0.01) as monitor:
+            window = monitor.window(span_id=7)
+            payload = [bytearray(1 << 20) for _ in range(8)]
+            summary = window.close()
+        assert payload  # keep it alive through the window
+        assert summary["peak_rss_bytes"] > 0
+        assert summary["cpu_util"] >= 0.0
+        assert summary["gc_collections"] >= 0
+
+    def test_window_close_twice_raises(self):
+        tracer = obs.Tracer()
+        with ResourceMonitor(tracer, interval_s=0.01) as monitor:
+            window = monitor.window()
+            window.close()
+            with pytest.raises(RuntimeError):
+                window.close()
+
+    def test_samples_attributed_to_innermost_window(self):
+        tracer = obs.Tracer()
+        with ResourceMonitor(tracer, interval_s=0.005) as monitor:
+            outer = monitor.window(span_id=1)
+            inner = monitor.window(span_id=2)
+            time.sleep(0.03)
+            inner.close()
+            outer.close()
+        attributed = {s.span_id for s in tracer.samples}
+        assert 2 in attributed  # the in-interval ticks saw the inner window
+
+
+class TestResourceWindowHelper:
+    def test_none_without_tracer(self):
+        assert obs.resource_window() is None
+
+    def test_none_without_monitor(self):
+        with obs.use_tracer(obs.Tracer()):
+            assert obs.resource_window() is None
+
+    def test_window_uses_current_span(self):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.monitored(tracer, interval_s=0.01):
+                with obs.span("stage.fake"):
+                    window = obs.resource_window()
+                    assert window is not None
+                    assert window.span_id == tracer.current_span_id()
+                    summary = window.close()
+        assert summary["peak_rss_bytes"] > 0
+
+
+class TestPipelineIntegration:
+    def test_stage_records_carry_resource_summary(self):
+        from repro.circuits import build
+        from repro.flow import FlowOptions, run_flow
+
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.monitored(tracer, interval_s=0.01):
+                result = run_flow(build("s1488"),
+                                  FlowOptions(period=1000.0, sim_cycles=24,
+                                              profile="random"))
+        assert result.stages
+        for record in result.stages:
+            assert record.summary["peak_rss_bytes"] > 0
+            assert record.summary["cpu_util"] >= 0.0
+        # the summary propagates into the stage spans (and from there
+        # into every exporter)
+        stage_spans = [s for s in tracer.spans
+                       if s.name.startswith("stage.")]
+        assert stage_spans
+        assert all(s.attrs.get("peak_rss_bytes", 0) > 0
+                   for s in stage_spans)
+
+    def test_unmonitored_run_has_no_resource_summary(self):
+        from repro.circuits import build
+        from repro.flow import FlowOptions, run_flow
+
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            result = run_flow(build("s1488"),
+                              FlowOptions(period=1000.0, sim_cycles=24,
+                                          profile="random"))
+        assert all("peak_rss_bytes" not in r.summary
+                   for r in result.stages)
+        assert not tracer.samples

@@ -1,0 +1,158 @@
+"""Live metrics instruments and the Prometheus text renderer."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    Gauge,
+    LabeledCounter,
+    Registry,
+    RollingHistogram,
+)
+from repro.obs.promexpo import (
+    CONTENT_TYPE,
+    metric_name,
+    registry_from_tracer,
+    render_registry,
+    write_metrics,
+)
+from tests.obs.promparse import (
+    assert_histogram_invariants,
+    parse_exposition,
+    sample_values,
+)
+
+
+class TestInstruments:
+    def test_labeled_counter(self):
+        counter = LabeledCounter()
+        counter.inc(endpoint="/jobs", status="202")
+        counter.inc(2.0, endpoint="/jobs", status="202")
+        counter.inc(endpoint="/healthz", status="200")
+        assert counter.total() == 4.0
+        series = dict(counter.series())
+        assert series[(("endpoint", "/jobs"), ("status", "202"))] == 3.0
+
+    def test_gauge_callback_and_set(self):
+        gauge = Gauge(fn=lambda: 42.0)
+        assert gauge.value() == 42.0
+        direct = Gauge()
+        direct.set(7.0)
+        assert direct.value() == 7.0
+
+    def test_gauge_callback_failure_reads_zero(self):
+        def boom():
+            raise RuntimeError("scrape must not die")
+        assert Gauge(fn=boom).value() == 0.0
+
+    def test_rolling_histogram_buckets_cumulative(self):
+        hist = RollingHistogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.bucket_counts() == [(1.0, 1), (10.0, 2)]
+        assert hist.count == 3
+        assert hist.total == 55.5
+
+    def test_window_summary_zeroed_when_empty(self):
+        summary = RollingHistogram().window_summary()
+        assert summary["count"] == 0
+        assert summary["p95"] == 0.0
+
+    def test_registry_create_or_return_and_kind_mismatch(self):
+        registry = Registry()
+        counter = registry.counter("repro_x_total", "x")
+        assert registry.counter("repro_x_total", "x") is counter
+        with pytest.raises(ValueError):
+            registry.gauge("repro_x_total", "x")
+
+
+class TestRenderer:
+    def test_metric_name_sanitizes(self):
+        assert metric_name("sim.events_per_s") == "repro_sim_events_per_s"
+        assert metric_name("9bad") == "repro__9bad"
+
+    def test_exposition_parses_and_obeys_invariants(self):
+        registry = Registry()
+        counter = registry.counter("repro_jobs_total", "job outcomes")
+        counter.inc(outcome="completed")
+        counter.inc(3, outcome="failed")
+        gauge = registry.gauge("repro_queue_depth", "queued jobs")
+        gauge.set(4)
+        hist = registry.histogram("repro_stage_seconds", "stage wall",
+                                  buckets=(0.1, 1.0))
+        hist.observe(0.05, stage="synth")
+        hist.observe(5.0, stage="synth")
+        hist.observe(0.5, stage="sim")
+
+        text = render_registry(registry)
+        parsed = parse_exposition(text)
+        assert parsed["types"] == {
+            "repro_jobs_total": "counter",
+            "repro_queue_depth": "gauge",
+            "repro_stage_seconds": "histogram",
+        }
+        assert sample_values(parsed, "repro_jobs_total",
+                             outcome="failed") == [3.0]
+        assert sample_values(parsed, "repro_queue_depth") == [4.0]
+        assert_histogram_invariants(parsed, "repro_stage_seconds")
+        assert sample_values(parsed, "repro_stage_seconds_count",
+                             stage="synth") == [2.0]
+
+    def test_label_values_escaped(self):
+        registry = Registry()
+        counter = registry.counter("repro_odd_total", "odd labels")
+        counter.inc(path='with"quote', note="line\nbreak")
+        text = render_registry(registry)
+        assert r'path="with\"quote"' in text
+        assert r'note="line\nbreak"' in text
+        parse_exposition(text)  # still parses
+
+    def test_empty_counter_renders_zero_line(self):
+        registry = Registry()
+        registry.counter("repro_untouched_total", "never incremented")
+        parsed = parse_exposition(render_registry(registry))
+        assert sample_values(parsed, "repro_untouched_total") == [0.0]
+
+    def test_content_type_pinned(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_write_metrics(self, tmp_path):
+        registry = Registry()
+        registry.gauge("repro_up", "up").set(1)
+        path = tmp_path / "metrics.prom"
+        write_metrics(registry, str(path))
+        parsed = parse_exposition(path.read_text())
+        assert sample_values(parsed, "repro_up") == [1.0]
+
+
+class TestRegistryFromTracer:
+    def test_batch_run_metrics_match_daemon_families(self):
+        from repro import obs
+
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            with obs.monitored(tracer, interval_s=0.01):
+                with obs.span("stage.synth", style="3p") as sp:
+                    window = obs.resource_window()
+                    obs.add("cache.hits", 2)
+                    obs.gauge("sim.events_per_s", 1e6)
+                    obs.record("cache.lock_wait_s", 0.001)
+                    sp.set(**window.close())
+
+        parsed = parse_exposition(
+            render_registry(registry_from_tracer(tracer)))
+        assert sample_values(parsed, "repro_cache_hits_total") == [2.0]
+        assert sample_values(parsed, "repro_sim_events_per_s") == [1e6]
+        assert_histogram_invariants(parsed, "repro_cache_lock_wait_s")
+        # the two per-stage families the serve daemon also exposes
+        assert sample_values(parsed, "repro_stage_seconds_count",
+                             stage="synth", style="3p") == [1.0]
+        assert sample_values(parsed, "repro_stage_peak_rss_bytes_count",
+                             stage="synth") == [1.0]
+        assert_histogram_invariants(parsed, "repro_stage_peak_rss_bytes")
+        peak = sample_values(parsed, "repro_process_peak_rss_bytes")
+        assert peak and peak[0] > 0
+
+    def test_byte_buckets_cover_process_sizes(self):
+        assert BYTE_BUCKETS[0] == float(16 << 20)
+        assert BYTE_BUCKETS[-1] == float(8 << 30)

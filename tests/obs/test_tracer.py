@@ -137,7 +137,11 @@ class TestMetrics:
         assert summary["p50"] == 3.0 and summary["p95"] == 4.0
 
     def test_empty_histogram(self):
-        assert MetricSet().histogram_summary("nope") == {"count": 0}
+        # fully zeroed summary: consumers can always read min/p95 etc.
+        assert MetricSet().histogram_summary("nope") == {
+            "count": 0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0,
+        }
 
     def test_op_count_counts_everything(self, tracer):
         with obs.span("s"):

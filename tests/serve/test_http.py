@@ -64,7 +64,13 @@ def _await_done(server, job_id, timeout=60.0):
 def test_healthz(server):
     code, body = _req(server, "GET", "/healthz")
     assert code == 200
-    assert body == {"status": "ok", "draining": False}
+    assert body["status"] == "ok"
+    assert body["draining"] is False
+    # identity block, shared with /statsz through one builder
+    from repro import __version__
+    assert body["version"] == __version__
+    assert body["pid"] > 0
+    assert body["uptime_s"] >= 0.0
 
 
 def test_statsz_shape(server):
@@ -227,6 +233,62 @@ def test_jobs_listing(server):
     assert listing["jobs"], "earlier tests created jobs"
     assert all(job["state"] in ("queued", "running", "done", "failed")
                for job in listing["jobs"])
+
+
+def test_metricsz_exposition(server):
+    """``GET /metricsz`` emits valid Prometheus 0.0.4 text; the earlier
+    tests already ran jobs, so the stage/job/HTTP families must carry
+    real samples, not just zeroed declarations."""
+    from repro import __version__
+    from tests.obs.promparse import (
+        assert_histogram_invariants,
+        parse_exposition,
+        sample_values,
+    )
+
+    with urllib.request.urlopen(server.base_url + "/metricsz",
+                                timeout=30.0) as resp:
+        assert resp.status == 200
+        assert resp.headers["Content-Type"] == \
+            "text/plain; version=0.0.4; charset=utf-8"
+        text = resp.read().decode("utf-8")
+    parsed = parse_exposition(text)
+
+    # identity + capacity gauges
+    assert sample_values(parsed, "repro_build_info",
+                         version=__version__) == [1.0]
+    assert sample_values(parsed, "repro_queue_capacity") == [32.0]
+    assert sample_values(parsed, "repro_process_rss_bytes")[0] > 0
+    assert sample_values(parsed, "repro_process_uptime_seconds")[0] >= 0
+
+    # request accounting: the normalized /jobs/:id route must appear
+    # (raw ids would blow up label cardinality)
+    jobs_get = sample_values(parsed, "repro_http_requests_total",
+                             endpoint="/jobs/:id", method="GET",
+                             status="200")
+    assert jobs_get and jobs_get[0] > 0
+    assert_histogram_invariants(parsed, "repro_http_request_seconds")
+
+    # job outcomes and per-stage families from the completed jobs
+    submitted = sample_values(parsed, "repro_jobs_total",
+                              outcome="submitted")
+    assert submitted and submitted[0] > 0
+    completed = sample_values(parsed, "repro_jobs_total",
+                              outcome="completed")
+    assert completed and completed[0] > 0
+    hits = sample_values(parsed, "repro_stage_cache_total", outcome="hit")
+    assert hits and hits[0] > 0  # the warm resubmission test hit cache
+    assert_histogram_invariants(parsed, "repro_stage_seconds")
+    synth = sample_values(parsed, "repro_stage_seconds_count",
+                          stage="synth")
+    assert synth and synth[0] > 0
+    # per-job monitors attributed peak RSS to stages
+    assert_histogram_invariants(parsed, "repro_stage_peak_rss_bytes")
+    rss = sample_values(parsed, "repro_stage_peak_rss_bytes_count",
+                        stage="synth")
+    assert rss and rss[0] > 0
+
+    assert _req(server, "POST", "/metricsz")[0] == 405
 
 
 def test_bad_request_line_and_body(server):

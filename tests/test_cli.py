@@ -141,6 +141,72 @@ class TestObservability:
         assert main(["trace", str(empty)]) == 1
         assert "no spans" in capsys.readouterr().err
 
+    def test_trace_format_json_matches_text_path(self, trace_files,
+                                                 capsys):
+        """``--format json`` emits the same summary the text renderer is
+        built from (one serializer, two renderings)."""
+        from repro.obs.summary import load_spans
+        from repro.reporting import summarize_trace
+
+        assert main(["trace", str(trace_files[1]),
+                     "--format", "json", "--top", "5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == summarize_trace(load_spans(str(trace_files[1])),
+                                          top=5)
+        assert payload["spans"] > 0
+        assert len(payload["top"]) <= 5
+        assert payload["stages"]  # per-stage drill-down present
+        for info in payload["stages"].values():
+            assert info["sub_spans"] > 0
+            assert info["hottest"]["self_s"] >= 0.0
+
+
+class TestMonitoredRun:
+    """``--monitor`` / ``--metrics-out``: resource accounting and the
+    Prometheus snapshot on the batch CLI path."""
+
+    @pytest.fixture(scope="class")
+    def monitored_files(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("monitored")
+        jsonl, prom = tmp / "t.jsonl", tmp / "metrics.prom"
+        assert main(["run", "s1488", "--cycles", "16",
+                     "--monitor-interval", "0.01",
+                     "--obs-jsonl", str(jsonl),
+                     "--metrics-out", str(prom)]) == 0
+        return jsonl, prom
+
+    def test_stage_spans_carry_resource_attrs(self, monitored_files):
+        jsonl, _ = monitored_files
+        lines = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        stages = [l for l in lines
+                  if l["type"] == "span" and l["name"].startswith("stage.")]
+        assert stages
+        assert all(l["attrs"].get("peak_rss_bytes", 0) > 0 for l in stages)
+
+    def test_jsonl_carries_resource_samples(self, monitored_files):
+        jsonl, _ = monitored_files
+        lines = [json.loads(l) for l in jsonl.read_text().splitlines()]
+        samples = [l for l in lines if l["type"] == "resource"]
+        assert samples
+        assert all(s["rss_bytes"] > 0 for s in samples)
+
+    def test_metrics_out_snapshot_parses(self, monitored_files):
+        from tests.obs.promparse import (
+            assert_histogram_invariants,
+            parse_exposition,
+            sample_values,
+        )
+
+        _, prom = monitored_files
+        parsed = parse_exposition(prom.read_text())
+        assert_histogram_invariants(parsed, "repro_stage_seconds")
+        synth = sample_values(parsed, "repro_stage_seconds_count",
+                              stage="synth")
+        assert synth and synth[0] > 0
+        assert_histogram_invariants(parsed, "repro_stage_peak_rss_bytes")
+        peak = sample_values(parsed, "repro_process_peak_rss_bytes")
+        assert peak and peak[0] > 0
+
 
 def err_line_count(err: str) -> int:
     return len([line for line in err.splitlines() if line.strip()])
