@@ -31,10 +31,22 @@ import time
 
 from repro import obs
 from repro.ilp import IlpModel, Sense, SolveStatus, branch_bound, scipy_backend
+from repro.ilp.decompose import LeafOutcome, solve_decomposed
+from repro.ilp.lp_round import solve_lp_round
 from repro.ilp.mis import max_independent_set
+from repro.ilp.portfolio import parse_backends, solve_partition
+from repro.ilp.warmstart import (
+    WarmCache,
+    canonical_order,
+    partition_digest,
+    shape_key,
+)
 from repro.netlist.core import Module
 from repro.netlist.traversal import FFGraph, ff_fanout_map
 from repro.convert.assignment import PhaseAssignment
+
+#: ``assign_phases`` solve strategies (``FlowOptions.ilp_mode``).
+ILP_MODES = ("mono", "decompose", "portfolio", "heuristic")
 
 
 def build_model(graph: FFGraph) -> tuple[IlpModel, dict[str, int], dict[str, int]]:
@@ -187,25 +199,160 @@ def solve_ilp(
     return assignment
 
 
+def _partition_name(adjacency: dict[str, set[str]]) -> str:
+    """Human identification of a partition for error messages."""
+    anchor = min(adjacency, key=str) if adjacency else "<empty>"
+    return f"{len(adjacency)} FFs around {anchor!r}"
+
+
+def solve_portfolio(
+    graph: FFGraph,
+    backends: tuple[str, ...] = ("mis", "scipy", "bb"),
+    partition_cap: int = 2048,
+    time_limit: float = 120.0,
+    warm: WarmCache | None = None,
+) -> PhaseAssignment:
+    """Decomposed solve with a per-partition backend race + warm starts.
+
+    The eligible graph splits into partitions (components, articulation
+    branches); each partition first consults the warm-start cache, then
+    races ``backends``.  The stitched result is exact iff every
+    partition solved exactly; ``meta`` carries the partition/winner/
+    warm-hit breakdown the bench and the serve status page report.
+    """
+    start = time.monotonic()
+    per_partition_budget = max(1.0, min(30.0, time_limit / 4.0))
+
+    def leaf(adjacency: dict[str, set[str]]) -> LeafOutcome:
+        incumbent = None
+        order = digest = shape = None
+        if warm is not None:
+            order = canonical_order(adjacency)
+            digest = partition_digest(adjacency, order)
+            shape = shape_key(adjacency)
+            hit = warm.lookup(adjacency, order, digest)
+            if hit is not None:
+                return LeafOutcome(chosen=hit, exact=True, solver="warm",
+                                   warm_hit=True)
+            incumbent = warm.lookup_incumbent(adjacency, order, shape)
+        try:
+            outcome = solve_partition(
+                adjacency,
+                backends=backends,
+                time_budget=per_partition_budget,
+                incumbent=incumbent,
+            )
+        except Exception as exc:
+            raise RuntimeError(
+                "phase-assignment failed in partition "
+                f"({_partition_name(adjacency)}): {exc}"
+            ) from exc
+        if warm is not None:
+            warm.store(adjacency, order, digest, shape,
+                       outcome.chosen, outcome.exact)
+        return outcome
+
+    decomposed = solve_decomposed(
+        _eligible_adjacency(graph), leaf, partition_cap=partition_cap)
+    winners: dict[str, int] = {}
+    for partition in decomposed.partitions:
+        winners[partition.solver] = winners.get(partition.solver, 0) + 1
+    with obs.span("ilp.extract", solver="portfolio"):
+        assignment = assignment_from_single_set(
+            graph,
+            decomposed.chosen,
+            solver="portfolio" if len(backends) > 1 else backends[0],
+            seconds=time.monotonic() - start,
+            optimal=decomposed.exact,
+        )
+    assignment.meta.update(
+        components=decomposed.components,
+        partitions=len(decomposed.partitions),
+        splits=decomposed.splits,
+        winners=winners,
+        warm_hits=decomposed.warm_hits,
+        warm_stats=warm.stats() if warm is not None else None,
+        max_partition=max((p.size for p in decomposed.partitions), default=0),
+    )
+    return assignment
+
+
+def solve_heuristic(graph: FFGraph, chunk_cap: int = 4000) -> PhaseAssignment:
+    """LP-rounding heuristic with a certified gap (``ilp_mode="heuristic"``).
+
+    The reported ``meta["gap"]`` upper-bounds the true optimality gap:
+    ineligible FFs contribute exactly 1 to the objective and the bound
+    alike, and the eligible-scope bound is certified by the LP
+    relaxation (see :mod:`repro.ilp.lp_round`).
+    """
+    eligible = _eligible_adjacency(graph)
+    heur = solve_lp_round(eligible, chunk_cap=chunk_cap)
+    ineligible = len(graph.ffs) - len(eligible)
+    objective = heur.objective + ineligible
+    lower_bound = heur.lower_bound + ineligible
+    gap = (objective - lower_bound) / objective if objective > 0 else 0.0
+    assignment = assignment_from_single_set(
+        graph,
+        heur.chosen,
+        solver="lp_round",
+        seconds=heur.seconds,
+        optimal=objective == lower_bound,
+    )
+    assignment.meta.update(
+        gap=max(0.0, gap),
+        lower_bound=lower_bound,
+        chunks=heur.chunks,
+    )
+    obs.annotate(gap=assignment.meta["gap"])
+    return assignment
+
+
 def assign_phases(
     module: Module,
     method: str = "mis",
     time_limit: float = 120.0,
+    ilp_mode: str = "mono",
+    partition_cap: int = 2048,
+    portfolio: str = "mis,scipy,bb",
+    warm: WarmCache | None = None,
 ) -> PhaseAssignment:
     """End-to-end phase assignment for a FF-based module.
 
-    ``method``: ``"mis"`` (exact, default), ``"scipy"``/``"bb"`` (the ILP
-    directly), or ``"greedy"`` (heuristic ablation baseline).
+    ``ilp_mode`` picks the solve strategy:
+
+    * ``"mono"`` -- one whole-graph solve with ``method`` (``"mis"``
+      exact default, ``"scipy"``/``"bb"`` the ILP directly, ``"greedy"``
+      the ablation baseline);
+    * ``"decompose"`` -- partitioned solve, MIS leaves only;
+    * ``"portfolio"`` -- partitioned solve racing the ``portfolio``
+      backends per partition, warm-started from ``warm`` if given;
+    * ``"heuristic"`` -- LP rounding with a certified gap.
     """
     with obs.span("ilp.graph", design=module.name):
         graph = ff_fanout_map(module)
     obs.gauge("ilp.ffs", len(graph.ffs))
-    if method == "mis":
-        assignment = solve_via_mis(graph)
-    elif method == "greedy":
-        assignment = solve_greedy(graph)
+    if ilp_mode == "mono":
+        if method == "mis":
+            assignment = solve_via_mis(graph)
+        elif method == "greedy":
+            assignment = solve_greedy(graph)
+        else:
+            assignment = solve_ilp(graph, backend=method,
+                                   time_limit=time_limit)
+    elif ilp_mode == "decompose":
+        assignment = solve_portfolio(
+            graph, backends=("mis",), partition_cap=partition_cap,
+            time_limit=time_limit, warm=warm)
+    elif ilp_mode == "portfolio":
+        assignment = solve_portfolio(
+            graph, backends=parse_backends(portfolio),
+            partition_cap=partition_cap, time_limit=time_limit, warm=warm)
+    elif ilp_mode == "heuristic":
+        assignment = solve_heuristic(graph)
     else:
-        assignment = solve_ilp(graph, backend=method, time_limit=time_limit)
+        raise ValueError(
+            f"unknown ilp_mode {ilp_mode!r}; known: {', '.join(ILP_MODES)}"
+        )
     obs.annotate(solver=assignment.solver,
                  objective=assignment.objective,
                  optimal=assignment.optimal)

@@ -4,11 +4,22 @@
 * :mod:`~repro.ilp.branch_bound` -- exact from-scratch branch-and-bound;
 * :mod:`~repro.ilp.scipy_backend` -- exact HiGHS backend via scipy;
 * :mod:`~repro.ilp.mis` -- exact maximum-independent-set branch-and-reduce
-  (the structure the paper's ILP reduces to).
+  (the structure the paper's ILP reduces to);
+* :mod:`~repro.ilp.decompose` -- component/articulation decomposition so
+  100k+-register graphs solve as many small partitions;
+* :mod:`~repro.ilp.portfolio` -- per-partition backend race (first exact
+  answer wins, losers cancelled);
+* :mod:`~repro.ilp.warmstart` -- digest-keyed partition solution cache
+  (isomorphism-robust canonical ordering);
+* :mod:`~repro.ilp.lp_round` -- LP-relaxation rounding heuristic with a
+  certified optimality gap;
+* :mod:`~repro.ilp.fuzz` -- seeded random FF-graph generator for the
+  differential tests and scale benchmarks.
 """
 
 from repro.ilp import branch_bound, mis, scipy_backend
 from repro.ilp.model import Constraint, IlpModel, Sense, Solution, SolveStatus
+from repro.ilp import decompose, fuzz, lp_round, portfolio, warmstart  # noqa: E402
 
 
 def solve(model: IlpModel, backend: str = "scipy", **kwargs) -> Solution:
@@ -29,5 +40,10 @@ __all__ = [
     "branch_bound",
     "scipy_backend",
     "mis",
+    "decompose",
+    "fuzz",
+    "lp_round",
+    "portfolio",
+    "warmstart",
     "solve",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 from scipy.optimize import linprog
@@ -109,8 +110,17 @@ def solve(
     warm_start: list[int] | None = None,
     node_limit: int = 200_000,
     time_limit: float = 120.0,
+    should_stop: "Callable[[], bool] | None" = None,
 ) -> Solution:
-    """Solve ``model`` to optimality (or best incumbent at a limit)."""
+    """Solve ``model`` to optimality (or best incumbent at a limit).
+
+    ``warm_start`` doubles as incumbent support: a feasible vector (e.g. a
+    cached solution of a structurally identical partition) seeds the upper
+    bound, so the search only explores nodes that can beat it -- on an
+    exact warm start the root bound immediately proves optimality.
+    ``should_stop`` is a cooperative cancellation hook (polled once per
+    node): a portfolio race uses it to abandon losers early.
+    """
     start = time.monotonic()
     n = model.num_vars
     if n == 0:
@@ -136,6 +146,9 @@ def solve(
 
     while stack:
         if nodes >= node_limit or time.monotonic() - start > time_limit:
+            hit_limit = True
+            break
+        if should_stop is not None and should_stop():
             hit_limit = True
             break
         lower, upper = stack.pop()
@@ -187,7 +200,7 @@ def solve(
 
     elapsed = time.monotonic() - start
     if best_values is None:
-        status = SolveStatus.UNSOLVED if hit_limit else SolveStatus.INFEASIBLE
+        status = SolveStatus.TIMEOUT if hit_limit else SolveStatus.INFEASIBLE
         return Solution(status, [], math.inf, nodes, elapsed)
     status = SolveStatus.FEASIBLE if hit_limit else SolveStatus.OPTIMAL
     return Solution(status, best_values, best_obj, nodes, elapsed)

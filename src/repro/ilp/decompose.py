@@ -1,0 +1,260 @@
+"""Graph decomposition for the phase ILP: solve partitions, stitch results.
+
+**Why this is exact.**  Every constraint of the paper's ILP couples a FF
+``u`` only with its fanouts ``FO(u)`` (plus per-vertex constraints), so on
+the *eligible* undirected graph (self-loop and PI-fed FFs removed -- they
+can never join the single-latch group) the problem decomposes over
+connected components: an optimum of the whole graph restricted to a
+component is an optimum of that component, and the objective is the sum of
+the per-component objectives.  Equivalently, through the MIS reduction in
+:mod:`repro.convert.phase_ilp`, ``MIS(G) = sum_C MIS(C)`` over components
+``C`` -- independent sets cannot interact across components.
+
+**Giant components** are cut down by articulation-point branching: for an
+articulation vertex ``v`` of component ``C``,
+
+    ``MIS(C) = max( MIS(C - v),  1 + MIS(C - v - N(v)) )``
+
+and both ``C - v`` and ``C - v - N(v)`` split into strictly smaller
+connected pieces which recurse independently.  The result is exact iff
+every branch solved exactly; the recursion is depth-capped, after which an
+oversized piece goes to the leaf solver whole (it reports its own
+exactness).  Each leaf call is a *partition*: the unit the portfolio
+races and the warm-start cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import obs
+from repro.ilp.mis import Adjacency, _components, _greedy
+
+#: A leaf solver takes the induced adjacency of one partition and returns
+#: its best single-latch (independent) set.
+LeafSolver = Callable[[Adjacency], "LeafOutcome"]
+
+
+@dataclass
+class LeafOutcome:
+    """One partition's solution, as produced by a leaf solver."""
+
+    chosen: set[str]
+    exact: bool
+    solver: str = "mis"
+    warm_hit: bool = False
+    seconds: float = 0.0
+
+
+@dataclass
+class PartitionReport:
+    """Bookkeeping for one leaf solve (bench + obs surface)."""
+
+    index: int
+    size: int
+    solver: str
+    exact: bool
+    warm_hit: bool
+    seconds: float
+
+
+@dataclass
+class DecomposeOutcome:
+    """Stitched solution over the whole eligible graph."""
+
+    chosen: set[str]
+    exact: bool
+    components: int
+    splits: int
+    partitions: list[PartitionReport] = field(default_factory=list)
+
+    @property
+    def warm_hits(self) -> int:
+        return sum(1 for p in self.partitions if p.warm_hit)
+
+
+def articulation_points(adj: Adjacency) -> set:
+    """Articulation vertices of an undirected graph (iterative Tarjan)."""
+    disc: dict = {}
+    low: dict = {}
+    points: set = set()
+    timer = 0
+    for root in adj:
+        if root in disc:
+            continue
+        root_children = 0
+        # stack entries: (node, parent, iterator over neighbours)
+        stack = [(root, None, iter(adj[root]))]
+        disc[root] = low[root] = timer
+        timer += 1
+        while stack:
+            node, parent, neighbours = stack[-1]
+            advanced = False
+            for nxt in neighbours:
+                if nxt == parent or nxt == node:
+                    continue
+                if nxt in disc:
+                    low[node] = min(low[node], disc[nxt])
+                    continue
+                disc[nxt] = low[nxt] = timer
+                timer += 1
+                if node == root:
+                    root_children += 1
+                stack.append((nxt, node, iter(adj[nxt])))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+                if stack:
+                    up = stack[-1][0]
+                    low[up] = min(low[up], low[node])
+                    if up != root and low[node] >= disc[up]:
+                        points.add(up)
+        if root_children > 1:
+            points.add(root)
+    return points
+
+
+def _induced(adj: Adjacency, nodes: set) -> Adjacency:
+    return {v: adj[v] & nodes for v in nodes}
+
+
+def _best_split_vertex(adj: Adjacency) -> tuple | None:
+    """The articulation point whose removal leaves the smallest largest
+    piece, or None if the component is biconnected."""
+    candidates = articulation_points(adj)
+    if not candidates:
+        return None
+    ordered = sorted(candidates, key=str)
+    if len(ordered) > 32:
+        # Evaluating a candidate costs a component sweep; on big
+        # components sample evenly instead of trying every cut vertex.
+        step = len(ordered) / 32.0
+        ordered = [ordered[int(i * step)] for i in range(32)]
+    best = None
+    best_width = None
+    nodes = set(adj)
+    for vertex in ordered:
+        rest = _induced(adj, nodes - {vertex})
+        width = max((len(c) for c in _components(rest)), default=0)
+        if best_width is None or width < best_width:
+            best, best_width = vertex, width
+    return best
+
+
+class _Decomposer:
+    def __init__(self, leaf_solver: LeafSolver, partition_cap: int,
+                 split_depth: int):
+        self.leaf_solver = leaf_solver
+        self.partition_cap = partition_cap
+        self.split_depth = split_depth
+        self.partitions: list[PartitionReport] = []
+        self.splits = 0
+
+    def _leaf(self, adj: Adjacency) -> LeafOutcome:
+        with obs.span("ilp.partition", size=len(adj)) as sp:
+            outcome = self.leaf_solver(adj)
+            sp.set(solver=outcome.solver, exact=outcome.exact,
+                   warm_hit=outcome.warm_hit)
+        self.partitions.append(PartitionReport(
+            index=len(self.partitions),
+            size=len(adj),
+            solver=outcome.solver,
+            exact=outcome.exact,
+            warm_hit=outcome.warm_hit,
+            seconds=outcome.seconds,
+        ))
+        return outcome
+
+    def solve(self, adj: Adjacency, depth: int) -> tuple[set, bool]:
+        if not adj:
+            return set(), True
+        if len(adj) <= self.partition_cap or depth <= 0:
+            outcome = self._leaf(adj)
+            return set(outcome.chosen), outcome.exact
+        pivot = _best_split_vertex(adj)
+        if pivot is None:
+            # Biconnected and oversized: nothing safe to split on.
+            outcome = self._leaf(adj)
+            return set(outcome.chosen), outcome.exact
+        self.splits += 1
+        nodes = set(adj)
+        # Branch 1: pivot excluded.
+        without, exact_without = self._pieces(
+            _induced(adj, nodes - {pivot}), depth - 1)
+        # Branch 2: pivot included, neighbourhood excluded.
+        with_, exact_with = self._pieces(
+            _induced(adj, nodes - {pivot} - adj[pivot]), depth - 1)
+        with_.add(pivot)
+        # The max of the two branches is provably optimal only when both
+        # branch values are exact; otherwise the losing branch's true
+        # optimum might have won.
+        exact = exact_without and exact_with
+        if len(with_) >= len(without):
+            return with_, exact
+        return without, exact
+
+    def _pieces(self, adj: Adjacency, depth: int) -> tuple[set, bool]:
+        chosen: set = set()
+        exact = True
+        for component in _components(adj):
+            piece_chosen, piece_exact = self.solve(
+                _induced(adj, component), depth)
+            chosen |= piece_chosen
+            exact = exact and piece_exact
+        return chosen, exact
+
+
+def solve_decomposed(
+    adjacency: Adjacency,
+    leaf_solver: LeafSolver,
+    partition_cap: int = 2048,
+    split_depth: int = 8,
+) -> DecomposeOutcome:
+    """Maximum independent set of ``adjacency`` via decomposition.
+
+    Connected components solve independently through ``leaf_solver``;
+    components above ``partition_cap`` vertices are first cut down by
+    articulation-point branching (up to ``split_depth`` levels).
+    """
+    decomposer = _Decomposer(leaf_solver, partition_cap, split_depth)
+    chosen: set = set()
+    exact = True
+    components = 0
+    with obs.span("ilp.decompose", vertices=len(adjacency),
+                  partition_cap=partition_cap) as sp:
+        for component in _components(adjacency):
+            components += 1
+            piece_chosen, piece_exact = decomposer.solve(
+                _induced(adjacency, component), decomposer.split_depth)
+            chosen |= piece_chosen
+            exact = exact and piece_exact
+        sp.set(components=components, partitions=len(decomposer.partitions),
+               splits=decomposer.splits, exact=exact)
+    obs.gauge("ilp.decompose.components", components)
+    obs.gauge("ilp.decompose.partitions", len(decomposer.partitions))
+    return DecomposeOutcome(
+        chosen=chosen,
+        exact=exact,
+        components=components,
+        splits=decomposer.splits,
+        partitions=decomposer.partitions,
+    )
+
+
+def greedy_leaf(adj: Adjacency) -> LeafOutcome:
+    """Cheapest possible leaf solver (used as a repair/fallback baseline)."""
+    return LeafOutcome(chosen=_greedy(adj, set(adj)), exact=False,
+                       solver="greedy")
+
+
+__all__ = [
+    "LeafOutcome",
+    "LeafSolver",
+    "PartitionReport",
+    "DecomposeOutcome",
+    "articulation_points",
+    "solve_decomposed",
+    "greedy_leaf",
+]

@@ -1,0 +1,146 @@
+"""LP-rounding heuristic with a certified optimality gap (``ilp_mode="heuristic"``).
+
+For interactive and serve use the flow wants a phase assignment in
+seconds with an honest error bar, not an exact answer in minutes.  This
+module solves the *LP relaxation* of the paper's ILP, rounds the
+fractional ``G`` values, repairs the rounding to feasibility, and
+reports the gap between the achieved objective and the LP lower bound.
+
+**Why the reported gap upper-bounds the true gap.**  Vertices are packed
+into chunks (whole small components where possible; giant components are
+sliced along a BFS order) and edges *between* chunks are dropped before
+solving each chunk's LP.  Dropping constraints relaxes the problem, and
+the paper's objective is integral, so
+
+    ``sum_chunks ceil(LP_chunk)  <=  sum_chunks IP_chunk(relaxed)  <=  IP(full)``
+
+is a true lower bound on the optimum.  The repair step, by contrast,
+respects the *full* adjacency (including cut edges), so the returned set
+is feasible for the unrelaxed problem.  Hence
+``reported_gap = (achieved - bound) / achieved >= true_gap``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.ilp import branch_bound
+from repro.ilp.mis import Adjacency, _components
+from repro.ilp.model import Sense
+from repro.ilp.warmstart import repair_independent
+
+
+@dataclass
+class HeuristicOutcome:
+    """LP-round result over the eligible graph (ineligible FFs are the
+    caller's to add: they contribute exactly 1 to both sides)."""
+
+    chosen: set
+    objective: int  #: achieved eligible-scope objective, |V| - |chosen|
+    lower_bound: int  #: certified eligible-scope lower bound
+    gap: float  #: (objective - lower_bound) / objective, >= true gap
+    chunks: int
+    seconds: float
+
+
+def _bfs_order(adj: Adjacency, component: set) -> list:
+    order: list = []
+    seen: set = set()
+    for start in sorted(component, key=str):
+        if start in seen:
+            continue
+        queue = [start]
+        seen.add(start)
+        while queue:
+            node = queue.pop(0)
+            order.append(node)
+            for nxt in sorted(adj[node] & component, key=str):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(nxt)
+    return order
+
+
+def _chunks(adj: Adjacency, chunk_cap: int) -> list[set]:
+    """Pack components into chunks of <= chunk_cap vertices.
+
+    Many small components share one chunk (their LPs are independent
+    blocks of one linprog call, which amortizes solver overhead); a
+    component larger than the cap is sliced along a BFS order so most of
+    its edges stay within a slice and few are cut.
+    """
+    chunks: list[set] = []
+    current: set = set()
+    for component in sorted(_components(adj), key=lambda c: min(map(str, c))):
+        if len(component) > chunk_cap:
+            order = _bfs_order(adj, component)
+            for lo in range(0, len(order), chunk_cap):
+                chunks.append(set(order[lo:lo + chunk_cap]))
+            continue
+        if len(current) + len(component) > chunk_cap and current:
+            chunks.append(current)
+            current = set()
+        current |= component
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def solve_lp_round(adjacency: Adjacency, chunk_cap: int = 4000) -> HeuristicOutcome:
+    """Round the LP relaxation to a feasible single-latch set + gap."""
+    from repro.convert.phase_ilp import build_model
+    from repro.ilp.portfolio import adjacency_to_ffgraph
+
+    start = time.monotonic()
+    candidates: set = set()
+    lower_bound = 0
+    chunk_sets = _chunks(adjacency, chunk_cap)
+    with obs.span("ilp.lp_round", vertices=len(adjacency),
+                  chunks=len(chunk_sets)) as sp:
+        for chunk in chunk_sets:
+            sub = {v: adjacency[v] & chunk for v in chunk}
+            graph = adjacency_to_ffgraph(sub)
+            model, g_var, _ = build_model(graph)
+            # Edge cuts G(u) + G(v) >= 1: adjacent FFs cannot both be
+            # single (one would feed the other p1 -> p1).  Every integer
+            # point satisfies them, so the bound stays valid, and they
+            # tighten the paper's raw relaxation from ~0.6x optimum to
+            # the (half-integral) vertex-cover bound -- tight on the
+            # forest-heavy components real and fuzzed netlists produce.
+            for u in graph.ffs:
+                for v in graph.fanout[u]:
+                    model.add_constraint(
+                        {g_var[u]: 1.0, g_var[v]: 1.0}, Sense.GE, 1.0)
+            lp = branch_bound._build_lp(model)
+            solved = branch_bound._solve_lp(
+                lp, np.zeros(model.num_vars), np.ones(model.num_vars))
+            if solved is None:  # pragma: no cover - the LP is always feasible
+                # All-b2b is feasible with objective len(chunk); claim no
+                # bound from this chunk rather than fail the heuristic.
+                continue
+            lp_obj, x = solved
+            lower_bound += math.ceil(lp_obj - 1e-6)
+            candidates.update(
+                ff for ff in graph.ffs if x[g_var[ff]] < 0.5)
+        chosen = repair_independent(adjacency, candidates)
+        objective = len(adjacency) - len(chosen)
+        gap = (objective - lower_bound) / objective if objective > 0 else 0.0
+        gap = max(0.0, gap)
+        sp.set(objective=objective, lower_bound=lower_bound, gap=gap)
+    obs.record("ilp.heuristic.gap", gap)
+    return HeuristicOutcome(
+        chosen=chosen,
+        objective=objective,
+        lower_bound=lower_bound,
+        gap=gap,
+        chunks=len(chunk_sets),
+        seconds=time.monotonic() - start,
+    )
+
+
+__all__ = ["HeuristicOutcome", "solve_lp_round"]

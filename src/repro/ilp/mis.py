@@ -16,8 +16,10 @@ finishing greedily (reported via ``exact=False``).
 
 from __future__ import annotations
 
+import sys
+import time
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from typing import Callable, Hashable, Iterable
 
 Node = Hashable
 Adjacency = dict[Node, set[Node]]
@@ -66,15 +68,35 @@ def _greedy(adj: Adjacency, alive: set[Node]) -> set[Node]:
 
 
 class _Search:
-    def __init__(self, adj: Adjacency, node_limit: int):
+    def __init__(
+        self,
+        adj: Adjacency,
+        node_limit: int,
+        deadline: float | None = None,
+        should_stop: Callable[[], bool] | None = None,
+    ):
         self.adj = adj
         self.node_limit = node_limit
+        self.deadline = deadline
+        self.should_stop = should_stop
         self.nodes = 0
         self.exact = True
 
+    def _out_of_budget(self) -> bool:
+        if self.nodes > self.node_limit:
+            return True
+        # poll the clock and the cancellation hook sparsely: both cost a
+        # call per check, which adds up over hundreds of thousands of nodes
+        if self.nodes % 64 == 0:
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                return True
+            if self.should_stop is not None and self.should_stop():
+                return True
+        return False
+
     def solve(self, alive: set[Node]) -> set[Node]:
         self.nodes += 1
-        if self.nodes > self.node_limit:
+        if self._out_of_budget():
             self.exact = False
             return _greedy(self.adj, alive)
         if not alive:
@@ -120,10 +142,18 @@ class _Search:
         return with_pivot if len(with_pivot) >= len(without_pivot) else without_pivot
 
 
-def max_independent_set(adj: Adjacency, node_limit: int = 500_000) -> MisResult:
+def max_independent_set(
+    adj: Adjacency,
+    node_limit: int = 500_000,
+    time_limit: float | None = None,
+    should_stop: Callable[[], bool] | None = None,
+) -> MisResult:
     """Exact MIS of the undirected graph given as an adjacency dict.
 
     The adjacency must be symmetric and irreflexive (no self loops).
+    ``time_limit``/``should_stop`` stop the search early (the result is
+    then greedily completed and reported via ``exact=False``); a
+    portfolio race passes ``should_stop`` to abandon a losing search.
     """
     for node, neighbours in adj.items():
         if node in neighbours:
@@ -131,6 +161,19 @@ def max_independent_set(adj: Adjacency, node_limit: int = 500_000) -> MisResult:
         for other in neighbours:
             if node not in adj.get(other, ()):
                 raise ValueError(f"asymmetric adjacency between {node!r} and {other!r}")
-    search = _Search(adj, node_limit)
-    chosen = search.solve(set(adj))
+    deadline = None if time_limit is None else time.monotonic() + time_limit
+    search = _Search(adj, node_limit, deadline=deadline,
+                     should_stop=should_stop)
+    # The branch recursion removes at least one vertex per level, so its
+    # depth is bounded by |V|; lift CPython's default 1000-frame cap for
+    # the multi-thousand-vertex partitions the decomposition layer hands us.
+    needed = 2 * len(adj) + 512
+    previous = sys.getrecursionlimit()
+    if needed > previous:
+        sys.setrecursionlimit(needed)
+    try:
+        chosen = search.solve(set(adj))
+    finally:
+        if needed > previous:
+            sys.setrecursionlimit(previous)
     return MisResult(chosen=chosen, exact=search.exact, nodes_explored=search.nodes)

@@ -45,7 +45,9 @@ class SolveStatus(enum.Enum):
     OPTIMAL = "optimal"
     FEASIBLE = "feasible"  # stopped at a limit with an incumbent
     INFEASIBLE = "infeasible"
-    UNSOLVED = "unsolved"
+    UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"  # hit a time/node limit with no incumbent
+    UNSOLVED = "unsolved"  # numerical failure or unclassified backend error
 
 
 @dataclass
@@ -57,6 +59,8 @@ class Solution:
     objective: float
     nodes_explored: int = 0
     solve_seconds: float = 0.0
+    #: backend diagnostic (HiGHS message, limit hit, ...), for error paths.
+    message: str = ""
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,227 @@
+"""Per-partition solver portfolio: race the backends, first exact wins.
+
+No single backend dominates on every partition shape: the MIS
+branch-and-reduce is near-instant on sparse tree-like partitions but can
+blow up on dense cores, HiGHS (``scipy.optimize.milp``) shrugs off dense
+partitions but pays a model-build tax on every call, and the in-house
+branch-and-bound profits most from warm incumbents.  So each partition
+that is big enough to matter races all configured backends on a thread
+pool; the first *exact* answer wins and the losers are cancelled
+cooperatively (``should_stop``; HiGHS cannot be interrupted, so it gets
+the remaining deadline as its ``time_limit`` instead).
+
+Below ``race_min_size`` the thread overhead costs more than any backend
+could save, so backends run inline in the configured order -- the same
+ordering that serves as the fallback ranking when the deadline expires
+with no exact answer (best incumbent by set size wins, flagged inexact).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro import obs
+from repro.ilp import branch_bound, scipy_backend
+from repro.ilp.decompose import LeafOutcome
+from repro.ilp.mis import Adjacency, _greedy, max_independent_set
+from repro.ilp.model import Sense, SolveStatus
+from repro.netlist.traversal import FFGraph
+
+KNOWN_BACKENDS = ("mis", "scipy", "bb")
+
+
+def parse_backends(spec: str) -> tuple[str, ...]:
+    """Parse a ``"mis,scipy,bb"`` portfolio spec (order = fallback rank)."""
+    names = tuple(part.strip() for part in spec.split(",") if part.strip())
+    if not names:
+        raise ValueError("empty ILP portfolio spec")
+    for name in names:
+        if name not in KNOWN_BACKENDS:
+            raise ValueError(
+                f"unknown portfolio backend {name!r}; "
+                f"known: {', '.join(KNOWN_BACKENDS)}"
+            )
+    return names
+
+
+def adjacency_to_ffgraph(adj: Adjacency) -> FFGraph:
+    """View an eligible partition as a (synthetic) FF graph.
+
+    The MIS reduction does not care how the undirected edges were
+    oriented, so any orientation yields an FF graph whose ILP has the
+    same single-latch sets; we orient low index -> high index.  The
+    partition has no ineligible vertices by construction, so
+    ``pi_fanout`` is empty and there are no self loops.
+    """
+    ffs = sorted(adj, key=str)
+    index = {v: i for i, v in enumerate(ffs)}
+    fanout = {u: {v for v in adj[u] if index[v] > index[u]} for u in ffs}
+    return FFGraph(ffs=ffs, fanout=fanout, pi_fanout=set())
+
+
+def _solve_ilp_backend(
+    adj: Adjacency,
+    backend: str,
+    time_limit: float,
+    should_stop,
+    incumbent: set | None,
+) -> tuple[set, bool]:
+    """Run an LP-based backend on a partition; returns (chosen, exact)."""
+    # Imported lazily: phase_ilp imports the repro.ilp package, and this
+    # module is part of it.
+    from repro.convert.phase_ilp import build_model
+
+    graph = adjacency_to_ffgraph(adj)
+    model, g_var, k_var = build_model(graph)
+    if backend == "scipy":
+        solution = scipy_backend.solve(model, time_limit=time_limit)
+    else:
+        # Branch-and-cut: G(u) + G(v) >= 1 per edge (adjacent FFs cannot
+        # both be single) is implied by the integer model but not by its
+        # LP relaxation; without these cuts the node bound sits near
+        # n/2 and the in-house solver enumerates instead of pruning.
+        for u in graph.ffs:
+            for v in graph.fanout[u]:
+                model.add_constraint(
+                    {g_var[u]: 1.0, g_var[v]: 1.0}, Sense.GE, 1.0)
+        warm = incumbent if incumbent is not None else _greedy(adj, set(adj))
+        warm_values = [0] * model.num_vars
+        for ff in graph.ffs:
+            warm_values[g_var[ff]] = 0 if ff in warm else 1
+            warm_values[k_var[ff]] = 1 if ff in warm else 0
+        solution = branch_bound.solve(
+            model,
+            warm_start=warm_values,
+            time_limit=time_limit,
+            should_stop=should_stop,
+        )
+    if not solution.ok:
+        raise RuntimeError(
+            f"portfolio backend {backend!r} failed: "
+            f"status={solution.status.value} {solution.message}".strip()
+        )
+    chosen = {ff for ff in graph.ffs if solution.values[g_var[ff]] == 0}
+    return chosen, solution.status is SolveStatus.OPTIMAL
+
+
+def _run_backend(
+    adj: Adjacency,
+    backend: str,
+    deadline: float,
+    should_stop,
+    incumbent: set | None,
+    node_limit: int,
+) -> LeafOutcome:
+    start = time.monotonic()
+    remaining = max(0.05, deadline - start)
+    if backend == "mis":
+        result = max_independent_set(
+            adj, node_limit=node_limit,
+            time_limit=remaining, should_stop=should_stop,
+        )
+        chosen, exact = set(result.chosen), result.exact
+    else:
+        chosen, exact = _solve_ilp_backend(
+            adj, backend, remaining, should_stop, incumbent)
+    if incumbent is not None and len(incumbent) > len(chosen):
+        # An inexact backend must never lose to its own warm start.
+        chosen, exact = set(incumbent), False
+    return LeafOutcome(
+        chosen=chosen, exact=exact, solver=backend,
+        seconds=time.monotonic() - start,
+    )
+
+
+def _better(a: LeafOutcome | None, b: LeafOutcome) -> LeafOutcome:
+    if a is None:
+        return b
+    if b.exact != a.exact:
+        return b if b.exact else a
+    return b if len(b.chosen) > len(a.chosen) else a
+
+
+def solve_partition(
+    adj: Adjacency,
+    backends: tuple[str, ...] = KNOWN_BACKENDS,
+    time_budget: float = 30.0,
+    race_min_size: int = 256,
+    incumbent: set | None = None,
+    node_limit: int = 500_000,
+) -> LeafOutcome:
+    """Solve one partition with the portfolio; always returns a feasible set.
+
+    ``incumbent`` (e.g. a warm-start near miss) seeds branch-and-bound
+    and lower-bounds the final answer.  The outcome's ``solver`` names
+    the winning backend.
+    """
+    start = time.monotonic()
+    if not adj:
+        return LeafOutcome(chosen=set(), exact=True, solver="trivial")
+    deadline = start + time_budget
+
+    if len(adj) < race_min_size or len(backends) == 1:
+        best: LeafOutcome | None = None
+        for backend in backends:
+            try:
+                outcome = _run_backend(
+                    adj, backend, deadline, None, incumbent, node_limit)
+            except Exception:
+                continue
+            best = _better(best, outcome)
+            if outcome.exact or time.monotonic() > deadline:
+                break
+        return _finish(adj, best, incumbent, start)
+
+    stop = threading.Event()
+    best = None
+    with ThreadPoolExecutor(max_workers=len(backends)) as pool:
+        futures = {
+            pool.submit(_run_backend, adj, backend, deadline,
+                        stop.is_set, incumbent, node_limit): backend
+            for backend in backends
+        }
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                try:
+                    outcome = future.result()
+                except Exception:
+                    continue
+                best = _better(best, outcome)
+            if best is not None and best.exact:
+                stop.set()
+                for future in pending:
+                    future.cancel()
+                obs.add("ilp.portfolio.cancelled", len(pending))
+                pending = set()
+        stop.set()
+    return _finish(adj, best, incumbent, start)
+
+
+def _finish(
+    adj: Adjacency,
+    best: LeafOutcome | None,
+    incumbent: set | None,
+    start: float,
+) -> LeafOutcome:
+    if best is None:
+        # Every backend failed (should not happen): fall back to greedy or
+        # the incumbent so the flow still produces a valid conversion.
+        chosen = incumbent if incumbent else _greedy(adj, set(adj))
+        best = LeafOutcome(chosen=set(chosen), exact=False, solver="greedy")
+    best.seconds = time.monotonic() - start
+    obs.add(f"ilp.portfolio.win.{best.solver}")
+    if not best.exact:
+        obs.add("ilp.portfolio.inexact")
+    return best
+
+
+__all__ = [
+    "KNOWN_BACKENDS",
+    "adjacency_to_ffgraph",
+    "parse_backends",
+    "solve_partition",
+]

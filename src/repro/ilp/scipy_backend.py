@@ -60,12 +60,34 @@ def solve(model: IlpModel, time_limit: float = 120.0) -> Solution:
         options={"time_limit": time_limit},
     )
     elapsed = time.monotonic() - start
-    if result.status == 2:  # infeasible
-        return Solution(SolveStatus.INFEASIBLE, [], np.inf, 0, elapsed)
-    if result.x is None:
-        return Solution(SolveStatus.UNSOLVED, [], np.inf, 0, elapsed)
+    status = classify_milp(result.status, result.x is not None)
+    message = getattr(result, "message", "") or ""
+    if result.x is None or status in (
+            SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED):
+        objective = -np.inf if status is SolveStatus.UNBOUNDED else np.inf
+        return Solution(status, [], objective, 0, elapsed, message=message)
     values = [int(round(v)) for v in result.x]
-    status = SolveStatus.OPTIMAL if result.status == 0 else SolveStatus.FEASIBLE
-    solution = Solution(status, values, model.objective_value(values), 0, elapsed)
+    solution = Solution(status, values, model.objective_value(values), 0,
+                        elapsed, message=message)
     model.check_solution(solution)
     return solution
+
+
+def classify_milp(milp_status: int, has_incumbent: bool) -> SolveStatus:
+    """Map ``scipy.optimize.milp``'s integer status to a :class:`SolveStatus`.
+
+    HiGHS reports: 0 = optimal, 1 = iteration/time limit, 2 = infeasible,
+    3 = unbounded, 4 = numerical trouble.  A limit stop *with* an
+    incumbent is a usable ``FEASIBLE`` answer; without one it is a
+    ``TIMEOUT`` (retry with a larger budget), which callers must not
+    conflate with ``INFEASIBLE`` (no budget will ever help).
+    """
+    if milp_status == 0:
+        return SolveStatus.OPTIMAL
+    if milp_status == 1:
+        return SolveStatus.FEASIBLE if has_incumbent else SolveStatus.TIMEOUT
+    if milp_status == 2:
+        return SolveStatus.INFEASIBLE
+    if milp_status == 3:
+        return SolveStatus.UNBOUNDED
+    return SolveStatus.UNSOLVED

@@ -1,0 +1,218 @@
+"""Warm-start cache for partition solves (digest-keyed, isomorphism-robust).
+
+Datapaths are full of structurally repeated partitions -- the FF graph of
+bit ``i`` of an adder slice is isomorphic to bit ``i+1``'s -- so a
+partition solved once should be free forever after.  The cache key is a
+**canonical digest** of the partition: vertices are ordered by
+Weisfeiler-Leman color refinement (degree seed, neighbourhood-multiset
+refinement, individualization to break remaining ties), and the digest
+hashes the edge list written in that order.  The ordering is computed
+from structure alone, so isomorphic partitions with different register
+names collide on purpose.
+
+Safety does not rest on the canonicalization being perfect:
+
+* equal digests imply equal ordered edge lists, i.e. the stored position
+  set *is* a valid solution of the new partition by construction -- and
+  every hit is re-verified as an independent set anyway (corruption or a
+  hash collision degrades to a miss, never a wrong answer);
+* imperfect tie-breaking can only split isomorphism classes across
+  digests, costing hit rate, not correctness.
+
+**Near misses**: partitions with the same *shape* (vertex count, edge
+count, degree sequence) but a different digest are usually small
+perturbations of each other; the cached position set, repaired to
+independence, seeds branch-and-bound as an incumbent upper bound.
+
+Entries live in an in-process dict plus (optionally) the flow's
+``DiskCache`` tier under stage ``"ilp_warm"``, so warm *runs* -- not just
+warm partitions within a run -- hit too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro import obs
+from repro.ilp.mis import Adjacency
+
+#: DiskCache stage directory for warm-start entries (key[0] of the tuple).
+WARM_STAGE = "ilp_warm"
+
+
+def _refine(adj: Adjacency, colors: dict) -> dict:
+    """One WL sweep + dense re-numbering (name-free, deterministic)."""
+    while True:
+        signatures = {
+            v: (colors[v], tuple(sorted(colors[u] for u in adj[v])))
+            for v in adj
+        }
+        palette = {sig: i for i, sig in enumerate(sorted(set(signatures.values())))}
+        new_colors = {v: palette[signatures[v]] for v in adj}
+        if len(set(new_colors.values())) == len(set(colors.values())):
+            return new_colors
+        colors = new_colors
+
+
+def canonical_order(adj: Adjacency) -> list:
+    """Vertices ordered by structure (WL refinement + individualization).
+
+    Ties left by refinement are broken by individualizing the smallest
+    remaining class member; within a class the pick falls back to the
+    vertex name, which is harmless for automorphic ties (any member
+    yields the same canonical edge list) and at worst costs cache hits
+    on WL-equivalent non-automorphic vertices.
+    """
+    if not adj:
+        return []
+    colors = _refine(adj, {v: len(adj[v]) for v in adj})
+    while len(set(colors.values())) < len(adj):
+        classes: dict[int, list] = {}
+        for v, c in colors.items():
+            classes.setdefault(c, []).append(v)
+        tied_color = min(c for c, vs in classes.items() if len(vs) > 1)
+        pick = min(classes[tied_color], key=str)
+        colors[pick] = len(adj) + len(set(colors.values()))
+        colors = _refine(adj, colors)
+    return sorted(adj, key=lambda v: colors[v])
+
+
+def partition_digest(adj: Adjacency, order: list | None = None) -> str:
+    """Canonical content hash of a partition's structure."""
+    if order is None:
+        order = canonical_order(adj)
+    position = {v: i for i, v in enumerate(order)}
+    edges = sorted(
+        (position[u], position[v])
+        for u in adj for v in adj[u] if position[u] < position[v]
+    )
+    body = f"n={len(order)};e={edges!r}"
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def shape_key(adj: Adjacency) -> str:
+    """Coarse structural key for near-miss incumbent lookups."""
+    degrees = sorted(len(n) for n in adj.values())
+    body = f"n={len(adj)};deg={degrees!r}"
+    return hashlib.sha256(body.encode()).hexdigest()
+
+
+def _is_independent(adj: Adjacency, chosen: set) -> bool:
+    return all(not (adj[v] & chosen) for v in chosen)
+
+
+def repair_independent(adj: Adjacency, candidate: Iterable) -> set:
+    """Largest-effort repair of ``candidate`` into an independent set.
+
+    Drops conflicting vertices (lowest degree kept first), then greedily
+    extends with any still-free vertex; used to turn near-miss cache
+    entries into branch-and-bound incumbents and to repair LP roundings.
+    """
+    kept: set = set()
+    for v in sorted(candidate, key=lambda v: (len(adj.get(v, ())), str(v))):
+        if v in adj and not (adj[v] & kept):
+            kept.add(v)
+    blocked = set(kept)
+    for v in kept:
+        blocked |= adj[v]
+    for v in sorted(set(adj) - blocked, key=lambda v: (len(adj[v]), str(v))):
+        if not (adj[v] & kept):
+            kept.add(v)
+    return kept
+
+
+class WarmCache:
+    """Two-tier (memory + optional DiskCache) store of partition solutions.
+
+    ``disk`` only needs ``load(key)``/``store(key, value)``; passing the
+    flow's :class:`~repro.flow.diskcache.DiskCache` makes entries survive
+    across runs and processes.
+    """
+
+    def __init__(self, disk=None):
+        self.disk = disk
+        self._mem: dict[tuple, dict] = {}
+        self.hits = 0
+        self.near_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- internal tiers ------------------------------------------------------
+
+    def _get(self, key: tuple) -> dict | None:
+        entry = self._mem.get(key)
+        if entry is None and self.disk is not None:
+            entry = self.disk.load(key)
+            if isinstance(entry, dict):
+                self._mem[key] = entry
+            else:
+                entry = None
+        return entry
+
+    def _put(self, key: tuple, entry: dict) -> None:
+        self._mem[key] = entry
+        if self.disk is not None:
+            self.disk.store(key, entry)
+
+    # -- public API ----------------------------------------------------------
+
+    def lookup(self, adj: Adjacency, order: list, digest: str) -> set | None:
+        """Verified exact-solution hit for this partition, or None."""
+        entry = self._get((WARM_STAGE, "exact", digest))
+        if entry is None or entry.get("n") != len(order):
+            self.misses += 1
+            obs.add("ilp.warm.miss")
+            return None
+        chosen = {order[i] for i in entry["positions"] if i < len(order)}
+        if len(chosen) != len(entry["positions"]) or not _is_independent(adj, chosen):
+            self.misses += 1
+            obs.add("ilp.warm.miss")
+            return None
+        self.hits += 1
+        obs.add("ilp.warm.hit")
+        return chosen
+
+    def lookup_incumbent(self, adj: Adjacency, order: list, shape: str) -> set | None:
+        """Repaired same-shape solution to seed branch-and-bound, or None."""
+        entry = self._get((WARM_STAGE, "shape", shape))
+        if entry is None:
+            return None
+        candidate = {order[i] for i in entry["positions"] if i < len(order)}
+        if not candidate:
+            return None
+        self.near_hits += 1
+        obs.add("ilp.warm.near")
+        return repair_independent(adj, candidate)
+
+    def store(self, adj: Adjacency, order: list, digest: str, shape: str,
+              chosen: set, exact: bool) -> None:
+        """Record a partition solution (only exact ones index the digest)."""
+        position = {v: i for i, v in enumerate(order)}
+        entry = {
+            "n": len(order),
+            "positions": sorted(position[v] for v in chosen),
+            "exact": exact,
+        }
+        if exact:
+            self._put((WARM_STAGE, "exact", digest), entry)
+        self._put((WARM_STAGE, "shape", shape), entry)
+        self.stores += 1
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "near_hits": self.near_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+
+__all__ = [
+    "WARM_STAGE",
+    "WarmCache",
+    "canonical_order",
+    "partition_digest",
+    "repair_independent",
+    "shape_key",
+]

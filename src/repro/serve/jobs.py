@@ -58,6 +58,7 @@ _OVERRIDABLE = frozenset({
     "period", "clock_gating_style", "assign_method", "retime", "retime_ms",
     "sim_cycles", "warmup_cycles", "profile", "profile_cycles", "seed",
     "sim_delay_model", "sim_lanes", "clock_uncertainty", "resize", "verify",
+    "ilp_mode", "ilp_partition_cap", "ilp_portfolio",
 })
 
 
@@ -89,6 +90,15 @@ def resolve_options(design: str, overrides: dict | None = None) -> FlowOptions:
             raise ValueError(
                 f"unknown or non-overridable option(s): {', '.join(bad)}")
         options = replace(options, **overrides)
+        # Reject bad ILP knob values at intake (400) instead of letting
+        # the job fail minutes later inside the flow.
+        from repro.convert.phase_ilp import ILP_MODES
+        from repro.ilp.portfolio import parse_backends
+        if options.ilp_mode not in ILP_MODES:
+            raise ValueError(
+                f"unknown ilp_mode {options.ilp_mode!r}; "
+                f"known: {', '.join(ILP_MODES)}")
+        parse_backends(options.ilp_portfolio)
     return options
 
 

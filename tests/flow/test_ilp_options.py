@@ -1,0 +1,54 @@
+"""The ILP scale knobs ride FlowOptions, the stage cache key, and serve."""
+
+import pytest
+
+from repro.flow.design_flow import FlowOptions
+from repro.flow.pipeline import PhaseIlpStage
+from repro.serve.jobs import resolve_options
+
+
+class TestFlowOptions:
+    def test_defaults_preserve_legacy_behavior(self):
+        options = FlowOptions()
+        assert options.ilp_mode == "mono"
+        assert options.ilp_partition_cap == 2048
+        assert options.ilp_portfolio == "mis,scipy,bb"
+
+
+class TestPhaseIlpStageKey:
+    def test_key_covers_every_ilp_knob(self):
+        stage = PhaseIlpStage()
+        base = stage.options_key(FlowOptions())
+        assert stage.options_key(FlowOptions(ilp_mode="portfolio")) != base
+        assert stage.options_key(FlowOptions(ilp_partition_cap=512)) != base
+        assert stage.options_key(FlowOptions(ilp_portfolio="mis")) != base
+        assert stage.options_key(FlowOptions(assign_method="greedy")) != base
+
+    def test_key_is_stable_for_equal_options(self):
+        stage = PhaseIlpStage()
+        assert (stage.options_key(FlowOptions(ilp_mode="heuristic"))
+                == stage.options_key(FlowOptions(ilp_mode="heuristic")))
+
+
+class TestServeOverrides:
+    def test_ilp_overrides_accepted(self):
+        options = resolve_options("s1488", {
+            "ilp_mode": "portfolio",
+            "ilp_partition_cap": 512,
+            "ilp_portfolio": "mis,bb",
+        })
+        assert options.ilp_mode == "portfolio"
+        assert options.ilp_partition_cap == 512
+        assert options.ilp_portfolio == "mis,bb"
+
+    def test_unknown_override_still_rejected(self):
+        with pytest.raises(ValueError, match="non-overridable"):
+            resolve_options("s1488", {"ilp_warp_drive": True})
+
+    def test_bad_ilp_mode_rejected_at_intake(self):
+        with pytest.raises(ValueError, match="unknown ilp_mode"):
+            resolve_options("s1488", {"ilp_mode": "quantum"})
+
+    def test_bad_portfolio_spec_rejected_at_intake(self):
+        with pytest.raises(ValueError, match="unknown portfolio backend"):
+            resolve_options("s1488", {"ilp_portfolio": "mis,gurobi"})

@@ -1,0 +1,101 @@
+"""Decomposition layer: articulation splitting is exact, stitching is sound."""
+
+from repro.convert.phase_ilp import _eligible_adjacency
+from repro.ilp.decompose import (
+    LeafOutcome,
+    articulation_points,
+    greedy_leaf,
+    solve_decomposed,
+)
+from repro.ilp.fuzz import random_ff_graph
+from repro.ilp.mis import max_independent_set
+
+
+def mis_leaf(adj):
+    result = max_independent_set(adj)
+    return LeafOutcome(chosen=set(result.chosen), exact=result.exact)
+
+
+def path(n):
+    return {
+        i: {j for j in (i - 1, i + 1) if 0 <= j < n} for i in range(n)
+    }
+
+
+class TestArticulationPoints:
+    def test_path_interior_vertices(self):
+        assert articulation_points(path(5)) == {1, 2, 3}
+
+    def test_cycle_has_none(self):
+        n = 6
+        cycle = {i: {(i - 1) % n, (i + 1) % n} for i in range(n)}
+        assert articulation_points(cycle) == set()
+
+    def test_two_triangles_sharing_a_vertex(self):
+        adj = {
+            "a": {"b", "c"}, "b": {"a", "c"}, "c": {"a", "b", "d", "e"},
+            "d": {"c", "e"}, "e": {"c", "d"},
+        }
+        assert articulation_points(adj) == {"c"}
+
+    def test_star_center(self):
+        star = {0: {1, 2, 3}, 1: {0}, 2: {0}, 3: {0}}
+        assert articulation_points(star) == {0}
+
+    def test_disconnected_graph(self):
+        adj = {**path(4), **{f"x{i}": set() for i in range(3)}}
+        assert articulation_points(adj) == {1, 2}
+
+
+class TestSolveDecomposed:
+    def test_matches_monolithic_on_fuzzed_graphs(self):
+        for seed in range(8):
+            graph = random_ff_graph(seed=seed, n_ffs=150, fanout_density=1.2)
+            adj = _eligible_adjacency(graph)
+            mono = max_independent_set(adj)
+            assert mono.exact
+            for cap in (8, 32, 10_000):
+                out = solve_decomposed(adj, mis_leaf, partition_cap=cap)
+                assert len(out.chosen) == len(mono.chosen), (seed, cap)
+                assert out.exact
+                # stitched set must be independent in the full graph
+                assert all(not (adj[v] & out.chosen) for v in out.chosen)
+
+    def test_partition_accounting(self):
+        graph = random_ff_graph(seed=9, n_ffs=200, fanout_density=1.2)
+        adj = _eligible_adjacency(graph)
+        out = solve_decomposed(adj, mis_leaf, partition_cap=16)
+        assert out.partitions, "expected at least one leaf solve"
+        assert out.components >= 1
+        assert sum(p.size for p in out.partitions) >= 1
+        assert all(p.solver == "mis" for p in out.partitions)
+
+    def test_inexact_leaf_poisons_exactness(self):
+        graph = random_ff_graph(seed=10, n_ffs=120, fanout_density=1.5)
+        adj = _eligible_adjacency(graph)
+        out = solve_decomposed(adj, greedy_leaf, partition_cap=4096)
+        assert not out.exact
+        assert all(not (adj[v] & out.chosen) for v in out.chosen)
+
+    def test_depth_cap_falls_back_to_whole_leaf(self):
+        adj = path(50)
+        out = solve_decomposed(adj, mis_leaf, partition_cap=4, split_depth=1)
+        # A 50-path MIS is 25 regardless of how it was cut.
+        assert len(out.chosen) == 25
+        assert out.exact
+        assert any(p.size > 4 for p in out.partitions)
+
+    def test_empty_graph(self):
+        out = solve_decomposed({}, mis_leaf)
+        assert out.chosen == set()
+        assert out.exact
+        assert out.components == 0
+
+
+def test_leaf_warm_hit_propagates_to_reports():
+    def warm_leaf(adj):
+        return LeafOutcome(chosen=set(), exact=True, solver="warm",
+                           warm_hit=True)
+
+    out = solve_decomposed(path(6), warm_leaf, partition_cap=100)
+    assert out.warm_hits == len(out.partitions) == 1

@@ -1,0 +1,91 @@
+"""Differential suite: every solve path agrees with monolithic HiGHS.
+
+The acceptance bar of the decomposition layer: on every bundled
+benchmark and on 200 fuzzed graphs, the decomposed, portfolio, and
+warm-started paths report the same objective value as one monolithic
+``scipy.optimize.milp`` (HiGHS) solve of the paper's ILP, and the
+heuristic's reported gap is never below its true gap.
+"""
+
+import pytest
+
+from repro.circuits import build, names
+from repro.convert.phase_ilp import (
+    assign_phases,
+    solve_heuristic,
+    solve_ilp,
+    solve_portfolio,
+)
+from repro.ilp.fuzz import random_ff_graph
+from repro.ilp.warmstart import WarmCache
+from repro.netlist.traversal import ff_fanout_map
+
+#: 200 fuzzed instances: sweep density (sub- to super-critical), size,
+#: locality, and ineligible-vertex fractions.
+FUZZ_CASES = [
+    (seed, 10 + (seed * 7) % 41, 0.4 + (seed % 5) * 0.35, 3 + seed % 12)
+    for seed in range(200)
+]
+
+
+@pytest.mark.parametrize("seed,n_ffs,density,window", FUZZ_CASES)
+def test_fuzzed_graph_objectives_agree(seed, n_ffs, density, window):
+    graph = random_ff_graph(
+        seed=seed, n_ffs=n_ffs, fanout_density=density, window=window,
+        self_loop_fraction=0.06, pi_fed_fraction=0.08)
+    reference = solve_ilp(graph, backend="scipy")
+    assert reference.optimal
+
+    decomposed = solve_portfolio(graph, backends=("mis",), partition_cap=16)
+    assert decomposed.optimal
+    assert decomposed.objective == reference.objective
+
+    warm = WarmCache()
+    portfolio = solve_portfolio(graph, partition_cap=16, warm=warm)
+    assert portfolio.optimal
+    assert portfolio.objective == reference.objective
+
+    # Warm-started resolve: all partitions hit, same objective.
+    rerun = solve_portfolio(graph, partition_cap=16, warm=warm)
+    assert rerun.objective == reference.objective
+    assert rerun.meta["warm_hits"] == rerun.meta["partitions"]
+
+    heuristic = solve_heuristic(graph)
+    assert heuristic.objective >= reference.objective
+    if heuristic.objective > 0:
+        true_gap = ((heuristic.objective - reference.objective)
+                    / heuristic.objective)
+        assert heuristic.meta["gap"] >= true_gap - 1e-12
+
+
+@pytest.mark.parametrize("design", names())
+def test_bundled_benchmark_objectives_agree(design):
+    graph = ff_fanout_map(build(design))
+    reference = solve_ilp(graph, backend="scipy")
+    assert reference.optimal
+
+    decomposed = solve_portfolio(graph, backends=("mis",))
+    assert decomposed.objective == reference.objective
+    assert decomposed.optimal
+
+    warm = WarmCache()
+    portfolio = solve_portfolio(graph, warm=warm)
+    assert portfolio.objective == reference.objective
+
+    heuristic = solve_heuristic(graph)
+    assert heuristic.objective >= reference.objective
+    true_gap = ((heuristic.objective - reference.objective)
+                / heuristic.objective if heuristic.objective else 0.0)
+    assert heuristic.meta["gap"] >= true_gap - 1e-12
+
+
+def test_assign_phases_modes_agree_end_to_end():
+    module = build("s13207")
+    objectives = {}
+    for mode in ("mono", "decompose", "portfolio"):
+        assignment = assign_phases(module, ilp_mode=mode)
+        assert assignment.optimal
+        objectives[mode] = assignment.objective
+    assert len(set(objectives.values())) == 1
+    heuristic = assign_phases(module, ilp_mode="heuristic")
+    assert heuristic.objective >= objectives["mono"]

@@ -1,0 +1,66 @@
+"""The seeded FF-graph generator: deterministic, parameter-faithful."""
+
+import pytest
+
+from repro.ilp.fuzz import random_ff_graph
+
+
+def test_deterministic_in_seed():
+    a = random_ff_graph(seed=42, n_ffs=300)
+    b = random_ff_graph(seed=42, n_ffs=300)
+    assert a.ffs == b.ffs
+    assert a.fanout == b.fanout
+    assert a.pi_fanout == b.pi_fanout
+
+
+def test_different_seeds_differ():
+    a = random_ff_graph(seed=1, n_ffs=300)
+    b = random_ff_graph(seed=2, n_ffs=300)
+    assert a.fanout != b.fanout
+
+
+def test_register_count_and_membership():
+    g = random_ff_graph(seed=3, n_ffs=100)
+    assert len(g.ffs) == 100
+    all_ffs = set(g.ffs)
+    for src, dsts in g.fanout.items():
+        assert src in all_ffs
+        assert dsts <= all_ffs
+    assert g.pi_fanout <= all_ffs
+
+
+def test_locality_window_respected():
+    window = 10
+    g = random_ff_graph(seed=4, n_ffs=500, window=window)
+    index = {name: i for i, name in enumerate(g.ffs)}
+    for src, dsts in g.fanout.items():
+        for dst in dsts:
+            assert abs(index[src] - index[dst]) <= window
+
+
+def test_fraction_parameters_move_the_distribution():
+    loops = random_ff_graph(seed=5, n_ffs=2000, self_loop_fraction=0.5)
+    no_loops = random_ff_graph(seed=5, n_ffs=2000, self_loop_fraction=0.0)
+    assert sum(1 for ff in loops.ffs if loops.self_loop(ff)) > 700
+    assert not any(no_loops.self_loop(ff) for ff in no_loops.ffs)
+
+    fed = random_ff_graph(seed=6, n_ffs=2000, pi_fed_fraction=0.5)
+    unfed = random_ff_graph(seed=6, n_ffs=2000, pi_fed_fraction=0.0)
+    assert len(fed.pi_fanout) > 700
+    assert not unfed.pi_fanout
+
+
+def test_fanout_density_scales_edge_count():
+    sparse = random_ff_graph(seed=7, n_ffs=2000, fanout_density=0.5)
+    dense = random_ff_graph(seed=7, n_ffs=2000, fanout_density=3.0)
+    edges = lambda g: sum(len(d) for d in g.fanout.values())
+    assert edges(dense) > 2 * edges(sparse)
+
+
+def test_degenerate_sizes():
+    empty = random_ff_graph(seed=8, n_ffs=0)
+    assert empty.ffs == []
+    single = random_ff_graph(seed=8, n_ffs=1)
+    assert len(single.ffs) == 1
+    with pytest.raises(ValueError):
+        random_ff_graph(seed=8, n_ffs=-1)

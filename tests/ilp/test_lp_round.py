@@ -1,0 +1,58 @@
+"""LP-rounding heuristic: feasible output, certified (over-)reported gap."""
+
+from repro.convert.phase_ilp import _eligible_adjacency
+from repro.ilp.fuzz import random_ff_graph
+from repro.ilp.lp_round import solve_lp_round
+from repro.ilp.mis import max_independent_set
+
+
+def eligible(seed, n=80, density=1.2):
+    return _eligible_adjacency(
+        random_ff_graph(seed=seed, n_ffs=n, fanout_density=density))
+
+
+def test_output_is_independent_and_bound_is_valid():
+    for seed in range(10):
+        adj = eligible(seed=seed)
+        mono = max_independent_set(adj)
+        assert mono.exact
+        true_objective = len(adj) - len(mono.chosen)
+
+        out = solve_lp_round(adj)
+        assert all(not (adj[v] & out.chosen) for v in out.chosen)
+        assert out.objective == len(adj) - len(out.chosen)
+        # The certified bound never exceeds the true optimum...
+        assert out.lower_bound <= true_objective, seed
+        # ...so the reported gap upper-bounds the true gap.
+        if out.objective > 0:
+            true_gap = (out.objective - true_objective) / out.objective
+            assert out.gap >= true_gap - 1e-12, seed
+        assert out.gap >= 0.0
+
+
+def test_gap_valid_under_aggressive_chunking():
+    # Tiny chunks cut many edges; the relaxation argument must still hold.
+    adj = eligible(seed=20, n=150, density=1.5)
+    mono = max_independent_set(adj)
+    true_objective = len(adj) - len(mono.chosen)
+    out = solve_lp_round(adj, chunk_cap=10)
+    assert out.lower_bound <= true_objective
+    assert all(not (adj[v] & out.chosen) for v in out.chosen)
+    assert out.chunks > 1
+
+
+def test_near_optimal_on_sparse_graphs():
+    # Forest-heavy eligible graphs: the edge-cut LP is essentially tight.
+    adj = eligible(seed=21, n=2000, density=0.5)
+    mono = max_independent_set(adj)
+    true_objective = len(adj) - len(mono.chosen)
+    out = solve_lp_round(adj)
+    assert out.gap <= 0.05
+    assert out.objective <= 1.05 * true_objective
+
+
+def test_empty_graph():
+    out = solve_lp_round({})
+    assert out.chosen == set()
+    assert out.objective == 0
+    assert out.gap == 0.0

@@ -1,0 +1,86 @@
+"""Solver portfolio: every backend agrees, races cancel, fallbacks hold."""
+
+import pytest
+
+from repro.convert.phase_ilp import _eligible_adjacency
+from repro.ilp.fuzz import random_ff_graph
+from repro.ilp.mis import max_independent_set
+from repro.ilp.portfolio import (
+    KNOWN_BACKENDS,
+    adjacency_to_ffgraph,
+    parse_backends,
+    solve_partition,
+)
+
+
+def eligible(seed, n=60, density=1.2):
+    return _eligible_adjacency(
+        random_ff_graph(seed=seed, n_ffs=n, fanout_density=density))
+
+
+class TestParseBackends:
+    def test_happy_path(self):
+        assert parse_backends("mis,scipy,bb") == ("mis", "scipy", "bb")
+        assert parse_backends(" scipy , mis ") == ("scipy", "mis")
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown portfolio backend"):
+            parse_backends("mis,gurobi")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            parse_backends(" , ")
+
+
+class TestAdjacencyToFfgraph:
+    def test_orientation_covers_every_edge_once(self):
+        adj = eligible(seed=1)
+        graph = adjacency_to_ffgraph(adj)
+        assert set(graph.ffs) == set(adj)
+        assert not graph.pi_fanout
+        undirected = graph.undirected_adjacency()
+        assert undirected == adj
+        directed_edges = sum(len(d) for d in graph.fanout.values())
+        assert directed_edges == sum(len(d) for d in adj.values()) // 2
+
+    def test_no_self_loops(self):
+        graph = adjacency_to_ffgraph(eligible(seed=2))
+        assert not any(graph.self_loop(ff) for ff in graph.ffs)
+
+
+class TestSolvePartition:
+    @pytest.mark.parametrize("backend", KNOWN_BACKENDS)
+    def test_each_backend_is_exact_alone(self, backend):
+        for seed in range(4):
+            adj = eligible(seed=seed)
+            mono = max_independent_set(adj)
+            out = solve_partition(adj, backends=(backend,), time_budget=30.0)
+            assert out.exact, (backend, seed)
+            assert len(out.chosen) == len(mono.chosen), (backend, seed)
+            assert all(not (adj[v] & out.chosen) for v in out.chosen)
+
+    def test_race_path_matches_sequential(self):
+        adj = eligible(seed=7, n=120, density=1.4)
+        mono = max_independent_set(adj)
+        raced = solve_partition(adj, race_min_size=1, time_budget=30.0)
+        assert raced.exact
+        assert len(raced.chosen) == len(mono.chosen)
+        assert raced.solver in KNOWN_BACKENDS
+
+    def test_incumbent_lower_bounds_result(self):
+        adj = eligible(seed=8)
+        mono = max_independent_set(adj)
+        incumbent = set(mono.chosen)
+        out = solve_partition(adj, backends=("bb",), incumbent=incumbent,
+                              time_budget=30.0)
+        assert len(out.chosen) >= len(incumbent)
+
+    def test_empty_partition(self):
+        out = solve_partition({})
+        assert out.chosen == set()
+        assert out.exact
+
+    def test_winner_named(self):
+        out = solve_partition(eligible(seed=9), backends=("mis",))
+        assert out.solver == "mis"
+        assert out.seconds >= 0.0

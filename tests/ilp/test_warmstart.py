@@ -1,0 +1,138 @@
+"""Warm-start cache: isomorphism-robust digests, verified hits, safe misses."""
+
+import random
+
+from repro.convert.phase_ilp import _eligible_adjacency
+from repro.flow.diskcache import DiskCache
+from repro.ilp.fuzz import random_ff_graph
+from repro.ilp.mis import max_independent_set
+from repro.ilp.warmstart import (
+    WarmCache,
+    canonical_order,
+    partition_digest,
+    repair_independent,
+    shape_key,
+)
+
+
+def eligible(seed, n=50, density=1.2):
+    return _eligible_adjacency(
+        random_ff_graph(seed=seed, n_ffs=n, fanout_density=density))
+
+
+def renamed(adj, prefix="other_"):
+    """Isomorphic copy with different vertex names and dict order."""
+    mapping = {v: f"{prefix}{v}" for v in adj}
+    items = [(mapping[v], {mapping[u] for u in n}) for v, n in adj.items()]
+    random.Random(0).shuffle(items)
+    return dict(items)
+
+
+class TestCanonicalDigest:
+    def test_invariant_under_rename_and_reorder(self):
+        for seed in range(6):
+            adj = eligible(seed=seed)
+            copy = renamed(adj)
+            assert partition_digest(adj) == partition_digest(copy), seed
+
+    def test_distinguishes_structures(self):
+        p3 = {0: {1}, 1: {0, 2}, 2: {1}}
+        triangle = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        assert partition_digest(p3) != partition_digest(triangle)
+
+    def test_canonical_order_is_a_permutation(self):
+        adj = eligible(seed=3)
+        order = canonical_order(adj)
+        assert sorted(map(str, order)) == sorted(map(str, adj))
+
+    def test_shape_key_invariant_under_rename(self):
+        adj = eligible(seed=4)
+        assert shape_key(adj) == shape_key(renamed(adj))
+
+
+class TestRepairIndependent:
+    def test_output_always_independent(self):
+        for seed in range(5):
+            adj = eligible(seed=seed)
+            candidate = set(list(adj)[::2])  # arbitrary, likely conflicting
+            repaired = repair_independent(adj, candidate)
+            assert all(not (adj[v] & repaired) for v in repaired)
+
+    def test_keeps_an_already_independent_set(self):
+        adj = eligible(seed=6)
+        mis = set(max_independent_set(adj).chosen)
+        repaired = repair_independent(adj, mis)
+        assert len(repaired) >= len(mis)
+
+
+class TestWarmCache:
+    def solve(self, adj):
+        return set(max_independent_set(adj).chosen)
+
+    def test_hit_across_isomorphic_rename(self):
+        adj = eligible(seed=1)
+        cache = WarmCache()
+        order = canonical_order(adj)
+        digest = partition_digest(adj, order)
+        cache.store(adj, order, digest, shape_key(adj), self.solve(adj), True)
+
+        copy = renamed(adj)
+        corder = canonical_order(copy)
+        cdigest = partition_digest(copy, corder)
+        hit = cache.lookup(copy, corder, cdigest)
+        assert hit is not None
+        assert len(hit) == len(self.solve(adj))
+        assert all(not (copy[v] & hit) for v in hit)
+        assert cache.hits == 1
+
+    def test_miss_on_unknown_digest(self):
+        cache = WarmCache()
+        adj = eligible(seed=2)
+        assert cache.lookup(adj, canonical_order(adj),
+                            partition_digest(adj)) is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_degrades_to_miss(self):
+        adj = eligible(seed=3)
+        cache = WarmCache()
+        order = canonical_order(adj)
+        digest = partition_digest(adj, order)
+        cache.store(adj, order, digest, shape_key(adj), self.solve(adj), True)
+        # Corrupt the stored positions into a conflicting (dependent) set.
+        entry = cache._mem[("ilp_warm", "exact", digest)]
+        entry["positions"] = list(range(len(order)))
+        assert any(adj.values())  # the full vertex set is not independent
+        assert cache.lookup(adj, order, digest) is None
+
+    def test_near_miss_incumbent_is_independent(self):
+        adj = eligible(seed=4)
+        cache = WarmCache()
+        order = canonical_order(adj)
+        cache.store(adj, order, partition_digest(adj, order), shape_key(adj),
+                    self.solve(adj), True)
+        # Same shape lookup against a perturbed isomorphic copy.
+        copy = renamed(adj)
+        incumbent = cache.lookup_incumbent(
+            copy, canonical_order(copy), shape_key(copy))
+        assert incumbent is not None
+        assert all(not (copy[v] & incumbent) for v in incumbent)
+
+    def test_inexact_solutions_never_index_the_digest(self):
+        adj = eligible(seed=5)
+        cache = WarmCache()
+        order = canonical_order(adj)
+        digest = partition_digest(adj, order)
+        cache.store(adj, order, digest, shape_key(adj), set(), exact=False)
+        assert cache.lookup(adj, order, digest) is None
+
+    def test_disk_tier_round_trip(self, tmp_path):
+        disk = DiskCache(tmp_path)
+        adj = eligible(seed=6)
+        order = canonical_order(adj)
+        digest = partition_digest(adj, order)
+        writer = WarmCache(disk=disk)
+        writer.store(adj, order, digest, shape_key(adj), self.solve(adj), True)
+        # A fresh process (new WarmCache over the same disk tier) hits.
+        reader = WarmCache(disk=disk)
+        hit = reader.lookup(adj, order, digest)
+        assert hit is not None and len(hit) == len(self.solve(adj))
