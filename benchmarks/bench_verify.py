@@ -1,0 +1,161 @@
+"""Microbenchmark: formal equivalence checking throughput.
+
+Two legs, mirroring the acceptance bar of ``repro.verify``:
+
+* **positive** -- every requested design x style must be *proven*
+  equivalent with zero CDCL invocations (structural hashing discharges
+  faithful cones); reported as cones/second per check;
+* **negative** -- a seeded dropped-follower defect must refute via the
+  solver, and a warm rerun against the same disk cache must serve every
+  solver verdict from the cone cache (hit rate 1.0, zero solver runs).
+
+Standalone on purpose -- no pytest, no flow cache -- so CI can smoke it
+in seconds and a developer can profile the encoder/solver with it:
+
+    PYTHONPATH=src python benchmarks/bench_verify.py
+    PYTHONPATH=src python benchmarks/bench_verify.py --designs s1196,s1488
+    PYTHONPATH=src python benchmarks/bench_verify.py --styles 3p
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+from repro.bench.recorder import write_bench_json
+from repro.circuits import build
+from repro.convert import (
+    convert_to_master_slave,
+    convert_to_pulsed_latch,
+    convert_to_three_phase,
+)
+from repro.flow.diskcache import DiskCache
+from repro.library import FDSOI28
+from repro.verify import EquivalenceChecker
+
+
+def _convert(module, style, period=1000.0):
+    if style == "3p":
+        res = convert_to_three_phase(module, FDSOI28, period=period)
+    elif style == "ms":
+        res = convert_to_master_slave(module, FDSOI28, period)
+    else:
+        res = convert_to_pulsed_latch(module, FDSOI28, period)
+    return res.module, res.clocks
+
+
+def _drop_follower(ff, conv, clocks):
+    """First dropped-follower mutation that reaches the solver."""
+    for name in sorted(conv.instances):
+        inst = conv.instances[name]
+        if inst.cell.op != "DLATCH" or inst.attrs.get("phase") != "p2":
+            continue
+        cm = conv.copy()
+        fol = cm.instances[name]
+        d_net, q_net = fol.net_of("D"), fol.output_net()
+        cm.remove_instance(name)
+        cm.add_instance(cm.fresh_name("u_dropped"),
+                        FDSOI28.cell_for_op("BUF"),
+                        {"A": d_net, "Y": q_net})
+        probe = EquivalenceChecker(ff, cm, "3p", clocks,
+                                   replay=False).check()
+        if probe.solver_runs > 0:
+            return cm, name
+    raise SystemExit("no follower mutation reached the solver")
+
+
+def bench(designs: tuple[str, ...], styles: tuple[str, ...],
+          mutate_design: str) -> bool:
+    ok = True
+    rows = []
+    print(f"verify bench: designs {', '.join(designs)}; "
+          f"styles {', '.join(styles)}")
+    for design in designs:
+        module = build(design)
+        for style in styles:
+            conv, clocks = _convert(module, style)
+            t0 = perf_counter()
+            result = EquivalenceChecker(module, conv, style, clocks).check()
+            wall = perf_counter() - t0
+            proven = result.equivalent and result.solver_runs == 0
+            ok &= proven
+            cones_per_s = len(result.cones) / wall if wall else 0.0
+            print(f"  {design:8} {style:6} {len(result.cones):4} cones "
+                  f"{wall:7.3f}s  {cones_per_s:8.1f} cones/s  "
+                  f"solver_runs {result.solver_runs}  "
+                  f"{'proven' if proven else 'NOT PROVEN'}")
+            rows.append({
+                "design": design,
+                "style": style,
+                "cones": len(result.cones),
+                "wall_s": round(wall, 4),
+                "cones_per_s": round(cones_per_s, 1),
+                "solver_runs": result.solver_runs,
+                "proven": proven,
+            })
+
+    # negative leg: seeded defect -> SAT work, then an all-hit warm rerun
+    module = build(mutate_design)
+    res = convert_to_three_phase(module, FDSOI28, period=1000.0)
+    mutated, follower = _drop_follower(module, res.module, res.clocks)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = DiskCache(Path(tmp) / "verify-cache")
+        t0 = perf_counter()
+        cold = EquivalenceChecker(module, mutated, "3p", res.clocks,
+                                  cone_cache=cache, replay=False).check()
+        cold_s = perf_counter() - t0
+        t0 = perf_counter()
+        warm = EquivalenceChecker(module, mutated, "3p", res.clocks,
+                                  cone_cache=cache, replay=False).check()
+        warm_s = perf_counter() - t0
+    refuted = cold.refuted > 0 and cold.solver_runs > 0
+    all_hit = warm.solver_runs == 0 and warm.cache_hits == cold.solver_runs
+    hit_rate = (warm.cache_hits / (warm.cache_hits + warm.solver_runs)
+                if warm.cache_hits + warm.solver_runs else 0.0)
+    ok &= refuted and all_hit
+    print(f"  negative ({mutate_design} 3p, dropped {follower}): "
+          f"{cold.refuted} refuted, {cold.solver_runs} solver runs, "
+          f"{cold.conflicts} conflicts, cold {cold_s:.3f}s")
+    print(f"  warm rerun: {warm.cache_hits} cache hits, "
+          f"{warm.solver_runs} solver runs (hit rate {hit_rate:.2f}), "
+          f"{warm_s:.3f}s -- {'OK' if all_hit else 'CACHE MISSED'}")
+
+    record = {
+        "bench": "verify",
+        "ok": ok,
+        "runs": rows,
+        "negative": {
+            "design": mutate_design,
+            "refuted": cold.refuted,
+            "solver_runs": cold.solver_runs,
+            "solver_conflicts": cold.conflicts,
+            "cold_wall_s": round(cold_s, 4),
+            "warm_wall_s": round(warm_s, 4),
+            "cache_hit_rate": round(hit_rate, 4),
+        },
+    }
+    path = write_bench_json("verify", record,
+                            root=Path(__file__).resolve().parent.parent)
+    print(f"wrote {path}")
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--designs", default="s1488,s1196",
+                        help="comma-separated design list")
+    parser.add_argument("--styles", default="3p,ms,pulsed",
+                        help="comma-separated style list")
+    parser.add_argument("--mutate-design", default="s1196",
+                        help="design for the seeded-defect negative leg")
+    args = parser.parse_args(argv)
+    ok = bench(tuple(args.designs.split(",")), tuple(args.styles.split(",")),
+               args.mutate_design)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

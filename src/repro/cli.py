@@ -350,6 +350,59 @@ def _lint_one(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    return _with_observability(args, lambda: _verify_one(args))
+
+
+def _verify_one(args: argparse.Namespace) -> int:
+    # Shares the CLI contract of `repro lint` (see docs/verify.md):
+    # exit 0 clean, 1 findings at/above --fail-on, 2 usage error;
+    # --format json prints one design-level JSON envelope on stdout.
+    from dataclasses import replace
+
+    from repro.flow import ArtifactCache, Pipeline
+    from repro.flow.diskcache import DiskCache
+    from repro.flow.pipeline import build_verify_stages
+    from repro.verify import format_verify_json, format_verify_text
+
+    try:
+        bench = spec(args.design)
+    except KeyError as exc:
+        _progress(f"error: {exc.args[0]}")
+        return 2
+
+    module = build(args.design)
+    styles = ("ff", "ms", "3p", "pulsed") if args.style == "all" \
+        else (args.style,)
+    # the gate reports, the CLI decides: run with fail_on disabled and
+    # apply --fail-on over the collected results at the end
+    base = FlowOptions(period=bench.period, profile=bench.workload,
+                       verify=True, verify_fail_on=None, lint_fail_on=None,
+                       verify_conflict_budget=args.conflict_budget)
+    disk = DiskCache(args.cache_dir) if args.cache_dir else None
+    cache = ArtifactCache(disk=disk)  # shares synth + cone verdicts
+    results = []
+    for style in styles:
+        options = replace(base, style=style)
+        ctx = Pipeline(build_verify_stages(style)).run(
+            module.copy(), options, cache=cache)
+        result = ctx.artifacts.get("verify")
+        if result is not None:
+            results.append(result)
+
+    if args.format == "json":
+        print(format_verify_json(args.design, results))
+    else:
+        print(format_verify_text(args.design, results))
+
+    failed = sum(r.count_at_least(args.fail_on) for r in results)
+    if failed:
+        _progress(f"verify: {failed} cone(s) at/above "
+                  f"--fail-on {args.fail_on}")
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.summary import load_spans
     from repro.reporting import format_trace_summary, summarize_trace
@@ -621,6 +674,33 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default error)")
     _add_obs_args(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    verify = sub.add_parser(
+        "verify",
+        help="formally prove a design's conversions equivalent to the FF "
+             "reference (per-cone SAT miters; see docs/verify.md)")
+    verify.add_argument("design")
+    verify.add_argument("--style",
+                        choices=("ff", "ms", "3p", "pulsed", "all"),
+                        default="3p",
+                        help="which conversion style(s) to check "
+                             "(default 3p)")
+    verify.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default text)")
+    verify.add_argument("--fail-on", choices=("info", "warn", "error"),
+                        default="error", dest="fail_on",
+                        help="exit 1 when cone findings reach this severity "
+                             "(default error)")
+    verify.add_argument("--conflict-budget", type=_positive_int,
+                        default=200_000, metavar="N", dest="conflict_budget",
+                        help="CDCL conflicts allowed per cone before it "
+                             "reports as undecided (default 200000)")
+    verify.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent cache: stage artifacts and "
+                             "per-cone verdicts; a warm rerun discharges "
+                             "every obligation with zero solver runs")
+    _add_obs_args(verify)
+    verify.set_defaults(func=_cmd_verify)
 
     trace = sub.add_parser(
         "trace",

@@ -82,9 +82,15 @@ class FlowOptions:
     #: run the post-retiming gate downsizing pass (Sec. IV-C's "further
     #: optimization"); applied to every style for fairness.
     resize: bool = False
-    #: stream-compare the implemented design against the source (the
-    #: paper's validation methodology) and record the result.
+    #: formally check the converted netlist against the FF reference
+    #: (per-cone SAT miters, :mod:`repro.verify`) right after
+    #: conversion/retiming; ``verify_fail_on`` aborts the flow when the
+    #: gate collects findings at/above that severity (None: report
+    #: only), and ``verify_conflict_budget`` bounds the CDCL effort per
+    #: cone (exhaustion reports the cone as undecided).
     verify: bool = False
+    verify_fail_on: str | None = "error"
+    verify_conflict_budget: int = 200_000
     #: run the static-analysis gates (:mod:`repro.lint`) after each
     #: rewriting stage; ``lint_fail_on`` aborts the flow when a gate
     #: collects findings at/above that severity (None: report only).
@@ -109,6 +115,9 @@ class DesignResult:
     assignment: PhaseAssignment | None = None
     retime: RetimeResult | None = None
     cg: CgReport | None = None
+    #: formal gate result (``repro.verify.VerifyResult``); ``equivalence``
+    #: aliases it for callers of the historical sim-based field.
+    verify: "object | None" = None
     equivalence: "object | None" = None
     hold: "HoldFixReport | None" = None
     physical: PhysicalDesign | None = None
@@ -184,6 +193,7 @@ def run_flow(
         assignment=ctx.artifacts.get("assignment"),
         retime=ctx.artifacts.get("retime"),
         cg=ctx.artifacts.get("cg"),
+        verify=ctx.artifacts.get("verify"),
         equivalence=ctx.artifacts.get("equivalence"),
         hold=ctx.artifacts.get("hold"),
         physical=physical,

@@ -545,7 +545,7 @@ class ConvertThreePhaseStage(Stage):
 
     name = "convert"
     inputs = ("assignment",)
-    produces = ("clocks",)
+    produces = ("clocks", "ff_reference")
 
     def options_key(self, options: "FlowOptions") -> Hashable:
         return ("3p", options.period)
@@ -553,6 +553,9 @@ class ConvertThreePhaseStage(Stage):
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.convert import convert_to_three_phase
 
+        # keep the pre-conversion FF module: the verify gate miters the
+        # converted netlist against it (conversion copies its input)
+        ctx.artifacts["ff_reference"] = ctx.module
         converted = convert_to_three_phase(
             ctx.module, ctx.library,
             assignment=ctx.artifacts["assignment"],
@@ -567,7 +570,7 @@ class ConvertMasterSlaveStage(Stage):
     """Baseline 2: split each FF into master + slave latches."""
 
     name = "convert"
-    produces = ("clocks",)
+    produces = ("clocks", "ff_reference")
 
     def options_key(self, options: "FlowOptions") -> Hashable:
         return ("ms", options.period)
@@ -575,6 +578,7 @@ class ConvertMasterSlaveStage(Stage):
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.convert import convert_to_master_slave
 
+        ctx.artifacts["ff_reference"] = ctx.module
         ms = convert_to_master_slave(
             ctx.module, ctx.library, ctx.options.period)
         ctx.module, ctx.clocks = ms.module, ms.clocks
@@ -586,7 +590,7 @@ class ConvertPulsedStage(Stage):
     """The Sec. I pulsed-latch alternative (hold-cost ablation)."""
 
     name = "convert"
-    produces = ("clocks",)
+    produces = ("clocks", "ff_reference")
 
     def options_key(self, options: "FlowOptions") -> Hashable:
         return ("pulsed", options.period)
@@ -594,6 +598,7 @@ class ConvertPulsedStage(Stage):
     def run(self, ctx: StageContext) -> dict[str, object]:
         from repro.convert.pulsed import convert_to_pulsed_latch
 
+        ctx.artifacts["ff_reference"] = ctx.module
         pulsed = convert_to_pulsed_latch(
             ctx.module, ctx.library, ctx.options.period)
         ctx.module, ctx.clocks = pulsed.module, pulsed.clocks
@@ -825,29 +830,73 @@ class StaStage(Stage):
 
 
 class VerifyStage(Stage):
-    """Stream-compare the implementation against the source design."""
+    """Formal equivalence gate: per-cone SAT miters vs the FF reference.
+
+    Read-only over the working netlist, placed right after the style's
+    conversion/retiming stages (before clock gating, whose DDCG enables
+    are justified by activity rather than by structure): every register
+    and output cone of the converted design is compared against the
+    post-synthesis FF module stashed by the conversion stage
+    (``ff_reference``), per :mod:`repro.verify`.  SAT counterexamples
+    are replayed through the reference simulator before they count as
+    errors; the flow aborts when findings reach
+    ``options.verify_fail_on``.  Cone verdicts are memoized in the
+    shared disk cache tier (content-addressed on the cone's CNF), so a
+    warm rerun -- or a structurally repeated cone anywhere -- discharges
+    with zero solver invocations even when this stage's own cache entry
+    misses.  Like the lint gates, a gate that *raised* is never cached.
+    """
 
     name = "verify"
     inputs = ("clocks",)
-    produces = ("equivalence",)
+    produces = ("verify", "equivalence")
+    mutates_module = False
 
     def enabled(self, options: "FlowOptions") -> bool:
         return options.verify
 
     def options_key(self, options: "FlowOptions") -> Hashable:
-        return (options.period, options.sim_cycles, options.seed)
+        return (options.style, options.period, options.verify_fail_on,
+                options.verify_conflict_budget)
 
     def run(self, ctx: StageContext) -> dict[str, object]:
-        from repro.sim import check_equivalent
+        from repro.verify import EquivalenceChecker, VerifyGateError
 
-        report = check_equivalent(
-            ctx.design, ClockSpec.single(ctx.options.period),
-            ctx.module, ctx.clocks,
-            n_cycles=min(48, ctx.options.sim_cycles),
-            seed=ctx.options.seed,
+        options = ctx.options
+        ff_ref = ctx.artifacts.get("ff_reference", ctx.module)
+        checker = EquivalenceChecker(
+            ff_ref, ctx.module, options.style, ctx.clocks,
+            design=ctx.design.name,
+            cone_cache=ctx.cache.disk if ctx.cache is not None else None,
+            conflict_budget=options.verify_conflict_budget,
         )
-        ctx.artifacts["equivalence"] = report
-        return {"equivalent": report.equivalent}
+        result = checker.check()
+        ctx.artifacts["verify"] = result
+        ctx.artifacts["equivalence"] = result
+        fail_on = options.verify_fail_on
+        if fail_on is not None and result.count_at_least(fail_on) > 0:
+            raise VerifyGateError(self.name, result, fail_on)
+        return {
+            "equivalent": result.equivalent,
+            "cones": len(result.cones),
+            "proven": result.proven,
+            "refuted": result.refuted,
+            "cone_violations": result.violations,
+            "undecided": result.unknown,
+            "solver_runs": result.solver_runs,
+            "cone_cache_hits": result.cache_hits,
+            "solver_conflicts": result.conflicts,
+        }
+
+    # read-only stage: snapshot only the result + summary, not the module
+    def snapshot(self, ctx: StageContext, summary: dict) -> object:
+        return (ctx.artifacts.get("verify"), dict(summary))
+
+    def restore(self, ctx: StageContext, payload: object) -> dict[str, object]:
+        result, summary = payload
+        ctx.artifacts["verify"] = result
+        ctx.artifacts["equivalence"] = result
+        return dict(summary)
 
 
 class SimulateStage(Stage):
@@ -993,6 +1042,7 @@ def build_stages(style: str) -> list[Stage]:
             SynthStage(),
             LintStage("synth"),
             SingleClockStage(),
+            VerifyStage(),  # trivial: the FF baseline is its own reference
         ]
     elif style == "ms":
         front = [
@@ -1002,6 +1052,7 @@ def build_stages(style: str) -> list[Stage]:
             LintStage("convert"),
             RetimeStage(movable_phase="clk"),
             LintStage("retime", when=lambda o: o.retime_ms),
+            VerifyStage(),
         ]
     elif style == "pulsed":
         front = [
@@ -1009,6 +1060,7 @@ def build_stages(style: str) -> list[Stage]:
             LintStage("synth"),
             ConvertPulsedStage(),
             LintStage("convert"),
+            VerifyStage(),
         ]
     elif style == "3p":
         front = [
@@ -1019,6 +1071,7 @@ def build_stages(style: str) -> list[Stage]:
             LintStage("convert"),
             RetimeStage(),
             LintStage("retime", when=lambda o: o.retime),
+            VerifyStage(),
             ClockGatingStage(),
             LintStage("cg"),
         ]
@@ -1029,7 +1082,6 @@ def build_stages(style: str) -> list[Stage]:
         HoldFixStage(),
         PnrStage(),
         StaStage(),
-        VerifyStage(),
         SimulateStage(),
         PowerStage(),
     ]
@@ -1053,3 +1105,15 @@ def build_lint_stages(style: str) -> list[Stage]:
     """
     stages = [s for s in build_stages(style) if s.name not in _LINT_SKIP]
     return stages + [LintStage("final")]
+
+
+def build_verify_stages(style: str) -> list[Stage]:
+    """The ``repro verify`` chain: the front truncated at the gate.
+
+    The style's normal chain up to and including its :class:`VerifyStage`
+    -- everything after the gate (clock gating, physical, simulation)
+    neither feeds the miters nor is checked by them.
+    """
+    stages = build_stages(style)
+    cut = next(i for i, s in enumerate(stages) if s.name == "verify")
+    return stages[:cut + 1]

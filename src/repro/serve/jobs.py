@@ -58,6 +58,7 @@ _OVERRIDABLE = frozenset({
     "period", "clock_gating_style", "assign_method", "retime", "retime_ms",
     "sim_cycles", "warmup_cycles", "profile", "profile_cycles", "seed",
     "sim_delay_model", "sim_lanes", "clock_uncertainty", "resize", "verify",
+    "verify_fail_on", "verify_conflict_budget",
     "ilp_mode", "ilp_partition_cap", "ilp_portfolio",
 })
 

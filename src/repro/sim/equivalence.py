@@ -35,14 +35,35 @@ class EquivalenceReport:
     def equivalent(self) -> bool:
         return not self.mismatches
 
+    @property
+    def first_divergence(self) -> tuple[int, list[str]] | None:
+        """``(cycle, ports)`` of the earliest divergent cycle, or None.
+
+        The first divergent cycle is where debugging starts (everything
+        later may be fallout), and its divergent output nets name the
+        cones to inspect.  Also used to render SAT counterexample
+        replays from :mod:`repro.verify`.
+        """
+        if not self.mismatches:
+            return None
+        first = min(m.cycle for m in self.mismatches)
+        ports = sorted({m.port for m in self.mismatches if m.cycle == first})
+        return first, ports
+
     def __str__(self) -> str:
         if self.equivalent:
             return f"equivalent over {self.cycles} cycles"
+        cycle, ports = self.first_divergence
+        shown = [m for m in self.mismatches if m.cycle == cycle][:5]
         head = ", ".join(
-            f"cycle {m.cycle} {m.port}: want {m.expected} got {m.actual}"
-            for m in self.mismatches[:5]
+            f"{m.port}: want {m.expected} got {m.actual}" for m in shown
         )
-        return f"{len(self.mismatches)} mismatches over {self.cycles} cycles ({head})"
+        more = len(ports) - len(shown)
+        if more > 0:
+            head += f", ... and {more} more"
+        return (f"{len(self.mismatches)} mismatches over {self.cycles} "
+                f"cycles; first divergence at cycle {cycle} on "
+                f"{', '.join(ports[:5])} ({head})")
 
 
 def compare_streams(

@@ -1,0 +1,62 @@
+"""Formal equivalence verification of FF vs converted designs.
+
+The static counterpart of :mod:`repro.sim.equivalence`: instead of
+streaming fuzzed vectors, each converted register cone is compared
+against its FF cone as a SAT miter over the state correspondence of
+``docs/equivalence.md`` -- "equivalent on 64 fuzzed lanes" becomes
+"equivalent for all 2^n inputs".
+
+Layers (all in-house, no external solver):
+
+* :mod:`repro.verify.cnf` -- Tseitin encoding with structural hashing;
+* :mod:`repro.verify.sat` -- a CDCL solver (two-watched literals,
+  VSIDS-style activity, first-UIP learning, Luby restarts);
+* :mod:`repro.verify.cec` -- per-cone miter construction, cone-level
+  disk caching, and counterexample replay through the simulator;
+* :mod:`repro.verify.report` -- result types and text/JSON reporters.
+
+Entry points: :func:`check_equivalence`, the ``VerifyStage`` pipeline
+gate in :mod:`repro.flow.pipeline`, and the ``repro verify`` CLI.  See
+``docs/verify.md``.
+"""
+
+from repro.verify.cec import (
+    SUPPORTED_STYLES,
+    EquivalenceChecker,
+    ModelViolation,
+    check_equivalence,
+    replay_counterexample,
+)
+from repro.verify.cnf import CnfBuilder, CnfError
+from repro.verify.report import (
+    STATUSES,
+    ConeResult,
+    ReplayResult,
+    VerifyGateError,
+    VerifyResult,
+    format_verify_json,
+    format_verify_text,
+)
+from repro.verify.sat import SolveOutcome, Solver, SolverStats, luby, solve_cnf
+
+__all__ = [
+    "CnfBuilder",
+    "CnfError",
+    "ConeResult",
+    "EquivalenceChecker",
+    "ModelViolation",
+    "ReplayResult",
+    "STATUSES",
+    "SUPPORTED_STYLES",
+    "SolveOutcome",
+    "Solver",
+    "SolverStats",
+    "VerifyGateError",
+    "VerifyResult",
+    "check_equivalence",
+    "format_verify_json",
+    "format_verify_text",
+    "luby",
+    "replay_counterexample",
+    "solve_cnf",
+]

@@ -1,0 +1,239 @@
+"""Tseitin CNF construction with structural hashing.
+
+:class:`CnfBuilder` turns a gate network into CNF one gate at a time.
+Literals are DIMACS-style signed ints (``-x`` is the negation of ``x``),
+so inversion is free, and variable 1 is pinned to constant TRUE by a
+unit clause (``FALSE`` is its negation).
+
+Two properties carry the whole verification subsystem:
+
+* **constant folding** -- every :meth:`gate` call simplifies against
+  TRUE/FALSE and against complementary/duplicate inputs before emitting
+  anything, so e.g. ``XOR(a, a)`` *is* ``FALSE``, not a variable a SAT
+  solver must refute;
+* **structural hashing** -- gates are memoized on ``(op, operand
+  literals)`` (operands sorted for commutative ops), so shared cones
+  encode once and *structurally identical* cones on the two sides of a
+  miter resolve to the same literal.  The equivalence checker leans on
+  this: a converted cone that is a faithful copy of its FF cone makes
+  the miter XOR fold to constant FALSE -- proven without a solver.
+
+Encoding is 2-valued.  The simulator's X-propagation rules are a
+simulation refinement; the static claim is about settled binary values.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: Ops with operand order irrelevance (sorted before hashing).
+_COMMUTATIVE = frozenset({"AND", "OR", "NAND", "NOR", "XOR", "XNOR"})
+
+
+class CnfError(ValueError):
+    """Raised on malformed gate requests (bad op / arity)."""
+
+
+class CnfBuilder:
+    """Incremental Tseitin encoder with hash-consing.
+
+    ``TRUE``/``FALSE`` are literals of the pinned constant variable 1;
+    the unit clause asserting it is always clause 0.
+    """
+
+    TRUE = 1
+    FALSE = -1
+
+    def __init__(self) -> None:
+        self.n_vars = 1
+        self.clauses: list[tuple[int, ...]] = [(self.TRUE,)]
+        #: defining Tseitin clause indices of each derived variable, the
+        #: backbone of :meth:`cone` (per-obligation clause extraction).
+        self._defs: dict[int, tuple[int, ...]] = {}
+        self._cache: dict[tuple, int] = {}
+        self.cache_hits = 0
+
+    # -- primitives ---------------------------------------------------------
+
+    def var(self) -> int:
+        """A fresh unconstrained variable (returned as a positive lit)."""
+        self.n_vars += 1
+        return self.n_vars
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        self.clauses.append(tuple(lits))
+
+    def _define(self, key: tuple, clause_maker) -> int:
+        """Memoized Tseitin block: allocate y, emit ``clause_maker(y)``."""
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        y = self.var()
+        start = len(self.clauses)
+        for clause in clause_maker(y):
+            self.add_clause(clause)
+        self._defs[y] = tuple(range(start, len(self.clauses)))
+        self._cache[key] = y
+        return y
+
+    # -- gate encodings -----------------------------------------------------
+
+    def and_(self, lits: Sequence[int]) -> int:
+        ins: list[int] = []
+        seen: set[int] = set()
+        for lit in lits:
+            if lit == self.TRUE or lit in seen:
+                continue
+            if lit == self.FALSE or -lit in seen:
+                return self.FALSE
+            seen.add(lit)
+            ins.append(lit)
+        if not ins:
+            return self.TRUE
+        if len(ins) == 1:
+            return ins[0]
+        ins.sort()
+        key = ("AND", tuple(ins))
+
+        def clauses(y: int):
+            for a in ins:
+                yield (-y, a)
+            yield tuple([y] + [-a for a in ins])
+
+        return self._define(key, clauses)
+
+    def or_(self, lits: Sequence[int]) -> int:
+        return -self.and_([-a for a in lits])
+
+    def xor2(self, a: int, b: int) -> int:
+        # Pull the signs out: XOR(±a, ±b) = ±XOR(|a|, |b|).
+        sign = 1
+        if a < 0:
+            a, sign = -a, -sign
+        if b < 0:
+            b, sign = -b, -sign
+        if a == self.TRUE:  # TRUE ^ b = ¬b (FALSE folded by the sign pull)
+            return -b * sign
+        if b == self.TRUE:
+            return -a * sign
+        if a == b:
+            return self.FALSE if sign > 0 else self.TRUE
+        if a > b:
+            a, b = b, a
+        key = ("XOR", (a, b))
+
+        def clauses(y: int):
+            yield (-y, a, b)
+            yield (-y, -a, -b)
+            yield (y, -a, b)
+            yield (y, a, -b)
+
+        return self._define(key, clauses) * sign
+
+    def xor_(self, lits: Sequence[int]) -> int:
+        acc = self.FALSE
+        for lit in lits:
+            acc = self.xor2(acc, lit)
+        return acc
+
+    def ite(self, s: int, t: int, e: int) -> int:
+        """y = t if s else e."""
+        if s == self.TRUE:
+            return t
+        if s == self.FALSE:
+            return e
+        if t == e:
+            return t
+        if s < 0:
+            s, t, e = -s, e, t
+        if t == self.TRUE:
+            return self.or_([s, e])
+        if t == self.FALSE:
+            return self.and_([-s, e])
+        if e == self.TRUE:
+            return self.or_([-s, t])
+        if e == self.FALSE:
+            return self.and_([s, t])
+        if t == -e:
+            return self.xor2(-s, t)
+        key = ("ITE", (s, t, e))
+
+        def clauses(y: int):
+            yield (-y, -s, t)
+            yield (-y, s, e)
+            yield (y, -s, -t)
+            yield (y, s, -e)
+            # redundant but propagation-strengthening
+            yield (-y, t, e)
+            yield (y, -t, -e)
+
+        return self._define(key, clauses)
+
+    def gate(self, op: str, lits: Sequence[int]) -> int:
+        """Encode one library-cell op over operand literals."""
+        if op in ("TIE0", "TIE1"):
+            if lits:
+                raise CnfError(f"{op} takes no operands")
+            return self.FALSE if op == "TIE0" else self.TRUE
+        if op in ("BUF", "INV"):
+            if len(lits) != 1:
+                raise CnfError(f"{op} takes one operand, got {len(lits)}")
+            return lits[0] if op == "BUF" else -lits[0]
+        if op == "MUX2":
+            if len(lits) != 3:
+                raise CnfError(f"MUX2 takes (A, B, S), got {len(lits)}")
+            a, b, s = lits
+            return self.ite(s, b, a)
+        if op not in _COMMUTATIVE:
+            raise CnfError(f"unknown op {op!r}")
+        if not lits:
+            raise CnfError(f"{op} needs at least one operand")
+        if op == "AND":
+            return self.and_(lits)
+        if op == "NAND":
+            return -self.and_(lits)
+        if op == "OR":
+            return self.or_(lits)
+        if op == "NOR":
+            return -self.or_(lits)
+        if op == "XOR":
+            return self.xor_(lits)
+        return -self.xor_(lits)  # XNOR
+
+    # -- per-obligation extraction ------------------------------------------
+
+    def cone(self, roots: Iterable[int]) -> list[tuple[int, ...]]:
+        """The defining clauses reachable from ``roots``.
+
+        One builder encodes a whole design (that is what makes the
+        structural hashing bite across obligations); each miter is then
+        solved over just its own transitive Tseitin support, so solver
+        cost scales with the cone, not the design.  The constant-TRUE
+        unit clause is always included.
+        """
+        picked: set[int] = {0}
+        todo = [abs(lit) for lit in roots]
+        seen_vars: set[int] = set()
+        while todo:
+            v = todo.pop()
+            if v in seen_vars:
+                continue
+            seen_vars.add(v)
+            for idx in self._defs.get(v, ()):
+                if idx in picked:
+                    continue
+                picked.add(idx)
+                todo.extend(
+                    abs(lit) for lit in self.clauses[idx]
+                    if abs(lit) not in seen_vars
+                )
+        return [self.clauses[i] for i in sorted(picked)]
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "vars": self.n_vars,
+            "clauses": len(self.clauses),
+            "cache_hits": self.cache_hits,
+        }

@@ -1,0 +1,248 @@
+"""Result types and reporters of the formal equivalence checker.
+
+Mirrors the shape of :mod:`repro.lint`'s result/report layer so the two
+static-analysis gates present identically: per-item results gathered
+into a design-level summary, a gate error carrying the result, and
+text/JSON renderers with the shared CLI conventions (exit codes and the
+``--format json`` envelope are documented in ``docs/verify.md``).
+
+Severity vocabulary is lint's (``info`` < ``warn`` < ``error``):
+
+* a cone whose miter is UNSAT (or folds to constant FALSE) is
+  **proven** -- no severity;
+* a SAT miter whose counterexample *reproduces a divergence in the
+  simulator* is an ``error`` (the conversion is definitely wrong);
+* a SAT miter whose replay does not diverge is a ``warn`` (the static
+  model and the simulator disagree -- a modeling gap to investigate,
+  not a proven functional bug);
+* a structural **violation** (unmapped register, illegal net in a data
+  cone, init mismatch) is an ``error``;
+* a solver budget exhaustion is a ``warn`` (undecided, not disproven).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.lint import severity_rank
+
+#: Cone statuses in the order reports list them.
+STATUSES = ("refuted", "violation", "unknown", "proven")
+
+
+@dataclass
+class ReplayResult:
+    """One simulator replay of a SAT counterexample."""
+
+    engine: str
+    confirmed: bool
+    #: probed location: ``(net, time)`` per side, plus observed values.
+    probe: str = ""
+    ff_value: int | None = None
+    conv_value: int | None = None
+
+    def __str__(self) -> str:
+        verdict = "diverges" if self.confirmed else "no divergence"
+        return (f"{self.engine}: {verdict} at {self.probe} "
+                f"(ff={self.ff_value} conv={self.conv_value})")
+
+
+@dataclass
+class ConeResult:
+    """Verdict for one proof obligation (register cone or output port)."""
+
+    cone: str  # "state:<ff instance>" or "out:<port>"
+    status: str  # proven | refuted | violation | unknown
+    #: how the verdict was reached: "hash" (miter folded to a constant),
+    #: "sat" (CDCL ran), "trivial" (constant-TRUE miter), "structural"
+    #: (violation found before encoding), "cache" (disk-cached verdict).
+    method: str = "sat"
+    detail: str = ""
+    #: solver effort (zero for hash/structural verdicts).
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    clauses: int = 0
+    #: on refutation: the distinguishing assignment.
+    counterexample: dict[str, dict[str, int]] | None = None
+    replays: list[ReplayResult] = field(default_factory=list)
+    cache_hit: bool = False
+
+    @property
+    def severity(self) -> str | None:
+        if self.status == "proven":
+            return None
+        if self.status == "violation":
+            return "error"
+        if self.status == "unknown":
+            return "warn"
+        # refuted: error once simulation corroborates the counterexample
+        # (or when replay was disabled), warn while it does not.
+        if not self.replays:
+            return "error"
+        return "error" if any(r.confirmed for r in self.replays) else "warn"
+
+    def __str__(self) -> str:
+        head = f"{self.cone}: {self.status} [{self.method}]"
+        if self.detail:
+            head += f" -- {self.detail}"
+        return head
+
+
+class VerifyGateError(RuntimeError):
+    """A pipeline verify gate collected findings at/above ``fail_on``."""
+
+    def __init__(self, stage: str, result: "VerifyResult", fail_on: str):
+        self.stage = stage
+        self.result = result
+        self.fail_on = fail_on
+        worst = [c for c in result.cones if c.severity is not None]
+        lines = "\n".join(f"  {c}" for c in worst[:5])
+        more = len(worst) - 5
+        if more > 0:
+            lines += f"\n  ... and {more} more"
+        super().__init__(
+            f"formal equivalence gate failed after stage {stage!r} "
+            f"({result.refuted} refuted, {result.violations} violation(s), "
+            f"{result.unknown} undecided, fail-on={fail_on}):\n{lines}"
+        )
+
+
+@dataclass
+class VerifyResult:
+    """All cone verdicts of one FF-vs-converted comparison."""
+
+    design: str
+    style: str
+    cones: list[ConeResult] = field(default_factory=list)
+    #: CDCL invocations this check actually ran (cache hits excluded) --
+    #: the "warm rerun runs zero solves" acceptance probe.
+    solver_runs: int = 0
+    cache_hits: int = 0
+
+    def _count(self, status: str) -> int:
+        return sum(1 for c in self.cones if c.status == status)
+
+    @property
+    def proven(self) -> int:
+        return self._count("proven")
+
+    @property
+    def refuted(self) -> int:
+        return self._count("refuted")
+
+    @property
+    def violations(self) -> int:
+        return self._count("violation")
+
+    @property
+    def unknown(self) -> int:
+        return self._count("unknown")
+
+    @property
+    def equivalent(self) -> bool:
+        """Fully proven: every obligation discharged UNSAT."""
+        return self.proven == len(self.cones)
+
+    @property
+    def conflicts(self) -> int:
+        return sum(c.conflicts for c in self.cones)
+
+    def count_at_least(self, severity: str) -> int:
+        floor = severity_rank(severity)
+        return sum(
+            1 for c in self.cones
+            if c.severity is not None and severity_rank(c.severity) >= floor
+        )
+
+    @property
+    def worst(self) -> str | None:
+        ranked = [c.severity for c in self.cones if c.severity is not None]
+        return max(ranked, key=severity_rank) if ranked else None
+
+    def __str__(self) -> str:
+        if self.equivalent:
+            return (f"{self.design}/{self.style}: equivalent "
+                    f"({len(self.cones)} cones proven, "
+                    f"{self.solver_runs} solver runs)")
+        return (f"{self.design}/{self.style}: NOT proven -- "
+                f"{self.refuted} refuted, {self.violations} violation(s), "
+                f"{self.unknown} undecided of {len(self.cones)} cones")
+
+
+# ---------------------------------------------------------------------------
+# reporters (same envelope discipline as repro.lint.report)
+
+
+def format_verify_text(design: str, results: Iterable[VerifyResult]) -> str:
+    lines = [f"verify report for {design}"]
+    for result in results:
+        lines.append(f"  {result}")
+        interesting = [c for c in result.cones if c.status != "proven"]
+        for cone in interesting:
+            lines.append(f"    {cone}")
+            if cone.counterexample:
+                lines.append(f"      counterexample: "
+                             f"{json.dumps(cone.counterexample, sort_keys=True)}")
+            for replay in cone.replays:
+                lines.append(f"      replay {replay}")
+    return "\n".join(lines)
+
+
+def _cone_payload(cone: ConeResult) -> dict:
+    payload: dict[str, object] = {
+        "cone": cone.cone,
+        "status": cone.status,
+        "method": cone.method,
+        "severity": cone.severity,
+        "conflicts": cone.conflicts,
+        "cache_hit": cone.cache_hit,
+    }
+    if cone.detail:
+        payload["detail"] = cone.detail
+    if cone.counterexample is not None:
+        payload["counterexample"] = cone.counterexample
+    if cone.replays:
+        payload["replays"] = [
+            {
+                "engine": r.engine,
+                "confirmed": r.confirmed,
+                "probe": r.probe,
+                "ff_value": r.ff_value,
+                "conv_value": r.conv_value,
+            }
+            for r in cone.replays
+        ]
+    return payload
+
+
+def format_verify_json(design: str, results: Iterable[VerifyResult]) -> str:
+    results = list(results)
+    payload = {
+        "design": design,
+        "results": [
+            {
+                "style": r.style,
+                "equivalent": r.equivalent,
+                "cones": [_cone_payload(c) for c in r.cones],
+                "solver_runs": r.solver_runs,
+                "cache_hits": r.cache_hits,
+                "summary": {
+                    "proven": r.proven,
+                    "refuted": r.refuted,
+                    "violation": r.violations,
+                    "unknown": r.unknown,
+                },
+            }
+            for r in results
+        ],
+        "summary": {
+            "error": sum(r.count_at_least("error") for r in results),
+            "warn": sum(r.count_at_least("warn") - r.count_at_least("error")
+                        for r in results),
+            "proven": sum(r.proven for r in results),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -211,12 +211,12 @@ class TestPipelineWiring:
 
     def test_chain_shapes(self):
         assert [s.name for s in build_stages("ff")] == [
-            "synth", "lint_synth", "clocks", "resize", "hold_fix", "pnr",
-            "sta", "verify", "sim", "power"]
+            "synth", "lint_synth", "clocks", "verify", "resize", "hold_fix",
+            "pnr", "sta", "sim", "power"]
         assert [s.name for s in build_stages("3p")] == [
             "synth", "lint_synth", "ilp", "convert", "lint_convert",
-            "retime", "lint_retime", "cg", "lint_cg", "resize",
-            "hold_fix", "pnr", "sta", "verify", "sim", "power"]
+            "retime", "lint_retime", "verify", "cg", "lint_cg", "resize",
+            "hold_fix", "pnr", "sta", "sim", "power"]
 
 
 class TestCliJobs:

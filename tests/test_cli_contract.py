@@ -1,0 +1,91 @@
+"""Shared CLI contract of the static-analysis gates.
+
+``repro lint`` and ``repro verify`` present identically: exit 0 when
+clean, 1 when findings reach ``--fail-on``, 2 on usage errors; and
+``--format json`` prints one design-level envelope with ``design``,
+``results`` and a ``summary`` keyed by severity.  The conventions are
+documented once, in ``docs/verify.md``; this suite pins both commands
+to them.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+COMMANDS = ("lint", "verify")
+
+
+def _inject_lint_error(monkeypatch):
+    import dataclasses
+
+    from repro import lint as lint_pkg
+    from repro.lint import Finding
+
+    original = lint_pkg.apply_waivers
+
+    def with_error(result, waivers):
+        result = original(result, waivers)
+        return dataclasses.replace(result, findings=list(result.findings) + [
+            Finding("contract.test", "error", "test", "nowhere",
+                    "injected for the exit-code contract test"),
+        ])
+
+    monkeypatch.setattr("repro.lint.apply_waivers", with_error)
+
+
+def _inject_verify_error(monkeypatch):
+    from repro.verify import ConeResult, VerifyResult
+
+    def fake_check(self):
+        return VerifyResult(self.design, self.style, cones=[
+            ConeResult("state:x", "violation",
+                       detail="injected for the exit-code contract test"),
+        ])
+
+    monkeypatch.setattr(
+        "repro.verify.cec.EquivalenceChecker.check", fake_check)
+
+
+_INJECTORS = {"lint": _inject_lint_error, "verify": _inject_verify_error}
+
+
+@pytest.mark.parametrize("command", COMMANDS)
+class TestSharedContract:
+    def test_clean_design_exits_zero(self, command, capsys):
+        assert main([command, "s1488"]) == 0
+        assert capsys.readouterr().out
+
+    def test_unknown_design_exits_two(self, command, capsys):
+        assert main([command, "no-such-design"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_json_envelope_shape(self, command, capsys):
+        assert main([command, "s1488", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["design"] == "s1488"
+        assert isinstance(payload["results"], list) and payload["results"]
+        for result in payload["results"]:
+            assert "style" in result
+        summary = payload["summary"]
+        assert summary["error"] == 0
+        assert isinstance(summary["warn"], int)
+
+    def test_findings_at_fail_on_exit_one(self, command, capsys,
+                                          monkeypatch):
+        _INJECTORS[command](monkeypatch)
+        assert main([command, "s1488", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["error"] >= 1
+
+
+class TestContractIsDocumented:
+    def test_docs_state_the_shared_conventions(self):
+        from pathlib import Path
+
+        doc = (Path(__file__).parents[1] / "docs" / "verify.md").read_text()
+        # one authoritative statement covering both commands
+        for needle in ("repro lint", "repro verify", "exit code",
+                       "--fail-on", "--format json"):
+            assert needle in doc, f"docs/verify.md must mention {needle!r}"

@@ -1,0 +1,60 @@
+"""Shared fixtures for the formal-equivalence (``repro.verify``) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import build
+from repro.convert import (
+    convert_to_master_slave,
+    convert_to_pulsed_latch,
+    convert_to_three_phase,
+)
+from repro.library import FDSOI28
+from repro.netlist.core import Module
+
+PERIOD = 1000.0
+
+#: converted styles with proof obligations ("ff" verifies trivially).
+LATCH_STYLES = ("3p", "ms", "pulsed")
+
+
+def convert_style(module: Module, style: str, period: float = PERIOD):
+    """``(converted module, clocks)`` for one latch style."""
+    if style == "3p":
+        res = convert_to_three_phase(module, FDSOI28, period=period)
+    elif style == "ms":
+        res = convert_to_master_slave(module, FDSOI28, period)
+    elif style == "pulsed":
+        res = convert_to_pulsed_latch(module, FDSOI28, period)
+    else:
+        raise ValueError(f"unknown style {style!r}")
+    return res.module, res.clocks
+
+
+@pytest.fixture(scope="session")
+def s1196():
+    return build("s1196")
+
+
+@pytest.fixture(scope="session")
+def s1488():
+    return build("s1488")
+
+
+@pytest.fixture(scope="session")
+def s1196_3p(s1196):
+    return convert_style(s1196, "3p")
+
+
+@pytest.fixture(scope="session")
+def s5378_synth():
+    """s5378 through synthesis: the smallest ICG-bearing netlist."""
+    from repro.synth import synthesize
+
+    return synthesize(build("s5378"), FDSOI28).module
+
+
+@pytest.fixture(scope="session")
+def s5378_3p(s5378_synth):
+    return convert_style(s5378_synth, "3p")

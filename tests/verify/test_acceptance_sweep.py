@@ -1,0 +1,36 @@
+"""Acceptance sweep: every bundled design proves in every latch style.
+
+The small designs always run; the large ones (multi-second encodes)
+are skipped unless ``REPRO_VERIFY_SWEEP=1`` -- CI and the full
+acceptance run set it, the tier-1 suite stays fast.  The full sweep is
+also exercised, style by style, by ``repro verify <design> --style
+all`` in the CI smoke.
+"""
+
+import os
+
+import pytest
+
+from repro.circuits import build, names
+from repro.verify import check_equivalence
+
+from tests.verify.conftest import LATCH_STYLES, convert_style
+
+#: designs whose encode takes >~1 s; gated behind the env switch.
+_LARGE = {"s35932", "s38417", "s38584", "aes", "sha256", "riscv", "armm0"}
+
+_FULL = os.environ.get("REPRO_VERIFY_SWEEP") == "1"
+
+
+@pytest.mark.parametrize("design", names())
+@pytest.mark.parametrize("style", LATCH_STYLES)
+def test_bundled_design_proves(design, style):
+    if design in _LARGE and not _FULL:
+        pytest.skip("large design; set REPRO_VERIFY_SWEEP=1 for the "
+                    "full acceptance sweep")
+    module = build(design)
+    conv, clocks = convert_style(module, style)
+    result = check_equivalence(module, conv, style, clocks)
+    assert result.equivalent, f"{design}/{style}: {result}"
+    assert result.solver_runs == 0, \
+        f"{design}/{style}: cones escaped structural hashing"

@@ -1,0 +1,83 @@
+"""Cone-level disk caching: warm reruns run zero solver invocations."""
+
+from repro.flow.diskcache import DiskCache
+from repro.library import FDSOI28
+from repro.verify import EquivalenceChecker
+
+
+def _mutated(ff, conv, clocks):
+    """First dropped-follower mutation that actually reaches the solver
+    (some followers sit on feedback loops and give violations instead)."""
+    for name in sorted(conv.instances):
+        inst = conv.instances[name]
+        if inst.cell.op != "DLATCH" or inst.attrs.get("phase") != "p2":
+            continue
+        cm = conv.copy()
+        fol = cm.instances[name]
+        d_net, q_net = fol.net_of("D"), fol.output_net()
+        cm.remove_instance(name)
+        cm.add_instance(cm.fresh_name("u_dropped"),
+                        FDSOI28.cell_for_op("BUF"),
+                        {"A": d_net, "Y": q_net})
+        probe = EquivalenceChecker(ff, cm, "3p", clocks,
+                                   replay=False).check()
+        if probe.solver_runs > 0:
+            return cm
+    raise AssertionError("no follower mutation reached the solver")
+
+
+def _check(ff, conv, clocks, cache):
+    return EquivalenceChecker(
+        ff, conv, "3p", clocks, cone_cache=cache, replay=False).check()
+
+
+class TestConeCache:
+    def test_warm_rerun_serves_all_solver_verdicts(
+            self, tmp_path, s1196, s1196_3p):
+        conv, clocks = s1196_3p
+        mutated = _mutated(s1196, conv, clocks)
+        cache = DiskCache(tmp_path / "verify-cache")
+
+        cold = _check(s1196, mutated, clocks, cache)
+        assert cold.solver_runs > 0, \
+            "the mutated design must actually exercise the solver"
+        assert cold.cache_hits == 0
+
+        warm = _check(s1196, mutated, clocks, cache)
+        assert warm.solver_runs == 0, \
+            "a warm rerun must serve every cone from the disk cache"
+        assert warm.cache_hits == cold.solver_runs
+
+    def test_warm_verdicts_match_cold(self, tmp_path, s1196, s1196_3p):
+        conv, clocks = s1196_3p
+        mutated = _mutated(s1196, conv, clocks)
+        cache = DiskCache(tmp_path / "verify-cache")
+        cold = _check(s1196, mutated, clocks, cache)
+        warm = _check(s1196, mutated, clocks, cache)
+        assert [(c.cone, c.status) for c in cold.cones] == \
+            [(c.cone, c.status) for c in warm.cones]
+        # cached refutations still carry a decodable counterexample
+        for cold_cone, warm_cone in zip(cold.cones, warm.cones):
+            if cold_cone.status == "refuted":
+                assert warm_cone.counterexample is not None
+                assert warm_cone.cache_hit
+
+    def test_proven_designs_never_touch_solver_or_cache(
+            self, tmp_path, s1196, s1196_3p):
+        conv, clocks = s1196_3p
+        cache = DiskCache(tmp_path / "verify-cache")
+        result = _check(s1196, conv, clocks, cache)
+        assert result.equivalent
+        assert result.solver_runs == 0
+        assert result.cache_hits == 0  # hash-proven before the cache tier
+
+    def test_cache_is_content_addressed_not_per_design(
+            self, tmp_path, s1196, s1196_3p):
+        """A structurally identical cone from a *fresh checker* hits."""
+        conv, clocks = s1196_3p
+        mutated = _mutated(s1196, conv, clocks)
+        cache = DiskCache(tmp_path / "verify-cache")
+        _check(s1196, mutated, clocks, cache)
+        # same netlists, brand-new checker and builder namespace
+        rerun = _check(s1196.copy(), mutated.copy(), clocks, cache)
+        assert rerun.solver_runs == 0

@@ -1,0 +1,215 @@
+"""CnfBuilder: constant folding, structural hashing, cone extraction.
+
+The closer is a brute-force differential: random gate trees over five
+inputs must agree with a Python truth-table evaluation on all 32
+assignments, checked through the actual solver.
+"""
+
+import random
+
+import pytest
+
+from repro.verify import CnfBuilder, CnfError, Solver
+
+
+class TestConstantFolding:
+    def test_and_identities(self):
+        b = CnfBuilder()
+        a, c = b.var(), b.var()
+        assert b.and_([]) == b.TRUE
+        assert b.and_([b.TRUE, a]) == a
+        assert b.and_([b.FALSE, a]) == b.FALSE
+        assert b.and_([a, a]) == a
+        assert b.and_([a, -a]) == b.FALSE
+        assert b.and_([a, c, a]) == b.and_([a, c])
+
+    def test_or_via_demorgan(self):
+        b = CnfBuilder()
+        a = b.var()
+        assert b.or_([a, b.TRUE]) == b.TRUE
+        assert b.or_([a, b.FALSE]) == a
+        assert b.or_([a, -a]) == b.TRUE
+
+    def test_xor_identities(self):
+        b = CnfBuilder()
+        a, c = b.var(), b.var()
+        assert b.xor2(a, a) == b.FALSE
+        assert b.xor2(a, -a) == b.TRUE
+        assert b.xor2(a, b.FALSE) == a
+        assert b.xor2(a, b.TRUE) == -a
+        # sign pulling: XOR(-a, c) == -XOR(a, c)
+        assert b.xor2(-a, c) == -b.xor2(a, c)
+
+    def test_ite_folding(self):
+        b = CnfBuilder()
+        s, t, e = b.var(), b.var(), b.var()
+        assert b.ite(b.TRUE, t, e) == t
+        assert b.ite(b.FALSE, t, e) == e
+        assert b.ite(s, t, t) == t
+        assert b.ite(s, t, b.FALSE) == b.and_([s, t])
+        assert b.ite(s, b.TRUE, e) == b.or_([s, e])
+        assert b.ite(s, t, -t) == b.xor2(-s, t)
+
+    def test_tie_and_buf_gates(self):
+        b = CnfBuilder()
+        a = b.var()
+        assert b.gate("TIE0", []) == b.FALSE
+        assert b.gate("TIE1", []) == b.TRUE
+        assert b.gate("BUF", [a]) == a
+        assert b.gate("INV", [a]) == -a
+
+    def test_mux2_is_ite(self):
+        b = CnfBuilder()
+        a, c, s = b.var(), b.var(), b.var()
+        assert b.gate("MUX2", [a, c, s]) == b.ite(s, c, a)
+
+
+class TestStructuralHashing:
+    def test_same_gate_encodes_once(self):
+        b = CnfBuilder()
+        a, c = b.var(), b.var()
+        y1 = b.and_([a, c])
+        n_clauses = len(b.clauses)
+        y2 = b.and_([a, c])
+        assert y1 == y2
+        assert len(b.clauses) == n_clauses
+        assert b.cache_hits == 1
+
+    def test_commutative_operand_order_irrelevant(self):
+        b = CnfBuilder()
+        a, c, d = b.var(), b.var(), b.var()
+        assert b.and_([a, c, d]) == b.and_([d, a, c])
+        assert b.xor2(a, c) == b.xor2(c, a)
+        assert b.gate("NOR", [a, c]) == b.gate("NOR", [c, a])
+
+    def test_identical_miter_sides_fold_to_false(self):
+        # the property the whole checker leans on
+        b = CnfBuilder()
+        a, c = b.var(), b.var()
+        left = b.gate("NAND", [b.xor2(a, c), a])
+        right = b.gate("NAND", [b.xor2(c, a), a])
+        assert b.xor2(left, right) == b.FALSE
+
+
+class TestGateErrors:
+    def test_unknown_op(self):
+        b = CnfBuilder()
+        with pytest.raises(CnfError, match="unknown op"):
+            b.gate("LUT4", [b.var()])
+
+    def test_bad_arity(self):
+        b = CnfBuilder()
+        with pytest.raises(CnfError):
+            b.gate("INV", [b.var(), b.var()])
+        with pytest.raises(CnfError):
+            b.gate("TIE1", [b.var()])
+        with pytest.raises(CnfError):
+            b.gate("MUX2", [b.var()])
+        with pytest.raises(CnfError):
+            b.gate("AND", [])
+
+
+class TestConeExtraction:
+    def test_cone_keeps_only_reachable_definitions(self):
+        b = CnfBuilder()
+        a, c, d = b.var(), b.var(), b.var()
+        y = b.and_([a, c])
+        z = b.or_([c, d])  # unrelated to y's cone
+        cone = b.cone([y])
+        flat = {lit for clause in cone for lit in clause}
+        assert (b.TRUE,) in cone  # pinned constant always included
+        assert abs(y) in {abs(lit) for lit in flat}
+        assert abs(z) not in {abs(lit) for lit in flat}
+
+    def test_cone_is_transitive(self):
+        b = CnfBuilder()
+        a, c, d = b.var(), b.var(), b.var()
+        y = b.and_([b.or_([a, c]), d])
+        cone = b.cone([y])
+        # both the AND and the inner OR definitions must be present
+        assert len(cone) > 2
+
+    def test_stats(self):
+        b = CnfBuilder()
+        a, c = b.var(), b.var()
+        b.and_([a, c])
+        stats = b.stats
+        assert stats["vars"] == b.n_vars
+        assert stats["clauses"] == len(b.clauses)
+
+
+# ---------------------------------------------------------------------------
+# brute-force differential
+
+
+_N_INPUTS = 5
+
+
+def _random_expr(rng: random.Random, depth: int):
+    if depth == 0 or rng.random() < 0.3:
+        return ("var", rng.randrange(_N_INPUTS))
+    op = rng.choice(["AND", "OR", "NAND", "NOR", "XOR", "XNOR",
+                     "INV", "MUX2"])
+    if op == "INV":
+        return (op, (_random_expr(rng, depth - 1),))
+    if op == "MUX2":
+        kids = tuple(_random_expr(rng, depth - 1) for _ in range(3))
+        return (op, kids)
+    kids = tuple(_random_expr(rng, depth - 1)
+                 for _ in range(rng.randrange(2, 4)))
+    return (op, kids)
+
+
+def _eval(expr, values) -> bool:
+    op, arg = expr
+    if op == "var":
+        return values[arg]
+    kids = [_eval(k, values) for k in arg]
+    if op == "INV":
+        return not kids[0]
+    if op == "MUX2":
+        a, b, s = kids
+        return b if s else a
+    if op == "AND":
+        return all(kids)
+    if op == "NAND":
+        return not all(kids)
+    if op == "OR":
+        return any(kids)
+    if op == "NOR":
+        return not any(kids)
+    acc = False
+    for k in kids:
+        acc ^= k
+    return acc if op == "XOR" else not acc
+
+
+def _encode(b: CnfBuilder, expr, var_lits):
+    op, arg = expr
+    if op == "var":
+        return var_lits[arg]
+    return b.gate(op, [_encode(b, k, var_lits) for k in arg])
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_encoding_matches_truth_table(seed):
+    """CNF semantics == direct evaluation, on all 2^5 assignments.
+
+    For each assignment the negated query (root != expected) must be
+    UNSAT: the encoding admits exactly the function's models.
+    """
+    rng = random.Random(seed)
+    expr = _random_expr(rng, depth=4)
+    b = CnfBuilder()
+    var_lits = [b.var() for _ in range(_N_INPUTS)]
+    root = _encode(b, expr, var_lits)
+    cone = b.cone([root])
+    for assignment in range(2 ** _N_INPUTS):
+        values = [bool(assignment >> i & 1) for i in range(_N_INPUTS)]
+        units = [(lit if bit else -lit,)
+                 for lit, bit in zip(var_lits, values)]
+        expected = _eval(expr, values)
+        wrong = (-root,) if expected else (root,)
+        outcome = Solver(b.n_vars, cone + units + [wrong]).solve()
+        assert outcome.status == "unsat", \
+            f"seed {seed}: assignment {values} disagrees"

@@ -1,0 +1,37 @@
+"""Formal differential over fuzzed circuits.
+
+The formal leg of the ILP differential suite: every random sequential
+circuit, converted through every latch style (with the paper's ILP
+phase assignment in the 3-phase case), must be *proven* equivalent to
+its FF original -- and proven structurally, with zero CDCL runs.
+Sweeps feedback density and enable-muxed registers.
+"""
+
+import pytest
+
+from repro.circuits.random_logic import random_sequential_circuit
+from repro.verify import check_equivalence
+
+from tests.verify.conftest import LATCH_STYLES, convert_style
+
+#: (seed, n_ffs, feedback, enable_fraction) fuzz grid.
+FUZZ_CASES = [
+    (seed, 4 + (seed * 3) % 9, (seed % 4) * 0.25,
+     0.5 if seed % 2 else 0.0)
+    for seed in range(16)
+]
+
+
+@pytest.mark.parametrize("seed,n_ffs,feedback,enable_fraction", FUZZ_CASES)
+def test_fuzzed_conversions_prove_structurally(
+        seed, n_ffs, feedback, enable_fraction):
+    module = random_sequential_circuit(
+        seed, n_ffs=n_ffs, n_gates=20 + seed, feedback=feedback,
+        enable_fraction=enable_fraction)
+    for style in LATCH_STYLES:
+        conv, clocks = convert_style(module, style)
+        result = check_equivalence(module, conv, style, clocks)
+        assert result.equivalent, \
+            f"seed {seed} style {style}: {result}"
+        assert result.solver_runs == 0, \
+            f"seed {seed} style {style}: cones left for the solver"

@@ -1,0 +1,156 @@
+"""Seeded-defect regressions: each conversion bug class must refute.
+
+Three defect classes from the paper's conversion pitfalls, each
+injected into a real converted design: the miter must go SAT and the
+decoded counterexample must *demonstrably diverge* when replayed
+through both simulator engines.  Targets are selected structurally (the
+first candidate latch whose mutation refutes) so the tests survive
+phase-assignment changes.
+"""
+
+import pytest
+
+from repro.library import FDSOI28
+from repro.library.cell import ICG_OPS
+from repro.netlist.core import PortRef
+from repro.verify import EquivalenceChecker
+
+ENGINES = ("reference", "batch")
+
+
+def _check(ff, conv, clocks):
+    return EquivalenceChecker(
+        ff, conv, "3p", clocks, replay_engines=ENGINES).check()
+
+
+def _confirmed_refutations(result):
+    """Refuted cones whose counterexample diverges in every engine."""
+    return [
+        c for c in result.cones
+        if c.status == "refuted" and c.counterexample is not None
+        and {r.engine for r in c.replays} == set(ENGINES)
+        and all(r.confirmed for r in c.replays)
+    ]
+
+
+def _latches(conv, phase):
+    return [conv.instances[n] for n in sorted(conv.instances)
+            if conv.instances[n].cell.op == "DLATCH"
+            and conv.instances[n].attrs.get("phase") == phase]
+
+
+class TestDroppedFollower:
+    """A p2 follower replaced by a wire-through: its reader's p1 cone
+    now captures a *transparent* leading latch -- one generation early."""
+
+    def test_refutes_with_confirmed_replay(self, s1196, s1196_3p):
+        conv, clocks = s1196_3p
+        followers = _latches(conv, "p2")
+        assert followers, "fixture lost its p2 followers"
+        for follower in followers:
+            cm = conv.copy()
+            fol = cm.instances[follower.name]
+            d_net, q_net = fol.net_of("D"), fol.output_net()
+            cm.remove_instance(fol.name)
+            cm.add_instance(cm.fresh_name("u_dropped"),
+                            FDSOI28.cell_for_op("BUF"),
+                            {"A": d_net, "Y": q_net})
+            result = _check(s1196, cm, clocks)
+            confirmed = _confirmed_refutations(result)
+            if confirmed:
+                assert not result.equivalent
+                assert result.solver_runs > 0
+                assert result.worst == "error"
+                cone = confirmed[0]
+                assert "state" in cone.counterexample
+                assert "inputs" in cone.counterexample
+                for replay in cone.replays:
+                    assert replay.ff_value != replay.conv_value
+                    assert "first divergence" in replay.probe
+                return
+        pytest.fail("no dropped follower refuted with a confirmed replay")
+
+
+class TestSwappedPhase:
+    """A p1 holder re-clocked to p3: readers of generation-n cones see
+    it transparent and capture the next-state value."""
+
+    def test_refutes_with_confirmed_replay(self, s1196, s1196_3p):
+        conv, clocks = s1196_3p
+        p3_net = conv.net_of_port("p3").name
+        holders = _latches(conv, "p1")
+        assert holders, "fixture lost its p1 holders"
+        for holder in holders:
+            cm = conv.copy()
+            inst = cm.instances[holder.name]
+            inst.attrs["phase"] = "p3"
+            cm.reconnect(inst.name, "G", p3_net)
+            result = _check(s1196, cm, clocks)
+            confirmed = _confirmed_refutations(result)
+            if confirmed:
+                assert not result.equivalent
+                assert result.worst == "error"
+                return
+        pytest.fail("no phase swap refuted with a confirmed replay")
+
+
+class TestUngatedClock:
+    """An ICG bypassed on one holder: the converted register keeps
+    capturing while the FF side's enable holds it -- the enable cones
+    of the miter differ."""
+
+    def _gated_holders(self, conv):
+        out = []
+        for name in sorted(conv.instances):
+            inst = conv.instances[name]
+            if inst.cell.op != "DLATCH" or \
+                    inst.attrs.get("phase") not in ("p1", "p3"):
+                continue
+            driver = conv.nets[inst.net_of("G")].driver
+            if isinstance(driver, PortRef):
+                continue
+            if conv.instances[driver.instance].cell.op in ICG_OPS:
+                out.append((inst, conv.instances[driver.instance]))
+        return out
+
+    def test_refutes_with_confirmed_replay(self, s5378_synth, s5378_3p):
+        conv, clocks = s5378_3p
+        gated = self._gated_holders(conv)
+        assert gated, "synthesized s5378 lost its gated holders"
+        for holder, icg in gated:
+            cm = conv.copy()
+            cm.reconnect(holder.name, "G", icg.net_of("CK"))
+            result = EquivalenceChecker(
+                s5378_synth, cm, "3p", clocks,
+                replay_engines=ENGINES).check()
+            confirmed = _confirmed_refutations(result)
+            if confirmed:
+                assert not result.equivalent
+                assert result.worst == "error"
+                return
+        pytest.fail("no ICG bypass refuted with a confirmed replay")
+
+
+class TestFeedbackDesignDefectsSurface:
+    """On feedback-heavy designs (s1488) a dropped follower creates a
+    transparent loop: a genuine race, reported as a violation cone --
+    detected, not silently proven."""
+
+    def test_dropped_follower_never_proven_clean(self, s1488):
+        from tests.verify.conftest import convert_style
+
+        conv, clocks = convert_style(s1488, "3p")
+        followers = _latches(conv, "p2")
+        assert followers
+        for follower in followers:
+            cm = conv.copy()
+            fol = cm.instances[follower.name]
+            d_net, q_net = fol.net_of("D"), fol.output_net()
+            cm.remove_instance(fol.name)
+            cm.add_instance(cm.fresh_name("u_dropped"),
+                            FDSOI28.cell_for_op("BUF"),
+                            {"A": d_net, "Y": q_net})
+            result = _check(s1488, cm, clocks)
+            assert not result.equivalent, \
+                f"dropping {follower.name} was silently proven"
+            assert result.worst == "error"

@@ -1,0 +1,129 @@
+"""The CDCL solver: hard UNSAT families, random differential, budgets."""
+
+import random
+
+import pytest
+
+from repro.verify import Solver, luby, solve_cnf
+
+
+def php(holes: int):
+    """Pigeonhole: ``holes + 1`` pigeons into ``holes`` holes (UNSAT).
+
+    The classic resolution-hard family -- it exercises conflict
+    analysis, learning, and restarts rather than pure propagation.
+    """
+    pigeons = holes + 1
+
+    def v(p: int, h: int) -> int:
+        return p * holes + h + 1
+
+    clauses = [tuple(v(p, h) for h in range(holes)) for p in range(pigeons)]
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                clauses.append((-v(p1, h), -v(p2, h)))
+    return pigeons * holes, clauses
+
+
+class TestLuby:
+    def test_first_terms(self):
+        assert [luby(i) for i in range(1, 16)] == \
+            [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8]
+
+    def test_powers_of_two_boundaries(self):
+        assert luby(31) == 16
+        assert luby(32) == 1
+
+
+class TestUnsatFamilies:
+    @pytest.mark.parametrize("holes", [3, 4, 5, 6])
+    def test_pigeonhole_unsat(self, holes):
+        n_vars, clauses = php(holes)
+        outcome = Solver(n_vars, clauses).solve()
+        assert outcome.status == "unsat"
+        assert not outcome.model
+        if holes >= 5:
+            # non-trivial instances must actually exercise CDCL
+            assert outcome.stats.conflicts > 0
+            assert outcome.stats.learned > 0
+
+    def test_empty_clause_unsat(self):
+        assert Solver(2, [(1,), ()]).solve().status == "unsat"
+
+    def test_unit_contradiction(self):
+        assert Solver(1, [(1,), (-1,)]).solve().status == "unsat"
+
+
+class TestSatInstances:
+    def test_trivial_sat(self):
+        outcome = Solver(2, [(1, 2), (-1, 2)]).solve()
+        assert outcome.status == "sat"
+        assert outcome.model[2] is True
+
+    def test_no_clauses_sat(self):
+        assert Solver(3, []).solve().status == "sat"
+
+    def test_model_satisfies_every_clause(self):
+        rng = random.Random(11)
+        n_vars = 12
+        clauses = [
+            tuple(rng.choice([-1, 1]) * v
+                  for v in rng.sample(range(1, n_vars + 1), 3))
+            for _ in range(30)
+        ]
+        outcome = Solver(n_vars, clauses).solve()
+        if outcome.status == "sat":
+            for clause in clauses:
+                assert any(outcome.model.get(abs(lit), False) == (lit > 0)
+                           for lit in clause), clause
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_3cnf_matches_brute_force(seed):
+    rng = random.Random(seed)
+    n_vars = 8
+    n_clauses = rng.randrange(10, 45)
+    clauses = [
+        tuple(rng.choice([-1, 1]) * v
+              for v in rng.sample(range(1, n_vars + 1), 3))
+        for _ in range(n_clauses)
+    ]
+
+    def brute() -> bool:
+        for bits in range(2 ** n_vars):
+            values = {v: bool(bits >> (v - 1) & 1)
+                      for v in range(1, n_vars + 1)}
+            if all(any(values[abs(lit)] == (lit > 0) for lit in clause)
+                   for clause in clauses):
+                return True
+        return False
+
+    outcome = Solver(n_vars, clauses).solve()
+    expected = brute()
+    assert (outcome.status == "sat") == expected, f"seed {seed}"
+    if expected:
+        for clause in clauses:
+            assert any(outcome.model.get(abs(lit), False) == (lit > 0)
+                       for lit in clause)
+
+
+class TestBudget:
+    def test_exhausted_budget_reports_unknown(self):
+        n_vars, clauses = php(9)
+        outcome = Solver(n_vars, clauses, conflict_budget=500).solve()
+        assert outcome.status == "unknown"
+        assert not outcome.model
+        assert outcome.stats.conflicts >= 500
+
+    def test_generous_budget_still_decides(self):
+        n_vars, clauses = php(4)
+        outcome = Solver(n_vars, clauses, conflict_budget=10 ** 6).solve()
+        assert outcome.status == "unsat"
+
+
+class TestSolveCnf:
+    def test_wrapper_matches_solver(self):
+        n_vars, clauses = php(3)
+        assert solve_cnf(n_vars, clauses).status == "unsat"
+        assert solve_cnf(2, [(1,), (2,)]).status == "sat"
